@@ -1,0 +1,151 @@
+package hybrids_test
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark regenerates its artifact through the experiment harness
+// (internal/exp), logs the full table, and reports the headline series as
+// benchmark metrics. The same experiments run standalone (with full
+// operation counts and grids) via:
+//
+//	go run ./cmd/hybrids -exp <id> [-scale small|paper]
+//
+// Benchmarks default to reduced operation counts so `go test -bench=.`
+// completes in minutes; set HYBRIDS_BENCH_FULL=1 for the full counts.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"hybrids/internal/exp"
+)
+
+// benchScale returns the benchmark scale. Benchmarks must fit go test's
+// default 10-minute per-package budget, so by default they trim operation
+// counts, the thread grid, and the B+ tree's load size (2^21 records
+// instead of the paper's 30M — the 30M load phase alone costs tens of
+// seconds per grid cell). The authoritative paper-sized numbers come from
+// `cmd/hybrids` and are recorded in EXPERIMENTS.md; set
+// HYBRIDS_BENCH_FULL=1 (and -timeout=0) to run benchmarks at that scale
+// too.
+func benchScale() exp.Scale {
+	sc := exp.SmallScale()
+	if os.Getenv("HYBRIDS_BENCH_FULL") == "" {
+		sc.OpsPerThread = 500
+		sc.WarmupPerThread = 250
+		sc.ThreadCounts = []int{1, 8}
+		sc.SkiplistRecords = 1 << 20
+		sc.SkiplistLevels = 20
+		sc.SkiplistNMPLevels = 8
+		sc.BTreeRecords = 1 << 21
+	}
+	return sc
+}
+
+// metric parses a numeric cell from a result row.
+func metric(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// runExperiment executes experiment id once per benchmark run and reports
+// per-row metrics named after the row labels.
+func runExperiment(b *testing.B, id string, metricCol int, unit string) {
+	b.Helper()
+	e, ok := exp.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	sc := benchScale()
+	var res exp.Result
+	for i := 0; i < b.N; i++ {
+		res = e.Run(sc, nil)
+	}
+	b.Log("\n" + res.Format())
+	for _, row := range res.Rows {
+		if metricCol >= len(row) {
+			continue
+		}
+		name := row[0]
+		if len(row) > 2 && metricCol >= 2 {
+			name = row[0] + "/" + row[1]
+		}
+		b.ReportMetric(metric(row[metricCol]), sanitizeUnit(name+"_"+unit))
+	}
+}
+
+// sanitizeUnit makes a row label usable as a benchmark metric unit
+// (ReportMetric forbids whitespace).
+func sanitizeUnit(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t':
+			out = append(out, '-')
+		case r == '(' || r == ')':
+			// drop
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	e, _ := exp.Find("table1")
+	var res exp.Result
+	for i := 0; i < b.N; i++ {
+		res = e.Run(benchScale(), nil)
+	}
+	b.Log("\n" + res.Format())
+}
+
+func BenchmarkFig5aSkiplistYCSBC(b *testing.B) {
+	runExperiment(b, "fig5a", 2, "Mops")
+}
+
+func BenchmarkFig5bSkiplistDRAMReads(b *testing.B) {
+	runExperiment(b, "fig5b", 1, "reads/op")
+}
+
+func BenchmarkFig6aBTreeYCSBC(b *testing.B) {
+	runExperiment(b, "fig6a", 2, "Mops")
+}
+
+func BenchmarkFig6bBTreeDRAMReads(b *testing.B) {
+	runExperiment(b, "fig6b", 1, "reads/op")
+}
+
+func BenchmarkTable2OffloadDelays(b *testing.B) {
+	runExperiment(b, "table2", 1, "cycles")
+}
+
+func BenchmarkFig7SkiplistSensitivity(b *testing.B) {
+	runExperiment(b, "fig7", 2, "Mops")
+}
+
+func BenchmarkFig8BTreeSensitivity(b *testing.B) {
+	runExperiment(b, "fig8", 2, "Mops")
+}
+
+func BenchmarkFig9BTreeSensitivityReads(b *testing.B) {
+	runExperiment(b, "fig9", 2, "reads/op")
+}
+
+func BenchmarkAblateWindow(b *testing.B) {
+	runExperiment(b, "ablate-window", 2, "Mops")
+}
+
+func BenchmarkAblateSplit(b *testing.B) {
+	runExperiment(b, "ablate-split", 2, "Mops")
+}
+
+func BenchmarkAblateMMIO(b *testing.B) {
+	runExperiment(b, "ablate-mmio", 1, "Mops")
+}
+
+func BenchmarkAblatePartitions(b *testing.B) {
+	runExperiment(b, "ablate-partitions", 1, "Mops")
+}

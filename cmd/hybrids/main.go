@@ -1,0 +1,89 @@
+// Command hybrids runs the HybriDS reproduction experiments: one per table
+// and figure in the paper's evaluation section, plus ablations.
+//
+// Usage:
+//
+//	hybrids -list
+//	hybrids -exp fig5a [-scale small|paper|tiny] [-ops N] [-markdown]
+//	hybrids -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hybrids/internal/exp"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id (or 'all')")
+		scale    = flag.String("scale", "small", "scale: tiny, small, or paper")
+		list     = flag.Bool("list", false, "list experiments")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		ops      = flag.Int("ops", 0, "override measured ops per thread")
+		warmup   = flag.Int("warmup", -1, "override warmup ops per thread")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "tiny":
+		sc = exp.TinyScale()
+	case "small":
+		sc = exp.SmallScale()
+	case "paper":
+		sc = exp.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *ops > 0 {
+		sc.OpsPerThread = *ops
+	}
+	if *warmup >= 0 {
+		sc.WarmupPerThread = *warmup
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	run := func(e exp.Experiment) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.ID)
+		res := e.Run(sc, progress)
+		if *markdown {
+			fmt.Print(res.Markdown())
+		} else {
+			fmt.Println(res.Format())
+		}
+	}
+
+	if *expID == "all" {
+		for _, e := range exp.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := exp.Find(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expID)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,68 @@
+// Command ycsbgen inspects the workload generator: it prints load-phase
+// records and per-thread operation streams for any of the paper's
+// workloads, for debugging or for feeding external tools.
+//
+//	go run ./cmd/ycsbgen -workload ycsbc -records 1000 -ops 20 -threads 2
+//	go run ./cmd/ycsbgen -workload 50-25-25 -tail -partitions 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybrids/internal/ycsb"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "ycsbc", "ycsbc or R-I-D mix like 50-25-25")
+		records    = flag.Int("records", 1000, "load-phase record count")
+		keyMax     = flag.Uint64("keymax", 1<<24, "key space bound (power of two)")
+		threads    = flag.Int("threads", 2, "operation streams")
+		ops        = flag.Int("ops", 20, "operations per stream")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		tail       = flag.Bool("tail", false, "partition-tail insert pattern")
+		partitions = flag.Int("partitions", 8, "partitions for -tail")
+		showLoad   = flag.Bool("load", false, "print load records instead of streams")
+	)
+	flag.Parse()
+
+	var cfg ycsb.Config
+	switch {
+	case *workload == "ycsbc":
+		cfg = ycsb.YCSBC(*records, uint32(*keyMax), *seed)
+	case strings.Count(*workload, "-") == 2:
+		parts := strings.SplitN(*workload, "-", 3)
+		r, err1 := strconv.Atoi(parts[0])
+		i, err2 := strconv.Atoi(parts[1])
+		d, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			fmt.Fprintf(os.Stderr, "bad mix %q\n", *workload)
+			os.Exit(2)
+		}
+		cfg = ycsb.Mix(*records, uint32(*keyMax), r, i, d, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if *tail {
+		cfg.Inserts = ycsb.PartitionTail
+		cfg.Partitions = *partitions
+	}
+
+	g := ycsb.New(cfg)
+	if *showLoad {
+		for _, p := range g.Load() {
+			fmt.Printf("%d %d\n", p.Key, p.Value)
+		}
+		return
+	}
+	for th, stream := range g.Streams(*threads, *ops) {
+		for _, op := range stream {
+			fmt.Printf("thread=%d %s key=%d value=%d\n", th, op.Kind, op.Key, op.Value)
+		}
+	}
+}

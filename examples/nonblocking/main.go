@@ -1,0 +1,75 @@
+// Non-blocking NMP calls on real hardware: measures how pipelining calls
+// through the native hybrid map's futures (§3.5) compares to blocking
+// calls, on your actual machine rather than the simulator.
+//
+//	go run ./examples/nonblocking [-ops 200000] [-window 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"time"
+
+	"hybrids/internal/core"
+	"hybrids/internal/prng"
+)
+
+func main() {
+	ops := flag.Int("ops", 200000, "operations per goroutine")
+	window := flag.Int("window", 4, "in-flight futures per goroutine")
+	flag.Parse()
+
+	const threads = 4
+	const keyMax = 1 << 24
+
+	setup := func() *core.Hybrid {
+		h := core.New(core.Config{Partitions: 8, KeyMax: keyMax, MailboxDepth: 256})
+		for k := uint64(1); k <= 100000; k++ {
+			h.Put(k, k)
+		}
+		return h
+	}
+
+	bench := func(name string, worker func(h *core.Hybrid, th int)) {
+		h := setup()
+		defer h.Close()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for th := 0; th < threads; th++ {
+			th := th
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker(h, th)
+			}()
+		}
+		wg.Wait()
+		el := time.Since(start)
+		total := float64(threads * *ops)
+		fmt.Printf("%-14s %10.0f ops/s\n", name, total/el.Seconds())
+	}
+
+	bench("blocking", func(h *core.Hybrid, th int) {
+		rng := prng.New(uint64(th) + 1)
+		for i := 0; i < *ops; i++ {
+			h.Get(uint64(rng.Intn(100000)) + 1)
+		}
+	})
+
+	bench("non-blocking", func(h *core.Hybrid, th int) {
+		rng := prng.New(uint64(th) + 1)
+		futs := make([]*core.Future, 0, *window)
+		issued, completed := 0, 0
+		for completed < *ops {
+			if issued < *ops && len(futs) < *window {
+				futs = append(futs, h.Async(core.OpGet, uint64(rng.Intn(100000))+1, 0))
+				issued++
+				continue
+			}
+			futs[0].Wait()
+			futs = futs[1:]
+			completed++
+		}
+	})
+}

@@ -1,0 +1,53 @@
+// Quickstart: the native hybrid map from internal/core.
+//
+// The paper's programming model on plain hardware: a partitioned ordered
+// map where each partition is owned by a combiner goroutine (the software
+// stand-in for an NMP core), with blocking and non-blocking (future-based)
+// calls.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hybrids/internal/core"
+)
+
+func main() {
+	h := core.New(core.Config{
+		Partitions: 8,
+		KeyMax:     1 << 20,
+	})
+	defer h.Close()
+
+	// Blocking calls: ordinary map operations.
+	for k := uint64(1); k <= 10; k++ {
+		h.Put(k*100, k)
+	}
+	if v, ok := h.Get(500); ok {
+		fmt.Printf("key 500 -> %d\n", v)
+	}
+	h.Update(500, 42)
+	h.Delete(300)
+
+	// Non-blocking calls (§3.5): pipeline a window of operations and
+	// harvest the futures later.
+	futs := make([]*core.Future, 0, 4)
+	for k := uint64(11); k <= 14; k++ {
+		futs = append(futs, h.Async(core.OpPut, k*100, k))
+	}
+	for i, f := range futs {
+		if _, ok := f.Wait(); !ok {
+			fmt.Printf("pipelined put %d failed\n", i)
+		}
+	}
+
+	fmt.Printf("map holds %d keys\n", h.Len())
+	if v, ok := h.Get(500); ok {
+		fmt.Printf("key 500 -> %d after update\n", v)
+	}
+	if _, ok := h.Get(300); !ok {
+		fmt.Println("key 300 deleted")
+	}
+}

@@ -1,0 +1,3 @@
+module hybrids
+
+go 1.22

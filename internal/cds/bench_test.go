@@ -1,0 +1,99 @@
+package cds
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hybrids/internal/prng"
+)
+
+// Native micro-benchmarks for the non-simulated structures: these measure
+// real hardware, complementing the simulated-machine experiments at the
+// repository root.
+
+func BenchmarkSkipListGet(b *testing.B) {
+	s := NewSkipList(20)
+	const n = 1 << 16
+	for i := uint64(1); i <= n; i++ {
+		s.Insert(i, i)
+	}
+	rng := prng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(uint64(rng.Intn(n)) + 1)
+	}
+}
+
+func BenchmarkSkipListInsertDelete(b *testing.B) {
+	s := NewSkipList(20)
+	rng := prng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(rng.Intn(1<<16)) + 1
+		if !s.Insert(k, k) {
+			s.Delete(k)
+		}
+	}
+}
+
+func BenchmarkSkipListGetParallel(b *testing.B) {
+	s := NewSkipList(20)
+	const n = 1 << 16
+	for i := uint64(1); i <= n; i++ {
+		s.Insert(i, i)
+	}
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := prng.New(seed.Add(1))
+		for pb.Next() {
+			s.Get(uint64(rng.Intn(n)) + 1)
+		}
+	})
+}
+
+func BenchmarkSkipListMixedParallel(b *testing.B) {
+	s := NewSkipList(20)
+	const n = 1 << 16
+	for i := uint64(1); i <= n; i++ {
+		s.Insert(i, i)
+	}
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := prng.New(seed.Add(1))
+		for pb.Next() {
+			k := uint64(rng.Intn(n)) + 1
+			switch rng.Intn(10) {
+			case 0:
+				s.Insert(k, k)
+			case 1:
+				s.Delete(k)
+			default:
+				s.Get(k)
+			}
+		}
+	})
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	t := NewBTree()
+	const n = 1 << 16
+	for i := uint64(1); i <= n; i++ {
+		t.Put(i, i)
+	}
+	rng := prng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Get(uint64(rng.Intn(n)) + 1)
+	}
+}
+
+func BenchmarkBTreePut(b *testing.B) {
+	t := NewBTree()
+	rng := prng.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Put(rng.Next()>>1+1, 1)
+	}
+}

@@ -1,0 +1,291 @@
+package cds
+
+import "fmt"
+
+// BTree is a single-threaded in-memory B+ tree with the paper's node
+// geometry (up to 14 key-value pairs per leaf, 15 children per inner node,
+// ~one cache block per node) and relaxed deletion (leaves may underflow;
+// nodes are never merged). It is the partition-owned store used by the
+// native hybrid runtime, where one combiner goroutine owns each partition,
+// and is also usable standalone as an ordered map.
+type BTree struct {
+	root   *bNode
+	height int
+	length int
+}
+
+// Node geometry mirroring the simulated trees.
+const (
+	btLeafMax  = 14
+	btInnerMax = 15
+)
+
+type bNode struct {
+	leaf bool
+	n    int // leaf: key-value pairs; inner: children
+	keys [btInnerMax - 1]uint64
+	vals [btLeafMax]uint64
+	kids [btInnerMax]*bNode
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &bNode{leaf: true}, height: 1}
+}
+
+// Len returns the number of stored pairs.
+func (t *BTree) Len() int { return t.length }
+
+// Height returns the number of levels.
+func (t *BTree) Height() int { return t.height }
+
+// childIdx returns the child covering key: child i covers keys <= keys[i].
+func (n *bNode) childIdx(key uint64) int {
+	i := 0
+	for i < n.n-1 && key > n.keys[i] {
+		i++
+	}
+	return i
+}
+
+// leafSlot returns key's slot in a leaf, or -1.
+func (n *bNode) leafSlot(key uint64) int {
+	for i := 0; i < n.n; i++ {
+		if n.keys[i] == key {
+			return i
+		}
+		if n.keys[i] > key {
+			return -1
+		}
+	}
+	return -1
+}
+
+func (t *BTree) descend(key uint64) (leaf *bNode, path []*bNode, idxs []int) {
+	curr := t.root
+	for !curr.leaf {
+		i := curr.childIdx(key)
+		path = append(path, curr)
+		idxs = append(idxs, i)
+		curr = curr.kids[i]
+	}
+	return curr, path, idxs
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key uint64) (uint64, bool) {
+	leaf, _, _ := t.descend(key)
+	if i := leaf.leafSlot(key); i >= 0 {
+		return leaf.vals[i], true
+	}
+	return 0, false
+}
+
+// Update overwrites the value of an existing key, returning false if
+// absent.
+func (t *BTree) Update(key, value uint64) bool {
+	leaf, _, _ := t.descend(key)
+	if i := leaf.leafSlot(key); i >= 0 {
+		leaf.vals[i] = value
+		return true
+	}
+	return false
+}
+
+// Put inserts key -> value, returning false (without modifying the tree)
+// when the key already exists.
+func (t *BTree) Put(key, value uint64) bool {
+	leaf, path, idxs := t.descend(key)
+	if leaf.leafSlot(key) >= 0 {
+		return false
+	}
+	t.length++
+	if leaf.n < btLeafMax {
+		leaf.insertKV(key, value)
+		return true
+	}
+	right, divider := leaf.splitLeafInsert(key, value)
+	t.insertUp(path, idxs, divider, right)
+	return true
+}
+
+func (n *bNode) insertKV(key, value uint64) {
+	pos := 0
+	for pos < n.n && n.keys[pos] < key {
+		pos++
+	}
+	copy(n.keys[pos+1:n.n+1], n.keys[pos:n.n])
+	copy(n.vals[pos+1:n.n+1], n.vals[pos:n.n])
+	n.keys[pos] = key
+	n.vals[pos] = value
+	n.n++
+}
+
+func (n *bNode) splitLeafInsert(key, value uint64) (right *bNode, divider uint64) {
+	var keys [btLeafMax + 1]uint64
+	var vals [btLeafMax + 1]uint64
+	pos := 0
+	for pos < n.n && n.keys[pos] < key {
+		pos++
+	}
+	copy(keys[:pos], n.keys[:pos])
+	copy(vals[:pos], n.vals[:pos])
+	keys[pos], vals[pos] = key, value
+	copy(keys[pos+1:], n.keys[pos:n.n])
+	copy(vals[pos+1:], n.vals[pos:n.n])
+	total := n.n + 1
+	leftN := (total + 1) / 2
+	right = &bNode{leaf: true, n: total - leftN}
+	copy(right.keys[:right.n], keys[leftN:total])
+	copy(right.vals[:right.n], vals[leftN:total])
+	n.n = leftN
+	copy(n.keys[:leftN], keys[:leftN])
+	copy(n.vals[:leftN], vals[:leftN])
+	return right, keys[leftN-1]
+}
+
+// insertUp inserts (divider, right) into the parents recorded on path,
+// splitting upward and growing the root as needed.
+func (t *BTree) insertUp(path []*bNode, idxs []int, divider uint64, right *bNode) {
+	for level := len(path) - 1; level >= 0; level-- {
+		node, idx := path[level], idxs[level]
+		if node.n < btInnerMax {
+			copy(node.keys[idx+1:node.n], node.keys[idx:node.n-1])
+			copy(node.kids[idx+2:node.n+1], node.kids[idx+1:node.n])
+			node.keys[idx] = divider
+			node.kids[idx+1] = right
+			node.n++
+			return
+		}
+		divider, right = node.splitInnerInsert(idx, divider, right)
+	}
+	newRoot := &bNode{n: 2}
+	newRoot.kids[0] = t.root
+	newRoot.kids[1] = right
+	newRoot.keys[0] = divider
+	t.root = newRoot
+	t.height++
+}
+
+func (n *bNode) splitInnerInsert(idx int, d uint64, child *bNode) (uint64, *bNode) {
+	var keys [btInnerMax]uint64
+	var kids [btInnerMax + 1]*bNode
+	copy(keys[:idx], n.keys[:idx])
+	keys[idx] = d
+	copy(keys[idx+1:], n.keys[idx:n.n-1])
+	copy(kids[:idx+1], n.kids[:idx+1])
+	kids[idx+1] = child
+	copy(kids[idx+2:], n.kids[idx+1:n.n])
+	totalKids := n.n + 1
+	leftN := (totalKids + 1) / 2
+	divider := keys[leftN-1]
+	right := &bNode{n: totalKids - leftN}
+	copy(right.kids[:right.n], kids[leftN:totalKids])
+	copy(right.keys[:right.n-1], keys[leftN:totalKids-1])
+	n.n = leftN
+	copy(n.kids[:leftN], kids[:leftN])
+	copy(n.keys[:leftN-1], keys[:leftN-1])
+	// Clear stale tails so dangling references do not pin memory.
+	for i := leftN; i < btInnerMax; i++ {
+		n.kids[i] = nil
+	}
+	return divider, right
+}
+
+// Delete removes key, returning false if absent. Leaves may underflow
+// (relaxed invariant) and are never merged.
+func (t *BTree) Delete(key uint64) bool {
+	leaf, _, _ := t.descend(key)
+	i := leaf.leafSlot(key)
+	if i < 0 {
+		return false
+	}
+	copy(leaf.keys[i:leaf.n-1], leaf.keys[i+1:leaf.n])
+	copy(leaf.vals[i:leaf.n-1], leaf.vals[i+1:leaf.n])
+	leaf.n--
+	t.length--
+	return true
+}
+
+// Ascend calls fn for each pair with key >= from in ascending order until
+// fn returns false.
+func (t *BTree) Ascend(from uint64, fn func(key, value uint64) bool) {
+	t.ascend(t.root, from, fn)
+}
+
+func (t *BTree) ascend(n *bNode, from uint64, fn func(uint64, uint64) bool) bool {
+	if n.leaf {
+		for i := 0; i < n.n; i++ {
+			if n.keys[i] >= from {
+				if !fn(n.keys[i], n.vals[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	start := n.childIdx(from)
+	for i := start; i < n.n; i++ {
+		if !t.ascend(n.kids[i], from, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariants validates structural invariants (for tests): sorted keys,
+// bounded occupancy, consistent depth, and divider bounds.
+func (t *BTree) CheckInvariants() error {
+	count := 0
+	err := t.check(t.root, t.height-1, 0, ^uint64(0), &count)
+	if err != nil {
+		return err
+	}
+	if count != t.length {
+		return errf("length %d but %d pairs found", t.length, count)
+	}
+	return nil
+}
+
+func (t *BTree) check(n *bNode, depth int, lo, hi uint64, count *int) error {
+	if n.leaf {
+		if depth != 0 {
+			return errf("leaf at depth %d", depth)
+		}
+		if n.n > btLeafMax {
+			return errf("leaf overfull")
+		}
+		prev := lo
+		for i := 0; i < n.n; i++ {
+			k := n.keys[i]
+			if k <= prev {
+				return errf("leaf keys not increasing: %d after %d", k, prev)
+			}
+			if k <= lo || k > hi {
+				return errf("leaf key %d outside (%d,%d]", k, lo, hi)
+			}
+			prev = k
+			*count++
+		}
+		return nil
+	}
+	if n.n < 1 || n.n > btInnerMax {
+		return errf("inner node with %d children", n.n)
+	}
+	childLo := lo
+	for i := 0; i < n.n; i++ {
+		childHi := hi
+		if i < n.n-1 {
+			childHi = n.keys[i]
+		}
+		if err := t.check(n.kids[i], depth-1, childLo, childHi, count); err != nil {
+			return err
+		}
+		childLo = childHi
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("cds: "+format, args...)
+}

@@ -1,0 +1,272 @@
+// Package cds provides native (non-simulated) concurrent data structures
+// used by the hybrid runtime in internal/core and usable standalone: a
+// lock-free skiplist in the Herlihy-Lev-Shavit style and a single-threaded
+// B+ tree suitable as a partition-owned store.
+package cds
+
+import "sync/atomic"
+
+// MaxHeight bounds skiplist towers; 2^32 elements need no more.
+const MaxHeight = 32
+
+// succ pairs a successor pointer with the logical-deletion mark, so mark
+// and pointer change together under a single CAS (the Go equivalent of a
+// mark bit stolen from the pointer).
+type succ struct {
+	next   *slNode
+	marked bool
+}
+
+type slNode struct {
+	key    uint64
+	value  atomic.Uint64
+	height int
+	next   []atomic.Pointer[succ]
+}
+
+func newSLNode(key, value uint64, height int) *slNode {
+	n := &slNode{key: key, height: height, next: make([]atomic.Pointer[succ], height)}
+	n.value.Store(value)
+	return n
+}
+
+// SkipList is a lock-free concurrent ordered map from uint64 keys to
+// uint64 values. All methods are safe for concurrent use. Deleted nodes
+// are unlinked cooperatively and reclaimed by the garbage collector.
+type SkipList struct {
+	head   *slNode
+	tail   *slNode
+	levels int
+	length atomic.Int64
+	seed   atomic.Uint64
+}
+
+// NewSkipList creates an empty skiplist with the given level count
+// (typically log2 of the expected size; values outside [1, MaxHeight] are
+// clamped).
+func NewSkipList(levels int) *SkipList {
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > MaxHeight {
+		levels = MaxHeight
+	}
+	s := &SkipList{levels: levels}
+	s.tail = newSLNode(^uint64(0), 0, levels)
+	s.head = newSLNode(0, 0, levels)
+	for i := 0; i < levels; i++ {
+		s.tail.next[i].Store(&succ{}) // terminal, never followed
+		s.head.next[i].Store(&succ{next: s.tail})
+	}
+	s.seed.Store(0x9e3779b97f4a7c15)
+	return s
+}
+
+// Len returns the number of live keys.
+func (s *SkipList) Len() int { return int(s.length.Load()) }
+
+func (s *SkipList) randomHeight() int {
+	// A tiny lock-free xorshift; contention on the seed is harmless
+	// (lost updates only skew the stream, not the distribution).
+	x := s.seed.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.seed.Store(x)
+	h := 1
+	for h < s.levels && x&1 == 1 {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// find locates key, filling preds/succs and snipping marked nodes.
+func (s *SkipList) find(key uint64, preds, succs []*slNode) bool {
+retry:
+	for {
+		pred := s.head
+		for level := s.levels - 1; level >= 0; level-- {
+			curr := pred.next[level].Load().next
+			for {
+				sc := curr.next[level].Load()
+				for sc.marked {
+					// curr is logically deleted: snip it out;
+					// restart from the head on interference.
+					if !s.snip(pred, curr, sc.next, level) {
+						continue retry
+					}
+					curr = pred.next[level].Load().next
+					sc = curr.next[level].Load()
+				}
+				if curr.key < key {
+					pred = curr
+					curr = sc.next
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return succs[0].key == key
+	}
+}
+
+// snip CASes pred.next[level] from curr to next, provided pred's link is
+// unmarked and still points at curr.
+func (s *SkipList) snip(pred, curr, next *slNode, level int) bool {
+	old := pred.next[level].Load()
+	if old.marked || old.next != curr {
+		return false
+	}
+	return pred.next[level].CompareAndSwap(old, &succ{next: next})
+}
+
+// Get returns the value stored under key.
+func (s *SkipList) Get(key uint64) (uint64, bool) {
+	pred := s.head
+	var curr *slNode
+	for level := s.levels - 1; level >= 0; level-- {
+		curr = pred.next[level].Load().next
+		for {
+			sc := curr.next[level].Load()
+			for sc.marked {
+				curr = sc.next
+				sc = curr.next[level].Load()
+			}
+			if curr.key < key {
+				pred = curr
+				curr = sc.next
+			} else {
+				break
+			}
+		}
+	}
+	if curr.key == key {
+		return curr.value.Load(), true
+	}
+	return 0, false
+}
+
+// Insert adds key -> value; it returns false (without modifying the map)
+// when the key is already present.
+func (s *SkipList) Insert(key, value uint64) bool {
+	if key == 0 || key == ^uint64(0) {
+		panic("cds: keys 0 and MaxUint64 are reserved sentinels")
+	}
+	preds := make([]*slNode, s.levels)
+	succs := make([]*slNode, s.levels)
+	for {
+		if s.find(key, preds, succs) {
+			return false
+		}
+		h := s.randomHeight()
+		node := newSLNode(key, value, h)
+		for l := 0; l < h; l++ {
+			node.next[l].Store(&succ{next: succs[l]})
+		}
+		// Bottom-level link is the linearization point.
+		if !preds[0].next[0].CompareAndSwap(unmarkedTo(preds[0], 0, succs[0]), &succ{next: node}) {
+			continue
+		}
+		s.length.Add(1)
+		s.linkUpper(node, key, h, preds, succs)
+		return true
+	}
+}
+
+// unmarkedTo returns pred's current succ at level if it is the unmarked
+// link to want, else a sentinel that can never match.
+func unmarkedTo(pred *slNode, level int, want *slNode) *succ {
+	sc := pred.next[level].Load()
+	if !sc.marked && sc.next == want {
+		return sc
+	}
+	return &succ{} // fresh pointer: CAS will fail
+}
+
+func (s *SkipList) linkUpper(node *slNode, key uint64, h int, preds, succs []*slNode) {
+	for l := 1; l < h; l++ {
+		for {
+			raw := node.next[l].Load()
+			if raw.marked {
+				return // concurrently removed
+			}
+			if raw.next != succs[l] {
+				if !node.next[l].CompareAndSwap(raw, &succ{next: succs[l]}) {
+					continue
+				}
+			}
+			if preds[l].next[l].CompareAndSwap(unmarkedTo(preds[l], l, succs[l]), &succ{next: node}) {
+				break
+			}
+			if !s.find(key, preds, succs) {
+				return
+			}
+			if succs[0] != node {
+				return
+			}
+		}
+	}
+}
+
+// Update stores value under an existing key, returning false if absent.
+func (s *SkipList) Update(key, value uint64) bool {
+	preds := make([]*slNode, s.levels)
+	succs := make([]*slNode, s.levels)
+	if !s.find(key, preds, succs) {
+		return false
+	}
+	succs[0].value.Store(value)
+	return true
+}
+
+// Delete removes key, returning false if absent or if a concurrent Delete
+// won the removal.
+func (s *SkipList) Delete(key uint64) bool {
+	preds := make([]*slNode, s.levels)
+	succs := make([]*slNode, s.levels)
+	if !s.find(key, preds, succs) {
+		return false
+	}
+	node := succs[0]
+	// Mark upper levels top-down.
+	for l := node.height - 1; l >= 1; l-- {
+		sc := node.next[l].Load()
+		for !sc.marked {
+			node.next[l].CompareAndSwap(sc, &succ{next: sc.next, marked: true})
+			sc = node.next[l].Load()
+		}
+	}
+	// Bottom-level mark is the linearization point.
+	for {
+		sc := node.next[0].Load()
+		if sc.marked {
+			return false
+		}
+		if node.next[0].CompareAndSwap(sc, &succ{next: sc.next, marked: true}) {
+			s.length.Add(-1)
+			s.find(key, preds, succs) // physical cleanup
+			return true
+		}
+	}
+}
+
+// Ascend calls fn for each live key >= from in ascending order until fn
+// returns false. It is a weakly consistent snapshot-free iteration.
+func (s *SkipList) Ascend(from uint64, fn func(key, value uint64) bool) {
+	preds := make([]*slNode, s.levels)
+	succs := make([]*slNode, s.levels)
+	s.find(from, preds, succs)
+	curr := succs[0]
+	for curr != s.tail {
+		sc := curr.next[0].Load()
+		if !sc.marked {
+			if !fn(curr.key, curr.value.Load()) {
+				return
+			}
+		}
+		curr = sc.next
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hybrids/internal/prng"
+)
+
+func benchMap(b *testing.B, parts int) *Hybrid {
+	b.Helper()
+	h := New(Config{Partitions: parts, KeyMax: 1 << 24, MailboxDepth: 256})
+	for i := uint64(1); i <= 1<<16; i++ {
+		h.Put(i, i)
+	}
+	b.Cleanup(h.Close)
+	return h
+}
+
+func BenchmarkHybridGetBlocking(b *testing.B) {
+	h := benchMap(b, 8)
+	rng := prng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Get(uint64(rng.Intn(1<<16)) + 1)
+	}
+}
+
+func BenchmarkHybridGetPipelined4(b *testing.B) {
+	h := benchMap(b, 8)
+	rng := prng.New(2)
+	b.ResetTimer()
+	futs := make([]*Future, 0, 4)
+	for i := 0; i < b.N; i++ {
+		if len(futs) == 4 {
+			futs[0].Wait()
+			futs = futs[1:]
+		}
+		futs = append(futs, h.Async(OpGet, uint64(rng.Intn(1<<16))+1, 0))
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+}
+
+func BenchmarkHybridGetParallel(b *testing.B) {
+	h := benchMap(b, 8)
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := prng.New(seed.Add(1))
+		for pb.Next() {
+			h.Get(uint64(rng.Intn(1<<16)) + 1)
+		}
+	})
+}

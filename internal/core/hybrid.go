@@ -1,0 +1,229 @@
+// Package core realizes the HybriDS programming model on real hardware:
+// a concurrent ordered map split into a host-managed routing layer and a
+// set of partition-owned stores, each served by a dedicated combiner
+// goroutine — the software stand-in for the paper's per-partition NMP
+// cores. Requests are published to a partition's mailbox (the publication
+// list), the combiner applies them one at a time against its
+// single-threaded store (flat combining), and callers either wait
+// (blocking NMP calls) or hold multiple calls in flight (non-blocking NMP
+// calls, §3.5) through the Future API.
+//
+// On a machine with actual near-memory hardware, the combiner goroutines
+// are replaced by NMP cores and the mailboxes by memory-mapped publication
+// lists; the simulated version of exactly that system lives in
+// internal/dsim.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"hybrids/internal/cds"
+)
+
+// Store is a single-threaded ordered map owned by one partition. The
+// combiner goroutine is its only user after the hybrid map starts.
+// cds.BTree implements it; any ordered map can be plugged in.
+type Store interface {
+	Get(key uint64) (uint64, bool)
+	Put(key, value uint64) bool
+	Update(key, value uint64) bool
+	Delete(key uint64) bool
+	Len() int
+}
+
+// Config parameterizes a hybrid map.
+type Config struct {
+	// Partitions is the number of partition stores and combiner
+	// goroutines (the paper uses 8 NMP vaults).
+	Partitions int
+	// KeyMax bounds the key space; keys are 1..KeyMax-1 and partitions
+	// own equal ranges.
+	KeyMax uint64
+	// MailboxDepth is each partition's request queue capacity — the
+	// aggregate in-flight budget across callers.
+	MailboxDepth int
+	// NewStore builds each partition's store; nil defaults to cds.NewBTree.
+	NewStore func(partition int) Store
+}
+
+// Op identifies a request type.
+type Op uint8
+
+// Request operations.
+const (
+	OpGet Op = iota
+	OpPut
+	OpUpdate
+	OpDelete
+
+	opLen Op = 255 // internal barrier: read the store size in-order
+)
+
+type request struct {
+	op    Op
+	key   uint64
+	value uint64
+	fut   *Future
+}
+
+// Future is a non-blocking call handle (§3.5's operation ID): Wait blocks
+// until the combiner has applied the operation and returns its results.
+type Future struct {
+	done  chan struct{}
+	value uint64
+	ok    bool
+}
+
+// Wait blocks until completion and returns the read value (Get) and the
+// operation's success flag.
+func (f *Future) Wait() (uint64, bool) {
+	<-f.done
+	return f.value, f.ok
+}
+
+// TryWait reports completion without blocking; when done it returns the
+// results, matching the paper's "separate function that takes the
+// operation ID ... to check on the operation's status".
+func (f *Future) TryWait() (value uint64, ok, done bool) {
+	select {
+	case <-f.done:
+		return f.value, f.ok, true
+	default:
+		return 0, false, false
+	}
+}
+
+// Hybrid is a concurrent ordered map with partition-per-combiner
+// parallelism. All exported methods are safe for concurrent use.
+type Hybrid struct {
+	cfg    Config
+	parts  []*partition
+	span   uint64
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type partition struct {
+	store Store
+	reqs  chan request
+}
+
+// New creates and starts a hybrid map.
+func New(cfg Config) *Hybrid {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 8
+	}
+	if cfg.KeyMax == 0 {
+		cfg.KeyMax = 1 << 62
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 64
+	}
+	if cfg.NewStore == nil {
+		cfg.NewStore = func(int) Store { return cds.NewBTree() }
+	}
+	h := &Hybrid{
+		cfg:    cfg,
+		span:   (cfg.KeyMax + uint64(cfg.Partitions) - 1) / uint64(cfg.Partitions),
+		closed: make(chan struct{}),
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		part := &partition{
+			store: cfg.NewStore(p),
+			reqs:  make(chan request, cfg.MailboxDepth),
+		}
+		h.parts = append(h.parts, part)
+		h.wg.Add(1)
+		go h.combine(part)
+	}
+	return h
+}
+
+// combine is the partition's combiner loop: the software NMP core.
+func (h *Hybrid) combine(p *partition) {
+	defer h.wg.Done()
+	for req := range p.reqs {
+		switch req.op {
+		case OpGet:
+			req.fut.value, req.fut.ok = p.store.Get(req.key)
+		case OpPut:
+			req.fut.ok = p.store.Put(req.key, req.value)
+		case OpUpdate:
+			req.fut.ok = p.store.Update(req.key, req.value)
+		case OpDelete:
+			req.fut.ok = p.store.Delete(req.key)
+		case opLen:
+			req.fut.value, req.fut.ok = uint64(p.store.Len()), true
+		}
+		close(req.fut.done)
+	}
+}
+
+// Close shuts the combiners down after all published requests drain.
+// The map must not be used after Close.
+func (h *Hybrid) Close() {
+	select {
+	case <-h.closed:
+		return
+	default:
+		close(h.closed)
+	}
+	for _, p := range h.parts {
+		close(p.reqs)
+	}
+	h.wg.Wait()
+}
+
+// Partition returns the partition owning key.
+func (h *Hybrid) Partition(key uint64) int {
+	if key == 0 || key >= h.cfg.KeyMax {
+		panic(fmt.Sprintf("core: key %d outside key space [1,%d)", key, h.cfg.KeyMax))
+	}
+	return int(key / h.span)
+}
+
+// Async publishes an operation and returns its Future immediately (a
+// non-blocking NMP call). Callers pipeline by holding several futures.
+func (h *Hybrid) Async(op Op, key, value uint64) *Future {
+	fut := &Future{done: make(chan struct{})}
+	h.parts[h.Partition(key)].reqs <- request{op: op, key: key, value: value, fut: fut}
+	return fut
+}
+
+// Get returns the value stored under key (blocking call).
+func (h *Hybrid) Get(key uint64) (uint64, bool) {
+	return h.Async(OpGet, key, 0).Wait()
+}
+
+// Put inserts key -> value, returning false if the key exists.
+func (h *Hybrid) Put(key, value uint64) bool {
+	_, ok := h.Async(OpPut, key, value).Wait()
+	return ok
+}
+
+// Update overwrites an existing key's value, returning false if absent.
+func (h *Hybrid) Update(key, value uint64) bool {
+	_, ok := h.Async(OpUpdate, key, value).Wait()
+	return ok
+}
+
+// Delete removes key, returning false if absent.
+func (h *Hybrid) Delete(key uint64) bool {
+	_, ok := h.Async(OpDelete, key, 0).Wait()
+	return ok
+}
+
+// Len sums the partition store sizes. Each partition's count is read by
+// its combiner in request order, so the result is a per-partition
+// linearizable size (exact at quiescence).
+func (h *Hybrid) Len() int {
+	total := 0
+	for _, p := range h.parts {
+		fut := &Future{done: make(chan struct{})}
+		p.reqs <- request{op: opLen, fut: fut}
+		n, _ := fut.Wait()
+		total += int(n)
+	}
+	return total
+}

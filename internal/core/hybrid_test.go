@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hybrids/internal/cds"
+	"hybrids/internal/prng"
+)
+
+func newTest(parts int) *Hybrid {
+	return New(Config{Partitions: parts, KeyMax: 1 << 20, MailboxDepth: 32})
+}
+
+func TestHybridBasicOps(t *testing.T) {
+	h := newTest(4)
+	defer h.Close()
+	if !h.Put(10, 100) || h.Put(10, 200) {
+		t.Fatal("Put semantics wrong")
+	}
+	if v, ok := h.Get(10); !ok || v != 100 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if !h.Update(10, 300) || h.Update(11, 1) {
+		t.Fatal("Update semantics wrong")
+	}
+	if v, _ := h.Get(10); v != 300 {
+		t.Fatal("update not applied")
+	}
+	if !h.Delete(10) || h.Delete(10) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestHybridPartitionRouting(t *testing.T) {
+	h := New(Config{Partitions: 8, KeyMax: 800})
+	defer h.Close()
+	for k := uint64(1); k < 800; k += 37 {
+		p := h.Partition(k)
+		if p < 0 || p >= 8 {
+			t.Fatalf("Partition(%d) = %d", k, p)
+		}
+		if int(k/100) != p {
+			t.Fatalf("Partition(%d) = %d, want %d", k, p, k/100)
+		}
+	}
+}
+
+func TestHybridConcurrentDisjoint(t *testing.T) {
+	h := newTest(8)
+	defer h.Close()
+	const threads = 8
+	const perThread = 2000
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		th := th
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(th*perThread) + 1
+			for i := uint64(0); i < perThread; i++ {
+				if !h.Put(base+i, base+i) {
+					t.Errorf("Put(%d) failed", base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < perThread; i += 2 {
+				if !h.Delete(base + i) {
+					t.Errorf("Delete(%d) failed", base+i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Len() != threads*perThread/2 {
+		t.Fatalf("Len = %d, want %d", h.Len(), threads*perThread/2)
+	}
+}
+
+func TestHybridConcurrentContended(t *testing.T) {
+	h := newTest(4)
+	defer h.Close()
+	const threads = 8
+	wins := make([]int64, threads)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		th := th
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := prng.New(uint64(th) + 3)
+			for i := 0; i < 3000; i++ {
+				k := uint64(rng.Intn(64)) + 1
+				if rng.Intn(2) == 0 {
+					if h.Put(k, uint64(th)) {
+						wins[th]++
+					}
+				} else if h.Delete(k) {
+					wins[th]--
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	net := int64(0)
+	for _, w := range wins {
+		net += w
+	}
+	if net != int64(h.Len()) {
+		t.Fatalf("net successful puts-deletes %d != Len %d", net, h.Len())
+	}
+}
+
+func TestHybridNonBlockingPipeline(t *testing.T) {
+	// The §3.5 pattern: keep a window of futures in flight.
+	h := newTest(8)
+	defer h.Close()
+	const total = 5000
+	const window = 4
+	futs := make([]*Future, 0, window)
+	issued, completed := 0, 0
+	for completed < total {
+		if issued < total && len(futs) < window {
+			futs = append(futs, h.Async(OpPut, uint64(issued)+1, uint64(issued)))
+			issued++
+			continue
+		}
+		if _, ok := futs[0].Wait(); !ok {
+			t.Fatal("pipelined Put failed")
+		}
+		futs = futs[1:]
+		completed++
+	}
+	if h.Len() != total {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestHybridTryWait(t *testing.T) {
+	h := newTest(2)
+	defer h.Close()
+	fut := h.Async(OpPut, 5, 50)
+	for {
+		if _, ok, done := fut.TryWait(); done {
+			if !ok {
+				t.Fatal("Put failed")
+			}
+			break
+		}
+	}
+	if v, ok := h.Get(5); !ok || v != 50 {
+		t.Fatal("value missing after TryWait completion")
+	}
+}
+
+func TestHybridCustomStore(t *testing.T) {
+	built := 0
+	h := New(Config{
+		Partitions: 3, KeyMax: 300,
+		NewStore: func(p int) Store {
+			built++
+			return cds.NewBTree()
+		},
+	})
+	defer h.Close()
+	if built != 3 {
+		t.Fatalf("NewStore called %d times", built)
+	}
+	if !h.Put(42, 1) {
+		t.Fatal("Put through custom store failed")
+	}
+}
+
+func TestHybridSkipListAsStore(t *testing.T) {
+	h := New(Config{
+		Partitions: 2, KeyMax: 1 << 16,
+		NewStore: func(p int) Store { return skipStore{cds.NewSkipList(14)} },
+	})
+	defer h.Close()
+	for k := uint64(1); k <= 500; k++ {
+		if !h.Put(k, k*3) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	for k := uint64(1); k <= 500; k++ {
+		if v, ok := h.Get(k); !ok || v != k*3 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+// skipStore adapts cds.SkipList to the Store interface.
+type skipStore struct{ s *cds.SkipList }
+
+func (s skipStore) Get(k uint64) (uint64, bool) { return s.s.Get(k) }
+func (s skipStore) Put(k, v uint64) bool        { return s.s.Insert(k, v) }
+func (s skipStore) Update(k, v uint64) bool     { return s.s.Update(k, v) }
+func (s skipStore) Delete(k uint64) bool        { return s.s.Delete(k) }
+func (s skipStore) Len() int                    { return s.s.Len() }
+
+func TestHybridKeyBoundsPanic(t *testing.T) {
+	h := newTest(2)
+	defer h.Close()
+	for _, k := range []uint64{0, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("key %d did not panic", k)
+				}
+			}()
+			h.Get(k)
+		}()
+	}
+}
+
+func TestHybridCloseIdempotent(t *testing.T) {
+	h := newTest(2)
+	h.Put(1, 1)
+	h.Close()
+	h.Close() // must not panic
+}

@@ -1,0 +1,150 @@
+package btree
+
+import (
+	"hybrids/internal/radix"
+	"hybrids/internal/sim/memsys"
+)
+
+// buildHooks let the hybrid tree steer node placement during bulk build.
+type buildHooks struct {
+	// allocFor picks the allocator for node idx (0-based, in key order)
+	// of the given level.
+	allocFor func(level, idx int) *memsys.Allocator
+	// childTag returns the partition tag to OR into the pointer from a
+	// level-(childLevel+1) node to child idx of childLevel (0 when the
+	// child is host-side).
+	childTag func(childLevel, childIdx int) uint32
+}
+
+// levelCounts returns the node count of every level for n records with the
+// given fill, bottom-up, ending with a single root. A tree always has at
+// least one (possibly empty) leaf.
+func levelCounts(n, fill int) []int {
+	counts := []int{(n + fill - 1) / fill}
+	if counts[0] == 0 {
+		counts[0] = 1
+	}
+	for counts[len(counts)-1] > 1 {
+		c := counts[len(counts)-1]
+		counts = append(counts, (c+fill-1)/fill)
+	}
+	return counts
+}
+
+// bulkBuild constructs a B+ tree from pairs (sorted and deduplicated
+// internally) with `fill` entries per node, writing nodes untimed through
+// hooks. It returns the root node and tree height (number of levels).
+func bulkBuild(ram *memsys.RAM, pairs []KV, fill int, hooks buildHooks) (root uint32, height int) {
+	if fill < 2 || fill > LeafMax {
+		panic("btree: build fill must be in [2, LeafMax]")
+	}
+	sorted := append([]KV(nil), pairs...)
+	radix.SortFunc(sorted, func(p KV) uint32 { return p.Key })
+	uniq := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || p.Key != sorted[i-1].Key {
+			uniq = append(uniq, p)
+		}
+	}
+
+	// Leaves.
+	type nodeInfo struct {
+		addr    uint32
+		lastKey uint32
+	}
+	var level []nodeInfo
+	counts := levelCounts(len(uniq), fill)
+	for i := 0; i < counts[0]; i++ {
+		lo := i * fill
+		hi := lo + fill
+		if hi > len(uniq) {
+			hi = len(uniq)
+		}
+		n := buildNode(ram, hooks.allocFor(0, i), 0, hi-lo)
+		last := uint32(0)
+		for j := lo; j < hi; j++ {
+			ram.Store32(keyAddr(n, j-lo), uniq[j].Key)
+			ram.Store32(ptrAddr(n, j-lo), uniq[j].Value)
+			last = uniq[j].Key
+		}
+		level = append(level, nodeInfo{addr: n, lastKey: last})
+	}
+
+	// Inner levels.
+	for lv := 1; lv < len(counts); lv++ {
+		var next []nodeInfo
+		for i := 0; i < counts[lv]; i++ {
+			lo := i * fill
+			hi := lo + fill
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := buildNode(ram, hooks.allocFor(lv, i), lv, hi-lo)
+			for j := lo; j < hi; j++ {
+				ptr := level[j].addr | hooks.childTag(lv-1, j)
+				ram.Store32(ptrAddr(n, j-lo), ptr)
+				if j > lo {
+					// Divider between child j-1 and child j:
+					// greatest key in child j-1's subtree.
+					ram.Store32(keyAddr(n, j-lo-1), level[j-1].lastKey)
+				}
+			}
+			next = append(next, nodeInfo{addr: n, lastKey: level[hi-1].lastKey})
+		}
+		level = next
+	}
+	return level[0].addr, len(counts)
+}
+
+// hostOnlyHooks places every node in host memory with no partition tags.
+func hostOnlyHooks(alloc *memsys.Allocator) buildHooks {
+	return buildHooks{
+		allocFor: func(level, idx int) *memsys.Allocator { return alloc },
+		childTag: func(childLevel, childIdx int) uint32 { return 0 },
+	}
+}
+
+// hybridHooks places levels below nmpLevels in partition allocators and
+// tags pointers that cross the host-NMP boundary. Partition assignment is
+// by contiguous chunks of level-(nmpLevels-1) subtree roots (§3.4:
+// boundaries "chosen based on the root's grandchildren", generalized to
+// the NMP subtree roots).
+func hybridHooks(hostAlloc *memsys.Allocator, partAllocs []*memsys.Allocator,
+	nmpLevels, fill, nRecords int) buildHooks {
+	counts := levelCounts(nRecords, fill)
+	if len(counts) <= nmpLevels {
+		panic("btree: tree not taller than NMP portion; lower NMPLevels or add records")
+	}
+	nSubtrees := counts[nmpLevels-1]
+	parts := len(partAllocs)
+	// partOf maps a level-(nmpLevels-1) subtree root index to a partition.
+	partOf := func(subtree int) int {
+		p := subtree * parts / nSubtrees
+		if p >= parts {
+			p = parts - 1
+		}
+		return p
+	}
+	// subtreeOf lifts a node index at any NMP level to its subtree root
+	// index: each level groups children in consecutive chunks of fill.
+	subtreeOf := func(level, idx int) int {
+		for l := level; l < nmpLevels-1; l++ {
+			idx /= fill
+		}
+		return idx
+	}
+	return buildHooks{
+		allocFor: func(level, idx int) *memsys.Allocator {
+			if level >= nmpLevels {
+				return hostAlloc
+			}
+			return partAllocs[partOf(subtreeOf(level, idx))]
+		},
+		childTag: func(childLevel, childIdx int) uint32 {
+			if childLevel != nmpLevels-1 {
+				return 0
+			}
+			return uint32(partOf(childIdx))
+		},
+	}
+}

@@ -1,0 +1,325 @@
+package btree
+
+import (
+	"fmt"
+
+	"hybrids/internal/sim/machine"
+	"hybrids/internal/sim/memsys"
+)
+
+func errf(format string, args ...any) error { return fmt.Errorf("btree: "+format, args...) }
+
+// hostCore implements the sequence-lock B+ tree machinery shared by the
+// host-only baseline and the host-managed portion of the hybrid tree
+// (Listing 4). Nodes are protected by per-node sequence numbers: writers
+// lock by CAS-ing the recorded (even) number to odd and unlock by a second
+// increment; traversals record numbers and restart when validation fails.
+// The root pointer and height live in a header block with its own
+// sequence lock so root splits are safe.
+type hostCore struct {
+	m      *machine.Machine
+	alloc  *memsys.Allocator
+	header uint32
+	// bottom is the lowest host-managed level: 0 for the host-only tree,
+	// the NMP level count for the hybrid tree.
+	bottom int
+}
+
+func newHostCore(m *machine.Machine, bottom int) *hostCore {
+	t := &hostCore{m: m, alloc: m.Mem.HostAlloc, bottom: bottom}
+	t.header = uint32(t.alloc.Alloc(NodeBytes, NodeBytes))
+	return t
+}
+
+// setRoot installs the built tree (untimed, load phase).
+func (t *hostCore) setRoot(root uint32, height int) {
+	ram := t.m.Mem.RAM
+	ram.Store32(memsys.Addr(t.header)+hdrSeq, 0)
+	ram.Store32(memsys.Addr(t.header)+hdrHeight, uint32(height))
+	ram.Store32(memsys.Addr(t.header)+hdrRoot, root)
+}
+
+func (t *hostCore) rootInfo(ram *memsys.RAM) (root uint32, height int) {
+	return ram.Load32(memsys.Addr(t.header) + hdrRoot), int(ram.Load32(memsys.Addr(t.header) + hdrHeight))
+}
+
+// waitEven spins (in virtual time) until node's sequence number is even,
+// returning it. Writers hold locks only for bounded non-blocking work, so
+// the spin always terminates.
+func (t *hostCore) waitEven(c *machine.Ctx, node uint32) uint32 {
+	for {
+		s := c.Read32(syncAddr(node))
+		if s%2 == 0 {
+			return s
+		}
+		c.Step(4)
+	}
+}
+
+// pathInfo is one traversal's record: nodes, their sequence numbers at
+// visit time, and each node's child slot toward the key (Listing 4's
+// path[] and local_seqnum[]). Entries are indexed by level; only levels
+// bottom..height-1 are populated.
+type pathInfo struct {
+	nodes []uint32
+	seqs  []uint32
+	idxs  []int // child slot chosen at each level (toward level-1)
+	hseq  uint32
+}
+
+// descend traverses from the root down to t.bottom following key,
+// validating with sequence numbers (a failed validation restarts from the
+// root; the paper climbs to the lowest unchanged ancestor, an optimization
+// with identical semantics). ok=false means the caller must retry.
+func (t *hostCore) descend(c *machine.Ctx, key uint32) (p pathInfo, ok bool) {
+	hseq := c.Read32(memsys.Addr(t.header) + hdrSeq)
+	if hseq%2 != 0 {
+		c.Step(8)
+		return p, false
+	}
+	root := c.Read32(memsys.Addr(t.header) + hdrRoot)
+	height := int(c.Read32(memsys.Addr(t.header) + hdrHeight))
+	if c.Read32(memsys.Addr(t.header)+hdrSeq) != hseq {
+		return p, false
+	}
+	p = pathInfo{
+		nodes: make([]uint32, height),
+		seqs:  make([]uint32, height),
+		idxs:  make([]int, height),
+		hseq:  hseq,
+	}
+	level := height - 1
+	curr := root
+	currSeq := t.waitEven(c, curr)
+	p.nodes[level], p.seqs[level] = curr, currSeq
+	for level > t.bottom {
+		slots := metaSlots(c.Read32(metaAddr(curr)))
+		idx := findChildIdx(c, curr, slots, key)
+		child := c.Read32(ptrAddr(curr, idx))
+		childSeq := t.waitEven(c, child)
+		if c.Read32(syncAddr(curr)) != currSeq {
+			return p, false
+		}
+		p.idxs[level] = idx
+		level--
+		curr, currSeq = child, childSeq
+		p.nodes[level], p.seqs[level] = curr, currSeq
+	}
+	return p, true
+}
+
+// childOf re-derives the child pointer below the bottom node (the hybrid
+// tree's begin-NMP-traversal pointer) and validates the node was unchanged.
+func (t *hostCore) childOf(c *machine.Ctx, p *pathInfo, key uint32) (ptr uint32, idx int, ok bool) {
+	node := p.nodes[t.bottom]
+	slots := metaSlots(c.Read32(metaAddr(node)))
+	idx = findChildIdx(c, node, slots, key)
+	ptr = c.Read32(ptrAddr(node, idx))
+	if c.Read32(syncAddr(node)) != p.seqs[t.bottom] {
+		return 0, 0, false
+	}
+	p.idxs[t.bottom] = idx
+	return ptr, idx, true
+}
+
+// lockSet tracks every node locked (odd seqnum) by an operation, plus
+// whether the header is locked, so unlock() can release them all.
+type lockSet struct {
+	nodes     []uint32
+	hdrLocked bool
+}
+
+// lockPath locks path nodes bottom-up from t.bottom until the first
+// non-full node (Listing 4 lines 26-35). Each lock is a CAS from the
+// recorded sequence number, so it doubles as validation. When every path
+// node is full it also locks the header (root split). On failure
+// everything already locked is released and ok=false.
+func (t *hostCore) lockPath(c *machine.Ctx, p *pathInfo) (ls lockSet, top int, ok bool) {
+	height := len(p.nodes)
+	for l := t.bottom; l < height; l++ {
+		if !c.CAS32(syncAddr(p.nodes[l]), p.seqs[l], p.seqs[l]+1) {
+			t.unlock(c, ls)
+			return lockSet{}, 0, false
+		}
+		ls.nodes = append(ls.nodes, p.nodes[l])
+		maxSlots := InnerMax
+		if l == 0 {
+			maxSlots = LeafMax
+		}
+		if metaSlots(c.Read32(metaAddr(p.nodes[l]))) < maxSlots {
+			return ls, l, true
+		}
+	}
+	if !c.CAS32(memsys.Addr(t.header)+hdrSeq, p.hseq, p.hseq+1) {
+		t.unlock(c, ls)
+		return lockSet{}, 0, false
+	}
+	ls.hdrLocked = true
+	return ls, height, true
+}
+
+// unlock releases every lock by a second increment (never by rollback:
+// rolled-back numbers could ABA against concurrent validations).
+func (t *hostCore) unlock(c *machine.Ctx, ls lockSet) {
+	for _, n := range ls.nodes {
+		c.AtomicAdd32(syncAddr(n), 1)
+	}
+	if ls.hdrLocked {
+		c.AtomicAdd32(memsys.Addr(t.header)+hdrSeq, 1)
+	}
+}
+
+// insertChain inserts the entry (key, child-pointer) into the locked inner
+// node at startLevel, splitting upward as needed; every node it touches is
+// already in ls (lockPath locked through the first non-full node, or the
+// header for a root split). Newly split-off siblings are added to ls.
+func (t *hostCore) insertChain(c *machine.Ctx, p *pathInfo, startLevel int, key, ptr uint32, ls *lockSet) {
+	entKey, entPtr := key, ptr
+	level := startLevel
+	for {
+		if level == len(p.nodes) {
+			// Root split: grow the tree under the header lock.
+			oldRoot := p.nodes[level-1]
+			newRoot := allocNode(c, t.alloc, level, 2, 0)
+			c.Write32(ptrAddr(newRoot, 0), oldRoot)
+			c.Write32(ptrAddr(newRoot, 1), entPtr)
+			c.Write32(keyAddr(newRoot, 0), entKey)
+			c.Write32(memsys.Addr(t.header)+hdrRoot, newRoot)
+			c.Write32(memsys.Addr(t.header)+hdrHeight, uint32(level+1))
+			return
+		}
+		node := p.nodes[level]
+		idx := p.idxs[level]
+		if metaSlots(c.Read32(metaAddr(node))) < InnerMax {
+			innerInsertAt(c, node, idx, entKey, entPtr)
+			return
+		}
+		right, div := splitInnerInsert(c, t.alloc, node, idx, entKey, entPtr)
+		ls.nodes = append(ls.nodes, right)
+		entKey, entPtr = div, right
+		level++
+	}
+}
+
+// innerInsertAt inserts divider d and right-child ptr after child slot idx
+// of a non-full inner node: d lands at key slot idx, ptr at child slot
+// idx+1 (timed).
+func innerInsertAt(c *machine.Ctx, node uint32, idx int, d, ptr uint32) {
+	meta := c.Read32(metaAddr(node))
+	slots := metaSlots(meta)
+	for j := slots - 1; j > idx; j-- {
+		c.Write32(ptrAddr(node, j+1), c.Read32(ptrAddr(node, j)))
+	}
+	for j := slots - 2; j >= idx; j-- {
+		c.Write32(keyAddr(node, j+1), c.Read32(keyAddr(node, j)))
+	}
+	c.Write32(keyAddr(node, idx), d)
+	c.Write32(ptrAddr(node, idx+1), ptr)
+	c.Write32(metaAddr(node), packMeta(metaLevel(meta), slots+1))
+}
+
+// splitInnerInsert splits a full inner node while inserting (d, ptr) after
+// child idx. The new right sibling inherits the original's (locked)
+// sequence word — footnote 3's replication rule — and the divider that
+// must move up is returned.
+func splitInnerInsert(c *machine.Ctx, alloc *memsys.Allocator, node uint32, idx int, d, ptr uint32) (right, divider uint32) {
+	meta := c.Read32(metaAddr(node))
+	level := metaLevel(meta)
+	slots := metaSlots(meta) // == InnerMax
+	// Combined entry arrays with the new entry spliced in.
+	keys := make([]uint32, 0, InnerMax)
+	ptrs := make([]uint32, 0, InnerMax+1)
+	for j := 0; j < slots; j++ {
+		ptrs = append(ptrs, c.Read32(ptrAddr(node, j)))
+	}
+	for j := 0; j < slots-1; j++ {
+		keys = append(keys, c.Read32(keyAddr(node, j)))
+	}
+	keys = insertAt(keys, idx, d)
+	ptrs = insertAt(ptrs, idx+1, ptr)
+	// Left keeps half the children; the key between halves moves up.
+	leftN := (len(ptrs) + 1) / 2
+	divider = keys[leftN-1]
+	right = allocNode(c, alloc, level, len(ptrs)-leftN, c.Read32(syncAddr(node)))
+	for j, p := range ptrs[leftN:] {
+		c.Write32(ptrAddr(right, j), p)
+	}
+	for j, k := range keys[leftN:] {
+		c.Write32(keyAddr(right, j), k)
+	}
+	// Shrink the left node in place.
+	for j := 0; j < leftN; j++ {
+		c.Write32(ptrAddr(node, j), ptrs[j])
+	}
+	for j := 0; j < leftN-1; j++ {
+		c.Write32(keyAddr(node, j), keys[j])
+	}
+	c.Write32(metaAddr(node), packMeta(level, leftN))
+	return right, divider
+}
+
+// leafInsertAt inserts (key, value) into a non-full leaf in sorted
+// position (timed). Returns false if the key is already present.
+func leafInsertAt(c *machine.Ctx, leaf uint32, key, value uint32) bool {
+	meta := c.Read32(metaAddr(leaf))
+	slots := metaSlots(meta)
+	pos := 0
+	for pos < slots {
+		k := c.Read32(keyAddr(leaf, pos))
+		if k == key {
+			return false
+		}
+		if k > key {
+			break
+		}
+		pos++
+	}
+	for j := slots - 1; j >= pos; j-- {
+		c.Write32(keyAddr(leaf, j+1), c.Read32(keyAddr(leaf, j)))
+		c.Write32(ptrAddr(leaf, j+1), c.Read32(ptrAddr(leaf, j)))
+	}
+	c.Write32(keyAddr(leaf, pos), key)
+	c.Write32(ptrAddr(leaf, pos), value)
+	c.Write32(metaAddr(leaf), packMeta(0, slots+1))
+	return true
+}
+
+// splitLeafInsert splits a full leaf while inserting (key, value),
+// returning the new right leaf and the divider (greatest key remaining in
+// the left leaf). The right leaf inherits the original's sequence word.
+func splitLeafInsert(c *machine.Ctx, alloc *memsys.Allocator, leaf uint32, key, value uint32) (right, divider uint32) {
+	slots := metaSlots(c.Read32(metaAddr(leaf))) // == LeafMax
+	keys := make([]uint32, 0, LeafMax+1)
+	vals := make([]uint32, 0, LeafMax+1)
+	pos := 0
+	for j := 0; j < slots; j++ {
+		k := c.Read32(keyAddr(leaf, j))
+		if k < key {
+			pos = j + 1
+		}
+		keys = append(keys, k)
+		vals = append(vals, c.Read32(ptrAddr(leaf, j)))
+	}
+	keys = insertAt(keys, pos, key)
+	vals = insertAt(vals, pos, value)
+	leftN := (len(keys) + 1) / 2
+	divider = keys[leftN-1]
+	right = allocNode(c, alloc, 0, len(keys)-leftN, c.Read32(syncAddr(leaf)))
+	for j := leftN; j < len(keys); j++ {
+		c.Write32(keyAddr(right, j-leftN), keys[j])
+		c.Write32(ptrAddr(right, j-leftN), vals[j])
+	}
+	for j := 0; j < leftN; j++ {
+		c.Write32(keyAddr(leaf, j), keys[j])
+		c.Write32(ptrAddr(leaf, j), vals[j])
+	}
+	c.Write32(metaAddr(leaf), packMeta(0, leftN))
+	return right, divider
+}
+
+func insertAt(s []uint32, i int, v uint32) []uint32 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,279 @@
+package btree
+
+import (
+	"hybrids/internal/dsim/fc"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/sim/machine"
+)
+
+// Hybrid is the paper's hybrid B+ tree (§3.4): the top levels form a
+// sequence-lock tree in host memory; the bottom NMPLevels levels live in
+// NMP partitions served by flat-combining NMP cores. Host-NMP boundary
+// synchronization uses the parent-sequence-number protocol; inserts whose
+// splits cross the boundary run the LOCK_PATH / RESUME_INSERT exchange.
+type Hybrid struct {
+	m     *machine.Machine
+	host  *hostCore
+	trees []*nmpTree
+	pubs  []*fc.PubList
+
+	nmpLevels int
+	window    int
+}
+
+// HybridBTreeConfig parameterizes the hybrid B+ tree.
+type HybridBTreeConfig struct {
+	// NMPLevels is the number of bottom tree levels pushed to NMP
+	// partitions; the host-managed remainder is sized to fit the LLC.
+	NMPLevels int
+	// Window is the in-flight NMP call budget per host thread for
+	// ApplyBatch (1 = blocking behaviour).
+	Window int
+}
+
+// NewHybrid creates the structure; Build must run before Start.
+func NewHybrid(m *machine.Machine, cfg HybridBTreeConfig) *Hybrid {
+	if cfg.NMPLevels <= 0 {
+		panic("btree: NMPLevels must be positive")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	parts := m.Cfg.Mem.NMPVaults
+	t := &Hybrid{
+		m:         m,
+		host:      newHostCore(m, cfg.NMPLevels),
+		nmpLevels: cfg.NMPLevels,
+		window:    cfg.Window,
+	}
+	slots := m.Cfg.Mem.HostCores * cfg.Window
+	for p := 0; p < parts; p++ {
+		t.trees = append(t.trees, newNMPTree(cfg.NMPLevels, m.Mem.NMPAlloc[p]))
+		t.pubs = append(t.pubs, fc.NewPubList(m, p, slots))
+	}
+	return t
+}
+
+// Build bulk-loads pairs (§3.4: "the initial B+ tree is constructed over
+// an existing database table"), pushing the bottom NMPLevels levels down
+// into partition memory and tagging boundary pointers with partition IDs.
+func (t *Hybrid) Build(pairs []KV, fill int) {
+	hooks := hybridHooks(t.m.Mem.HostAlloc, t.m.Mem.NMPAlloc, t.nmpLevels, fill, len(dedupCount(pairs)))
+	root, height := bulkBuild(t.m.Mem.RAM, pairs, fill, hooks)
+	t.host.setRoot(root, height)
+}
+
+// dedupCount returns pairs deduplicated by key (build sizing must match
+// bulkBuild's dedup).
+func dedupCount(pairs []KV) []KV {
+	seen := make(map[uint32]bool, len(pairs))
+	out := pairs[:0:0]
+	for _, p := range pairs {
+		if !seen[p.Key] {
+			seen[p.Key] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Start spawns the NMP combiner daemons. Call once before Machine.Run.
+func (t *Hybrid) Start() {
+	for p := range t.trees {
+		tree := t.trees[p]
+		pub := t.pubs[p]
+		t.m.SpawnNMP(p, func(c *machine.Ctx) { fc.Serve(c, pub, tree.handler()) })
+	}
+}
+
+// route performs the host-side traversal and derives the offload target:
+// partition, begin-NMP-traversal node and the offloaded parent sequence
+// number (Listing 4 lines 4-23).
+func (t *Hybrid) route(c *machine.Ctx, key uint32) (p pathInfo, part int, begin uint32, ok bool) {
+	p, ok = t.host.descend(c, key)
+	if !ok {
+		return p, 0, 0, false
+	}
+	child, _, ok := t.host.childOf(c, &p, key)
+	if !ok {
+		return p, 0, 0, false
+	}
+	begin, part = untag(child)
+	return p, part, begin, true
+}
+
+// Apply implements kv.Store with blocking NMP calls.
+func (t *Hybrid) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	slot := thread * t.window
+	for attempt := uint64(0); ; attempt++ {
+		c.Step(attempt * 8)
+		p, part, begin, ok := t.route(c, op.Key)
+		if !ok {
+			continue
+		}
+		req := fc.Request{Key: op.Key, Value: op.Value, NMPPtr: begin, Aux: p.seqs[t.nmpLevels]}
+		switch op.Kind {
+		case kv.Read:
+			req.Op = fc.OpRead
+		case kv.Update:
+			req.Op = fc.OpUpdate
+		case kv.Insert:
+			req.Op = fc.OpInsert
+		case kv.Remove:
+			req.Op = fc.OpRemove
+		default:
+			panic("btree: unknown op kind")
+		}
+		resp := t.pubs[part].Call(c, slot, req)
+		if resp.Retry {
+			continue
+		}
+		if op.Kind != kv.Insert || !resp.LockPath {
+			return resp.Value, resp.Success
+		}
+		// LOCK_PATH: lock the host-side path and resume the insert
+		// (Listing 4 lines 26-43).
+		ls, _, ok := t.host.lockPath(c, &p)
+		if !ok {
+			t.pubs[part].Call(c, slot, fc.Request{Op: fc.OpUnlockPath})
+			continue
+		}
+		resume := t.pubs[part].Call(c, slot, fc.Request{Op: fc.OpResumeInsert})
+		if !resume.Success {
+			panic("btree: RESUME_INSERT failed")
+		}
+		t.host.insertChain(c, &p, t.nmpLevels, resume.Value, taggedPtr(resume.Ptr, part), &ls)
+		t.host.unlock(c, ls)
+		return 0, true
+	}
+}
+
+// batchOp tracks one in-flight non-blocking operation's phase.
+type batchOp struct {
+	op   kv.Op
+	p    pathInfo
+	part int
+	// phase: 0 = initial request in flight, 1 = RESUME_INSERT in flight
+	// (host locks held), 2 = UNLOCK_PATH in flight (restart after ack).
+	phase int
+	ls    lockSet
+}
+
+// ApplyBatch implements kv.AsyncStore: non-blocking NMP calls (§3.5).
+// While any insert of this thread holds host-side locks, new traversals
+// are deferred: a descend could otherwise spin on the thread's own locks,
+// which would deadlock a single actor.
+func (t *Hybrid) ApplyBatch(c *machine.Ctx, thread int, ops []kv.Op) int {
+	w := fc.NewWindow(thread, t.window, t.pubs)
+	succeeded := 0
+	locksHeld := 0
+	var deferred []*batchOp
+
+	issue := func(a *batchOp) {
+		for {
+			p, part, begin, ok := t.route(c, a.op.Key)
+			if !ok {
+				c.Step(16)
+				continue
+			}
+			a.p, a.part, a.phase = p, part, 0
+			req := fc.Request{Key: a.op.Key, Value: a.op.Value, NMPPtr: begin, Aux: p.seqs[t.nmpLevels]}
+			switch a.op.Kind {
+			case kv.Read:
+				req.Op = fc.OpRead
+			case kv.Update:
+				req.Op = fc.OpUpdate
+			case kv.Insert:
+				req.Op = fc.OpInsert
+			case kv.Remove:
+				req.Op = fc.OpRemove
+			}
+			w.Post(c, part, req, a)
+			return
+		}
+	}
+	reissue := func(a *batchOp) {
+		if locksHeld > 0 {
+			deferred = append(deferred, a)
+		} else {
+			issue(a)
+		}
+	}
+	harvest := func() {
+		tag, resp, pos := w.Harvest(c)
+		a := tag.(*batchOp)
+		switch a.phase {
+		case 1: // RESUME_INSERT completed
+			if !resp.Success {
+				panic("btree: RESUME_INSERT failed")
+			}
+			t.host.insertChain(c, &a.p, t.nmpLevels, resp.Value, taggedPtr(resp.Ptr, a.part), &a.ls)
+			t.host.unlock(c, a.ls)
+			locksHeld--
+			succeeded++
+			return
+		case 2: // UNLOCK_PATH acknowledged: restart the whole insert
+			reissue(a)
+			return
+		}
+		if resp.Retry {
+			reissue(a)
+			return
+		}
+		if a.op.Kind == kv.Insert && resp.LockPath {
+			ls, _, ok := t.host.lockPath(c, &a.p)
+			if !ok {
+				a.phase = 2
+				w.PostAt(c, pos, a.part, fc.Request{Op: fc.OpUnlockPath}, a)
+				return
+			}
+			a.ls = ls
+			a.phase = 1
+			locksHeld++
+			w.PostAt(c, pos, a.part, fc.Request{Op: fc.OpResumeInsert}, a)
+			return
+		}
+		if resp.Success {
+			succeeded++
+		}
+	}
+
+	next := 0
+	for next < len(ops) || !w.Empty() || len(deferred) > 0 {
+		if locksHeld == 0 && len(deferred) > 0 && !w.Full() {
+			a := deferred[0]
+			deferred = deferred[1:]
+			issue(a)
+			continue
+		}
+		if locksHeld == 0 && next < len(ops) && !w.Full() {
+			a := &batchOp{op: ops[next]}
+			next++
+			issue(a)
+			continue
+		}
+		harvest()
+	}
+	return succeeded
+}
+
+// Dump returns live pairs in key order (untimed).
+func (t *Hybrid) Dump() []KV { return dumpTree(t.m, t.host, t.trees, t.nmpLevels) }
+
+// CheckInvariants validates host and NMP structural invariants, partition
+// placement, and boundary-pointer tags (untimed).
+func (t *Hybrid) CheckInvariants() error { return checkTree(t.m, t.host, t.trees, t.nmpLevels) }
+
+// Delays aggregates offload delay instrumentation across partitions.
+func (t *Hybrid) Delays() fc.Delays {
+	var d fc.Delays
+	for _, p := range t.pubs {
+		d.Add(p.Delays)
+	}
+	return d
+}
+
+var (
+	_ kv.Store      = (*Hybrid)(nil)
+	_ kv.AsyncStore = (*Hybrid)(nil)
+)

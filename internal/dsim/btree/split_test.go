@@ -1,0 +1,184 @@
+package btree
+
+import (
+	"testing"
+
+	"hybrids/internal/sim/machine"
+)
+
+// White-box tests for the split/insert helpers shared by the host-side
+// seqlock tree and the NMP-side single-threaded tree.
+
+// onHost runs body on a host actor and completes the machine.
+func onHost(t *testing.T, body func(c *machine.Ctx, m *machine.Machine)) {
+	t.Helper()
+	m := testMachine()
+	m.SpawnHost(0, "t", func(c *machine.Ctx) { body(c, m) })
+	m.Run()
+}
+
+func leafWith(c *machine.Ctx, m *machine.Machine, keys ...uint32) uint32 {
+	n := allocNode(c, m.Mem.HostAlloc, 0, len(keys), 0)
+	for i, k := range keys {
+		c.Write32(keyAddr(n, i), k)
+		c.Write32(ptrAddr(n, i), k*10)
+	}
+	return n
+}
+
+func leafKeys(c *machine.Ctx, n uint32) []uint32 {
+	slots := metaSlots(c.Read32(metaAddr(n)))
+	out := make([]uint32, slots)
+	for i := range out {
+		out[i] = c.Read32(keyAddr(n, i))
+	}
+	return out
+}
+
+func TestLeafInsertAtKeepsSortedOrder(t *testing.T) {
+	onHost(t, func(c *machine.Ctx, m *machine.Machine) {
+		leaf := leafWith(c, m, 10, 20, 40)
+		if !leafInsertAt(c, leaf, 30, 300) {
+			t.Error("insert failed")
+		}
+		got := leafKeys(c, leaf)
+		want := []uint32{10, 20, 30, 40}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("keys = %v", got)
+			}
+		}
+		if leafInsertAt(c, leaf, 20, 1) {
+			t.Error("duplicate insert succeeded")
+		}
+		// Values follow their keys.
+		if c.Read32(ptrAddr(leaf, 2)) != 300 {
+			t.Error("value not at inserted slot")
+		}
+	})
+}
+
+func TestSplitLeafInsertBalancesAndDivides(t *testing.T) {
+	onHost(t, func(c *machine.Ctx, m *machine.Machine) {
+		keys := make([]uint32, LeafMax)
+		for i := range keys {
+			keys[i] = uint32(i+1) * 10
+		}
+		leaf := leafWith(c, m, keys...)
+		right, div := splitLeafInsert(c, m.Mem.HostAlloc, leaf, 55, 550)
+		ln := metaSlots(c.Read32(metaAddr(leaf)))
+		rn := metaSlots(c.Read32(metaAddr(right)))
+		if ln+rn != LeafMax+1 {
+			t.Fatalf("split lost entries: %d + %d", ln, rn)
+		}
+		if ln < rn || ln-rn > 1 {
+			t.Fatalf("unbalanced split: %d / %d", ln, rn)
+		}
+		// Divider = greatest left key; all right keys exceed it.
+		if got := c.Read32(keyAddr(leaf, ln-1)); got != div {
+			t.Fatalf("divider %d != last left key %d", div, got)
+		}
+		if first := c.Read32(keyAddr(right, 0)); first <= div {
+			t.Fatalf("right starts at %d <= divider %d", first, div)
+		}
+		// The new pair is present on exactly one side with its value.
+		found := 0
+		for _, n := range []uint32{leaf, right} {
+			slots := metaSlots(c.Read32(metaAddr(n)))
+			if i := findLeafSlot(c, n, slots, 55); i >= 0 {
+				found++
+				if c.Read32(ptrAddr(n, i)) != 550 {
+					t.Fatal("inserted value lost in split")
+				}
+			}
+		}
+		if found != 1 {
+			t.Fatalf("inserted key found %d times", found)
+		}
+	})
+}
+
+func TestSplitInnerInsertDistributesChildren(t *testing.T) {
+	onHost(t, func(c *machine.Ctx, m *machine.Machine) {
+		node := allocNode(c, m.Mem.HostAlloc, 1, InnerMax, 0)
+		// Children 1000..1014 with dividers 10,20,...,130.
+		for i := 0; i < InnerMax; i++ {
+			c.Write32(ptrAddr(node, i), uint32(1000+i)<<7)
+		}
+		for i := 0; i < InnerMax-1; i++ {
+			c.Write32(keyAddr(node, i), uint32(i+1)*10)
+		}
+		// Child 3 split: new divider 35, new right child.
+		newChild := uint32(2000 << 7)
+		right, div := splitInnerInsert(c, m.Mem.HostAlloc, node, 3, 35, newChild)
+		ln := metaSlots(c.Read32(metaAddr(node)))
+		rn := metaSlots(c.Read32(metaAddr(right)))
+		if ln+rn != InnerMax+1 {
+			t.Fatalf("children lost: %d + %d", ln, rn)
+		}
+		// All 16 original+new children present exactly once, order kept.
+		var all []uint32
+		for i := 0; i < ln; i++ {
+			all = append(all, c.Read32(ptrAddr(node, i)))
+		}
+		for i := 0; i < rn; i++ {
+			all = append(all, c.Read32(ptrAddr(right, i)))
+		}
+		if len(all) != 16 {
+			t.Fatalf("children = %d", len(all))
+		}
+		if all[4] != newChild {
+			t.Fatalf("new child at wrong position: %v", all)
+		}
+		// Divider must be between the halves' key ranges.
+		lastLeftKey := c.Read32(keyAddr(node, ln-2))
+		firstRightKey := c.Read32(keyAddr(right, 0))
+		if !(lastLeftKey < div && div < firstRightKey) {
+			t.Fatalf("divider %d not between %d and %d", div, lastLeftKey, firstRightKey)
+		}
+	})
+}
+
+func TestInnerInsertAtShiftsKeysAndChildren(t *testing.T) {
+	onHost(t, func(c *machine.Ctx, m *machine.Machine) {
+		node := allocNode(c, m.Mem.HostAlloc, 1, 3, 0)
+		for i := 0; i < 3; i++ {
+			c.Write32(ptrAddr(node, i), uint32(100+i))
+		}
+		c.Write32(keyAddr(node, 0), 10)
+		c.Write32(keyAddr(node, 1), 20)
+		innerInsertAt(c, node, 1, 15, 999)
+		if metaSlots(c.Read32(metaAddr(node))) != 4 {
+			t.Fatal("slot count not bumped")
+		}
+		wantKeys := []uint32{10, 15, 20}
+		wantPtrs := []uint32{100, 101, 999, 102}
+		for i, w := range wantKeys {
+			if got := c.Read32(keyAddr(node, i)); got != w {
+				t.Fatalf("key[%d] = %d, want %d", i, got, w)
+			}
+		}
+		for i, w := range wantPtrs {
+			if got := c.Read32(ptrAddr(node, i)); got != w {
+				t.Fatalf("ptr[%d] = %d, want %d", i, got, w)
+			}
+		}
+	})
+}
+
+func TestSplitReplicatesSequenceWord(t *testing.T) {
+	// Footnote 3: a split-off node replicates the original's sequence
+	// number so host-NMP seqnum consistency survives splits.
+	onHost(t, func(c *machine.Ctx, m *machine.Machine) {
+		keys := make([]uint32, LeafMax)
+		for i := range keys {
+			keys[i] = uint32(i+1) * 10
+		}
+		leaf := leafWith(c, m, keys...)
+		c.Write32(syncAddr(leaf), 7) // locked (odd) seqnum
+		right, _ := splitLeafInsert(c, m.Mem.HostAlloc, leaf, 5, 50)
+		if got := c.Read32(syncAddr(right)); got != 7 {
+			t.Fatalf("right sync = %d, want replicated 7", got)
+		}
+	})
+}

@@ -1,0 +1,360 @@
+// Package fc implements the NMP-managed portion's coordination fabric from
+// §3.2 of the HybriDS paper: per-partition publication lists in NMP
+// scratchpad memory, memory-mapped into the host address space.
+//
+// A host thread offloads an operation by burst-writing a request into its
+// assigned slot and setting the slot's valid flag; the partition's NMP
+// core — the flat-combining combiner for that partition — scans slots,
+// executes requests one at a time against its partition, writes the
+// response fields, and clears the valid flag. Host threads poll the flag
+// (blocking calls) or harvest completions from a window of in-flight slots
+// (non-blocking calls, §3.5).
+package fc
+
+import (
+	"fmt"
+
+	"hybrids/internal/sim/engine"
+	"hybrids/internal/sim/machine"
+	"hybrids/internal/sim/memsys"
+)
+
+// OpType encodes the operation field of a publication slot (§3.2 item 4).
+type OpType uint32
+
+// Operation codes. OpUnlockPath and OpResumeInsert are the hybrid B+
+// tree's path-locking protocol messages (§3.4).
+const (
+	OpNone OpType = iota
+	OpRead
+	OpUpdate
+	OpInsert
+	OpRemove
+	OpUnlockPath
+	OpResumeInsert
+)
+
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpUnlockPath:
+		return "unlock-path"
+	case OpResumeInsert:
+		return "resume-insert"
+	default:
+		return fmt.Sprintf("op(%d)", uint32(o))
+	}
+}
+
+// Request is the host-to-NMP half of a publication slot.
+type Request struct {
+	Op    OpType
+	Key   uint32
+	Value uint32
+	// NMPPtr is the begin-NMP-traversal node (0: start at the partition
+	// sentinel/root).
+	NMPPtr uint32
+	// HostPtr passes the host-side counterpart node (hybrid skiplist
+	// update propagation, §3.3).
+	HostPtr uint32
+	// Aux carries structure-specific extra state: the new node's height
+	// for skiplist inserts, the offloaded parent sequence number for the
+	// hybrid B+ tree (§3.4).
+	Aux uint32
+}
+
+// Response is the NMP-to-host half of a publication slot.
+type Response struct {
+	// Success reports the operation's return value (§3.2 result item 2).
+	Success bool
+	// Retry asks the host to restart the whole operation because the
+	// begin-NMP-traversal node was invalidated by an earlier concurrent
+	// operation (§3.2 result item 1).
+	Retry bool
+	// LockPath asks the host to lock its portion of the path and send
+	// OpResumeInsert (hybrid B+ tree inserts whose splits reach the
+	// host-NMP boundary, §3.4).
+	LockPath bool
+	// Value returns the read value (§3.2 result item 3).
+	Value uint32
+	// Ptr returns the NMP-side node created by an insert (§3.2 result
+	// item 4), or auxiliary pointers for update propagation.
+	Ptr uint32
+}
+
+// Slot word layout (4-byte words from the slot base).
+const (
+	wFlags = iota // bit0: valid
+	wOp
+	wKey
+	wValue
+	wNMPPtr
+	wHostPtr
+	wAux
+	wRespFlags // bit0 success, bit1 retry, bit2 lockpath
+	wRespValue
+	wRespPtr
+	slotWords
+)
+
+// SlotBytes is the scratchpad footprint of one publication slot.
+const SlotBytes = 64
+
+const validBit = 1
+
+// Delays accumulates the offload latency decomposition reported in
+// Table 2, in summed virtual cycles.
+type Delays struct {
+	// PostToScan: request became valid -> combiner picked it up.
+	PostToScan uint64
+	// Service: combiner picked it up -> response written.
+	Service uint64
+	// Count is the number of served requests (denominator for PostToScan
+	// and Service).
+	Count uint64
+	// CompleteToObserve: response written -> host observed completion,
+	// over ObserveCount observed completions.
+	CompleteToObserve uint64
+	ObserveCount      uint64
+}
+
+// Add accumulates other into d (for aggregating across partitions).
+func (d *Delays) Add(other Delays) {
+	d.PostToScan += other.PostToScan
+	d.Service += other.Service
+	d.Count += other.Count
+	d.CompleteToObserve += other.CompleteToObserve
+	d.ObserveCount += other.ObserveCount
+}
+
+// PubList is one partition's publication list.
+type PubList struct {
+	m     *machine.Machine
+	part  int
+	base  memsys.Addr
+	slots int
+
+	postedAt    []uint64
+	scannedAt   []uint64
+	completedAt []uint64
+
+	// pendingCount and combiner implement the doorbell wake-up: the
+	// combiner blocks when no requests are pending and a post unblocks
+	// it after the doorbell signal latency.
+	pendingCount int
+	combiner     *engine.Actor
+	// waiters[slot] is the host actor blocked on slot's completion; the
+	// combiner wakes it when it writes the response (the host then pays
+	// its completion poll as usual).
+	waiters []*engine.Actor
+
+	// Delays holds Table 2 instrumentation (virtual-cycle sums).
+	Delays Delays
+}
+
+// NewPubList lays out a publication list with the given slot count in
+// partition part's host-mapped scratchpad region. A doorbell word after
+// the slots lets the combiner detect pending work with a single read
+// instead of sweeping every slot; posts set their slot's doorbell bit as a
+// hardware side effect of the publishing burst.
+func NewPubList(m *machine.Machine, part, slots int) *PubList {
+	if slots > 32 {
+		panic("fc: at most 32 slots per publication list (doorbell word width)")
+	}
+	if need := memsys.Addr(slots*SlotBytes) + 4; need > m.Cfg.Mem.ScratchSize {
+		panic(fmt.Sprintf("fc: %d slots (%d B) exceed scratchpad (%d B)", slots, need, m.Cfg.Mem.ScratchSize))
+	}
+	return &PubList{
+		m:           m,
+		part:        part,
+		base:        m.Mem.ScratchAddr(part),
+		slots:       slots,
+		postedAt:    make([]uint64, slots),
+		scannedAt:   make([]uint64, slots),
+		completedAt: make([]uint64, slots),
+		waiters:     make([]*engine.Actor, slots),
+	}
+}
+
+// Slots returns the number of publication slots.
+func (p *PubList) Slots() int { return p.slots }
+
+// Partition returns the NMP partition this list belongs to.
+func (p *PubList) Partition() int { return p.part }
+
+func (p *PubList) slotAddr(slot int) memsys.Addr {
+	if slot < 0 || slot >= p.slots {
+		panic(fmt.Sprintf("fc: slot %d out of range [0,%d)", slot, p.slots))
+	}
+	return p.base + memsys.Addr(slot*SlotBytes)
+}
+
+func (p *PubList) doorbellAddr() memsys.Addr {
+	return p.base + memsys.Addr(p.slots*SlotBytes)
+}
+
+// Post publishes req into slot (host side): one write-combined burst that
+// makes the request fields and the valid flag visible atomically.
+func (p *PubList) Post(c *machine.Ctx, slot int, req Request) {
+	words := [slotWords]uint32{
+		wFlags:   validBit,
+		wOp:      uint32(req.Op),
+		wKey:     req.Key,
+		wValue:   req.Value,
+		wNMPPtr:  req.NMPPtr,
+		wHostPtr: req.HostPtr,
+		wAux:     req.Aux,
+	}
+	c.MMIOWriteBurst(p.slotAddr(slot), words[:wRespFlags])
+	// The doorbell bit is raised by the same posted burst (a hardware
+	// side effect, so no additional latency and an atomic data effect).
+	ram := p.m.Mem.RAM
+	ram.Store32(p.doorbellAddr(), ram.Load32(p.doorbellAddr())|1<<uint(slot))
+	p.postedAt[slot] = c.Now()
+	p.pendingCount++
+	if p.combiner != nil {
+		c.Unblock(p.combiner, doorbellWake)
+	}
+}
+
+// doorbellWake is the doorbell signal latency that wakes an idle NMP core.
+const doorbellWake = 4
+
+// Done polls slot's valid flag once (host side) and reports whether the
+// combiner has completed the request.
+func (p *PubList) Done(c *machine.Ctx, slot int) bool {
+	v := c.MMIOReadBurst(p.slotAddr(slot), 1)
+	done := v[0]&validBit == 0
+	if done && p.completedAt[slot] != 0 {
+		p.Delays.CompleteToObserve += c.Now() - p.completedAt[slot]
+		p.Delays.ObserveCount++
+		p.completedAt[slot] = 0
+	}
+	return done
+}
+
+// ReadResponse fetches the response fields of a completed slot (host side).
+func (p *PubList) ReadResponse(c *machine.Ctx, slot int) Response {
+	ws := c.MMIOReadBurst(p.slotAddr(slot)+memsys.Addr(wRespFlags*4), 3)
+	return Response{
+		Success:  ws[0]&1 != 0,
+		Retry:    ws[0]&2 != 0,
+		LockPath: ws[0]&4 != 0,
+		Value:    ws[1],
+		Ptr:      ws[2],
+	}
+}
+
+// Call is the blocking NMP call of the base design (§3.2): post, wait for
+// completion, read the response. The wait models a monitored poll: the
+// host checks the flag, parks until the combiner's completion signal, and
+// pays the observing poll on wake-up.
+func (p *PubList) Call(c *machine.Ctx, slot int, req Request) Response {
+	p.Post(c, slot, req)
+	p.Watch(c, slot)
+	for !p.Done(c, slot) {
+		c.Block()
+	}
+	return p.ReadResponse(c, slot)
+}
+
+// Pending reads slot on the NMP side and returns the request if the slot
+// holds an unserved operation.
+func (p *PubList) Pending(c *machine.Ctx, slot int) (Request, bool) {
+	a := p.slotAddr(slot)
+	if c.Read32(a)&validBit == 0 {
+		return Request{}, false
+	}
+	p.scannedAt[slot] = c.Now()
+	p.Delays.PostToScan += c.Now() - p.postedAt[slot]
+	req := Request{
+		Op:      OpType(c.Read32(a + wOp*4)),
+		Key:     c.Read32(a + wKey*4),
+		Value:   c.Read32(a + wValue*4),
+		NMPPtr:  c.Read32(a + wNMPPtr*4),
+		HostPtr: c.Read32(a + wHostPtr*4),
+		Aux:     c.Read32(a + wAux*4),
+	}
+	return req, true
+}
+
+// Complete writes resp into slot and clears the valid flag (NMP side).
+func (p *PubList) Complete(c *machine.Ctx, slot int, resp Response) {
+	a := p.slotAddr(slot)
+	var flags uint32
+	if resp.Success {
+		flags |= 1
+	}
+	if resp.Retry {
+		flags |= 2
+	}
+	if resp.LockPath {
+		flags |= 4
+	}
+	c.Write32(a+wRespFlags*4, flags)
+	c.Write32(a+wRespValue*4, resp.Value)
+	c.Write32(a+wRespPtr*4, resp.Ptr)
+	c.Write32(a, 0) // clear valid last
+	p.completedAt[slot] = c.Now()
+	p.Delays.Service += c.Now() - p.scannedAt[slot]
+	p.Delays.Count++
+	if w := p.waiters[slot]; w != nil {
+		p.waiters[slot] = nil
+		c.Unblock(w, 0)
+	}
+}
+
+// Watch registers the calling host actor to be woken when slot completes.
+// Registration is Go-side bookkeeping (the hardware analogue is the host
+// thread's monitor/mwait on the slot's flag word).
+func (p *PubList) Watch(c *machine.Ctx, slot int) {
+	p.waiters[slot] = c.A
+}
+
+// Handler executes one offloaded request against the NMP-managed portion
+// of a data structure and produces its response. It runs on the partition's
+// NMP core context.
+type Handler func(c *machine.Ctx, slot int, req Request) Response
+
+// Serve runs the flat-combining combiner loop on an NMP core context:
+// poll the doorbell, execute pending requests one at a time in slot order,
+// and park briefly when nothing is pending. Returns when the simulation is
+// stopping.
+func Serve(c *machine.Ctx, p *PubList, handle Handler) {
+	ram := p.m.Mem.RAM
+	p.combiner = c.A
+	for !c.Stopping() {
+		if p.pendingCount == 0 {
+			// Nothing pending anywhere: wait on the doorbell
+			// (monitor/mwait), woken by the next post.
+			c.Block()
+			continue
+		}
+		bits := c.Read32(p.doorbellAddr())
+		if bits == 0 {
+			c.Step(8) // signalled but burst not yet visible; re-poll
+			continue
+		}
+		for slot := 0; slot < p.slots; slot++ {
+			if bits&(1<<uint(slot)) == 0 {
+				continue
+			}
+			// Acknowledge the doorbell before serving so a re-post
+			// after completion re-raises it.
+			c.Step(2)
+			ram.Store32(p.doorbellAddr(), ram.Load32(p.doorbellAddr())&^(1<<uint(slot)))
+			if req, ok := p.Pending(c, slot); ok {
+				resp := handle(c, slot, req)
+				p.Complete(c, slot, resp)
+				p.pendingCount--
+			}
+		}
+	}
+}

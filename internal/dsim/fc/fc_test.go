@@ -1,0 +1,246 @@
+package fc
+
+import (
+	"testing"
+
+	"hybrids/internal/sim/machine"
+)
+
+func testMachine() *machine.Machine {
+	cfg := machine.Default()
+	cfg.Mem.HostMemSize = 16 << 20
+	cfg.Mem.NMPMemSize = 16 << 20
+	cfg.Mem.L2.Size = 64 << 10
+	cfg.Mem.L1.Size = 8 << 10
+	cfg.Mem.TLB.Entries = 0 // exact-latency tests assume perfect translation
+	return machine.New(cfg)
+}
+
+// echoHandler returns key+value as the response value.
+func echoHandler(c *machine.Ctx, slot int, req Request) Response {
+	c.Step(20) // pretend to do some work
+	return Response{Success: true, Value: req.Key + req.Value, Ptr: req.NMPPtr}
+}
+
+func TestBlockingCallRoundTrip(t *testing.T) {
+	m := testMachine()
+	p := NewPubList(m, 0, 8)
+	m.SpawnNMP(0, func(c *machine.Ctx) { Serve(c, p, echoHandler) })
+	var got Response
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		got = p.Call(c, 0, Request{Op: OpRead, Key: 40, Value: 2, NMPPtr: 99})
+	})
+	m.Run()
+	if !got.Success || got.Value != 42 || got.Ptr != 99 {
+		t.Fatalf("response = %+v", got)
+	}
+}
+
+func TestConcurrentBlockingCallsAllServed(t *testing.T) {
+	m := testMachine()
+	p := NewPubList(m, 0, 8)
+	m.SpawnNMP(0, func(c *machine.Ctx) { Serve(c, p, echoHandler) })
+	const perThread = 10
+	results := make([][]uint32, 4)
+	for th := 0; th < 4; th++ {
+		th := th
+		m.SpawnHost(th, "h", func(c *machine.Ctx) {
+			for i := 0; i < perThread; i++ {
+				r := p.Call(c, th, Request{Op: OpRead, Key: uint32(th * 100), Value: uint32(i)})
+				results[th] = append(results[th], r.Value)
+			}
+		})
+	}
+	m.Run()
+	for th := range results {
+		if len(results[th]) != perThread {
+			t.Fatalf("thread %d got %d results", th, len(results[th]))
+		}
+		for i, v := range results[th] {
+			if v != uint32(th*100+i) {
+				t.Fatalf("thread %d result %d = %d", th, i, v)
+			}
+		}
+	}
+	if p.Delays.Count != 4*perThread {
+		t.Fatalf("served count = %d", p.Delays.Count)
+	}
+}
+
+func TestResponseFlagBitsRoundTrip(t *testing.T) {
+	m := testMachine()
+	p := NewPubList(m, 0, 2)
+	m.SpawnNMP(0, func(c *machine.Ctx) {
+		Serve(c, p, func(c *machine.Ctx, slot int, req Request) Response {
+			switch req.Op {
+			case OpInsert:
+				return Response{Success: true, LockPath: true}
+			case OpRemove:
+				return Response{Retry: true}
+			default:
+				return Response{}
+			}
+		})
+	})
+	var r1, r2 Response
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		r1 = p.Call(c, 0, Request{Op: OpInsert})
+		r2 = p.Call(c, 0, Request{Op: OpRemove})
+	})
+	m.Run()
+	if !r1.Success || !r1.LockPath || r1.Retry {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	if r2.Success || r2.LockPath || !r2.Retry {
+		t.Fatalf("r2 = %+v", r2)
+	}
+}
+
+func TestRequestFieldsReachHandler(t *testing.T) {
+	m := testMachine()
+	p := NewPubList(m, 0, 2)
+	var seen Request
+	m.SpawnNMP(0, func(c *machine.Ctx) {
+		Serve(c, p, func(c *machine.Ctx, slot int, req Request) Response {
+			seen = req
+			return Response{Success: true}
+		})
+	})
+	want := Request{Op: OpUpdate, Key: 1, Value: 2, NMPPtr: 3, HostPtr: 4, Aux: 5}
+	m.SpawnHost(0, "h", func(c *machine.Ctx) { p.Call(c, 0, want) })
+	m.Run()
+	if seen != want {
+		t.Fatalf("handler saw %+v, want %+v", seen, want)
+	}
+}
+
+func TestDelaysInstrumentation(t *testing.T) {
+	m := testMachine()
+	p := NewPubList(m, 0, 2)
+	m.SpawnNMP(0, func(c *machine.Ctx) { Serve(c, p, echoHandler) })
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		for i := 0; i < 5; i++ {
+			p.Call(c, 0, Request{Op: OpRead, Key: uint32(i)})
+		}
+	})
+	m.Run()
+	d := p.Delays
+	if d.Count != 5 || d.ObserveCount != 5 {
+		t.Fatalf("counts = %d/%d", d.Count, d.ObserveCount)
+	}
+	if d.Service/d.Count < 20 {
+		t.Fatalf("mean service %d below handler cost", d.Service/d.Count)
+	}
+	if d.CompleteToObserve == 0 || d.PostToScan == 0 {
+		t.Fatalf("delay sums zero: %+v", d)
+	}
+}
+
+func TestWindowNonBlockingCompletesAll(t *testing.T) {
+	m := testMachine()
+	const parts = 4
+	lists := make([]*PubList, parts)
+	for i := range lists {
+		lists[i] = NewPubList(m, i, 8)
+		pl := lists[i]
+		m.SpawnNMP(i, func(c *machine.Ctx) { Serve(c, pl, echoHandler) })
+	}
+	const total = 40
+	var done int
+	sum := uint32(0)
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		w := NewWindow(0, 4, lists)
+		issued := 0
+		for done < total {
+			if issued < total && !w.Full() {
+				w.Post(c, issued%parts, Request{Op: OpRead, Key: uint32(issued)}, issued)
+				issued++
+				continue
+			}
+			_, resp, _ := w.Harvest(c)
+			sum += resp.Value
+			done++
+		}
+	})
+	m.Run()
+	if done != total {
+		t.Fatalf("completed %d/%d", done, total)
+	}
+	want := uint32(total * (total - 1) / 2)
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestWindowTagsMatchResponses(t *testing.T) {
+	m := testMachine()
+	p := NewPubList(m, 0, 8)
+	m.SpawnNMP(0, func(c *machine.Ctx) { Serve(c, p, echoHandler) })
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		w := NewWindow(0, 2, []*PubList{p})
+		w.Post(c, 0, Request{Op: OpRead, Key: 100}, "a")
+		w.Post(c, 0, Request{Op: OpRead, Key: 200}, "b")
+		for !w.Empty() {
+			tag, resp, _ := w.Harvest(c)
+			switch tag {
+			case "a":
+				if resp.Value != 100 {
+					t.Errorf("tag a value %d", resp.Value)
+				}
+			case "b":
+				if resp.Value != 200 {
+					t.Errorf("tag b value %d", resp.Value)
+				}
+			default:
+				t.Errorf("unknown tag %v", tag)
+			}
+		}
+	})
+	m.Run()
+}
+
+func TestWindowPostFullPanics(t *testing.T) {
+	m := testMachine()
+	p := NewPubList(m, 0, 8)
+	m.SpawnNMP(0, func(c *machine.Ctx) {
+		for !c.Stopping() {
+			c.Step(16)
+		}
+	})
+	var recovered bool
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		defer func() { recovered = recover() != nil }()
+		w := NewWindow(0, 1, []*PubList{p})
+		w.Post(c, 0, Request{Op: OpRead}, nil)
+		w.Post(c, 0, Request{Op: OpRead}, nil)
+	})
+	m.Run()
+	if !recovered {
+		t.Fatal("posting to full window did not panic")
+	}
+}
+
+func TestPubListTooLargePanics(t *testing.T) {
+	m := testMachine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized publist did not panic")
+		}
+	}()
+	NewPubList(m, 0, int(m.Cfg.Mem.ScratchSize)/SlotBytes+1)
+}
+
+func TestOpTypeStrings(t *testing.T) {
+	ops := map[OpType]string{
+		OpRead: "read", OpUpdate: "update", OpInsert: "insert",
+		OpRemove: "remove", OpUnlockPath: "unlock-path", OpResumeInsert: "resume-insert",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if OpType(99).String() == "" {
+		t.Error("unknown op type produced empty string")
+	}
+}

@@ -1,0 +1,151 @@
+package fc
+
+import (
+	"fmt"
+
+	"hybrids/internal/sim/machine"
+)
+
+// Window manages a host thread's in-flight non-blocking NMP calls (§3.5).
+//
+// Each host thread owns k publication slots in every partition's list:
+// window position i maps to slot thread*k+i of whichever partition that
+// operation targets. Because an in-flight operation occupies one window
+// position, two in-flight operations can never collide on a (partition,
+// slot) pair.
+type Window struct {
+	thread int
+	k      int
+	lists  []*PubList
+
+	inflight []inflightOp
+	used     []bool
+	count    int
+	next     int // round-robin poll cursor
+}
+
+type inflightOp struct {
+	part int
+	tag  any
+}
+
+// NewWindow creates a window of k in-flight operations for thread over the
+// per-partition publication lists.
+func NewWindow(thread, k int, lists []*PubList) *Window {
+	if k <= 0 {
+		panic("fc: window size must be positive")
+	}
+	for _, p := range lists {
+		if (thread+1)*k > p.Slots() {
+			panic(fmt.Sprintf("fc: thread %d window %d exceeds %d slots", thread, k, p.Slots()))
+		}
+	}
+	return &Window{
+		thread:   thread,
+		k:        k,
+		lists:    lists,
+		inflight: make([]inflightOp, k),
+		used:     make([]bool, k),
+	}
+}
+
+// Full reports whether every window position is occupied.
+func (w *Window) Full() bool { return w.count == w.k }
+
+// Empty reports whether no operations are in flight.
+func (w *Window) Empty() bool { return w.count == 0 }
+
+// Len returns the number of in-flight operations.
+func (w *Window) Len() int { return w.count }
+
+// Post publishes req to partition part without blocking, associating tag
+// with the operation for completion handling. The window must not be full.
+// It returns the window position used (for PostAt follow-ups).
+func (w *Window) Post(c *machine.Ctx, part int, req Request, tag any) int {
+	if w.Full() {
+		panic("fc: Post on full window")
+	}
+	pos := -1
+	for i, u := range w.used {
+		if !u {
+			pos = i
+			break
+		}
+	}
+	w.PostAt(c, pos, part, req, tag)
+	return pos
+}
+
+// PostAt publishes req through a specific free window position. Multi-phase
+// protocols (the hybrid B+ tree's LOCK_PATH / RESUME_INSERT exchange) use
+// it to keep a conversation on one publication slot, since the combiner
+// keys its pending state by slot.
+func (w *Window) PostAt(c *machine.Ctx, pos, part int, req Request, tag any) {
+	if w.used[pos] {
+		panic("fc: PostAt on occupied position")
+	}
+	w.used[pos] = true
+	w.inflight[pos] = inflightOp{part: part, tag: tag}
+	w.count++
+	w.lists[part].Post(c, w.thread*w.k+pos, req)
+}
+
+// SlotFor returns the publication-list slot index behind a window position.
+func (w *Window) SlotFor(pos int) int { return w.thread*w.k + pos }
+
+// TryHarvest polls the next in-flight operation in round-robin order and,
+// if complete, removes it from the window and returns its tag, response
+// and window position. A single call makes at most one MMIO poll, keeping
+// the polling cost of deep windows proportional to progress.
+func (w *Window) TryHarvest(c *machine.Ctx) (tag any, resp Response, pos int, ok bool) {
+	if w.count == 0 {
+		return nil, Response{}, -1, false
+	}
+	for probe := 0; probe < w.k; probe++ {
+		pos := (w.next + probe) % w.k
+		if !w.used[pos] {
+			continue
+		}
+		w.next = (pos + 1) % w.k
+		p := w.lists[w.inflight[pos].part]
+		slot := w.thread*w.k + pos
+		if !p.Done(c, slot) {
+			// Cursor already advanced: the next call probes the
+			// next in-flight operation.
+			return nil, Response{}, -1, false
+		}
+		resp = p.ReadResponse(c, slot)
+		tag = w.inflight[pos].tag
+		w.used[pos] = false
+		w.inflight[pos] = inflightOp{}
+		w.count--
+		return tag, resp, pos, true
+	}
+	return nil, Response{}, -1, false
+}
+
+// Harvest blocks (in virtual time) until some in-flight operation
+// completes, then returns its tag, response and window position. The
+// window must not be empty. The wait registers completion watchers on
+// every in-flight slot and parks between poll rounds, so a completion
+// always wakes the thread.
+func (w *Window) Harvest(c *machine.Ctx) (tag any, resp Response, pos int) {
+	if w.count == 0 {
+		panic("fc: Harvest on empty window")
+	}
+	for {
+		// Register watchers first so a completion landing during the
+		// poll round leaves a wake permit.
+		for i := 0; i < w.k; i++ {
+			if w.used[i] {
+				w.lists[w.inflight[i].part].Watch(c, w.thread*w.k+i)
+			}
+		}
+		for probes := w.count; probes > 0; probes-- {
+			if tag, resp, pos, ok := w.TryHarvest(c); ok {
+				return tag, resp, pos
+			}
+		}
+		c.Block()
+	}
+}

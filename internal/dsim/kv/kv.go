@@ -1,0 +1,89 @@
+// Package kv defines the key-value operation vocabulary shared by all
+// simulated data structures and the experiment drivers.
+package kv
+
+import "hybrids/internal/sim/machine"
+
+// Kind is a data structure operation type.
+type Kind uint8
+
+// Operation kinds. They match the paper's workload mixes: YCSB-C is all
+// Read; the sensitivity workloads mix Read, Insert and Remove; Update
+// exercises the hybrid structures' value-propagation path.
+const (
+	Read Kind = iota
+	Update
+	Insert
+	Remove
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	case Remove:
+		return "remove"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one key-value operation.
+type Op struct {
+	Kind  Kind
+	Key   uint32
+	Value uint32
+}
+
+// Store is a simulated concurrent key-value index executing operations
+// synchronously on a host hardware thread.
+type Store interface {
+	// Apply executes op on behalf of host thread (which must equal the
+	// context's core), returning the read value (for Read) and the
+	// operation's success flag.
+	Apply(c *machine.Ctx, thread int, op Op) (value uint32, ok bool)
+}
+
+// RangePartitioner maps keys to NMP partitions by predefined equal-size
+// key ranges (§3.3: "nodes in the NMP-managed portion are distributed
+// across NMP partitions based on predefined, equal-size ranges of keys").
+type RangePartitioner struct {
+	// KeyMax is the exclusive upper bound of the key space; valid keys
+	// are 1..KeyMax-1 (0 is reserved as the -inf sentinel key).
+	KeyMax uint32
+	// Parts is the number of NMP partitions.
+	Parts int
+}
+
+// Part returns the partition owning key.
+func (r RangePartitioner) Part(key uint32) int {
+	if key >= r.KeyMax {
+		panic("kv: key outside partitioned key space")
+	}
+	span := (uint64(r.KeyMax) + uint64(r.Parts) - 1) / uint64(r.Parts)
+	return int(uint64(key) / span)
+}
+
+// Range returns partition p's key range [lo, hi).
+func (r RangePartitioner) Range(p int) (lo, hi uint32) {
+	span := (uint64(r.KeyMax) + uint64(r.Parts) - 1) / uint64(r.Parts)
+	l := uint64(p) * span
+	h := l + span
+	if h > uint64(r.KeyMax) {
+		h = uint64(r.KeyMax)
+	}
+	return uint32(l), uint32(h)
+}
+
+// AsyncStore is implemented by structures supporting non-blocking NMP
+// calls (§3.5): a batch of operations is executed with up to the
+// configured window of NMP offloads in flight.
+type AsyncStore interface {
+	// ApplyBatch executes ops in order of issue, overlapping NMP-side
+	// work, and returns the number of successful operations.
+	ApplyBatch(c *machine.Ctx, thread int, ops []Op) (succeeded int)
+}

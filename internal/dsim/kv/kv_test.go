@@ -1,0 +1,75 @@
+package kv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{Read: "read", Update: "update", Insert: "insert", Remove: "remove"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestRangePartitionerCoversKeySpace(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 4, 7, 8} {
+		r := RangePartitioner{KeyMax: 10000, Parts: parts}
+		prev := -1
+		for k := uint32(1); k < 10000; k++ {
+			p := r.Part(k)
+			if p < 0 || p >= parts {
+				t.Fatalf("parts=%d key=%d -> %d", parts, k, p)
+			}
+			if p < prev {
+				t.Fatalf("parts=%d: partition decreased along keys", parts)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestRangePartitionerRangeConsistency(t *testing.T) {
+	f := func(key uint32, parts uint8) bool {
+		p := RangePartitioner{KeyMax: 1 << 20, Parts: int(parts%8) + 1}
+		k := key % (1 << 20)
+		part := p.Part(k)
+		lo, hi := p.Range(part)
+		return k >= lo && k < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangePartitionerRangesTile(t *testing.T) {
+	p := RangePartitioner{KeyMax: 1 << 16, Parts: 8}
+	prevHi := uint32(0)
+	for i := 0; i < 8; i++ {
+		lo, hi := p.Range(i)
+		if lo != prevHi {
+			t.Fatalf("partition %d starts at %d, previous ended at %d", i, lo, prevHi)
+		}
+		if hi <= lo && i < 7 {
+			t.Fatalf("partition %d empty", i)
+		}
+		prevHi = hi
+	}
+	if prevHi != 1<<16 {
+		t.Fatalf("ranges end at %d", prevHi)
+	}
+}
+
+func TestRangePartitionerOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("key >= KeyMax did not panic")
+		}
+	}()
+	RangePartitioner{KeyMax: 100, Parts: 4}.Part(100)
+}

@@ -1,0 +1,392 @@
+package skiplist
+
+import (
+	"sort"
+
+	"hybrids/internal/dsim/fc"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/prng"
+	"hybrids/internal/sim/machine"
+)
+
+// Hybrid is the paper's hybrid skiplist (§3.3): nodes taller than the
+// host-NMP split keep their top levels in a host-managed lock-free
+// skiplist whose bottom-level nodes hold shortcuts (begin-NMP-traversal
+// pointers) into per-partition NMP-managed skiplists holding the bottom
+// levels of every key.
+//
+// Insertions are applied NMP-side first and host-side second; removals
+// host-side first and NMP-side second, preserving the skiplist property
+// across the boundary. The NMP combiner detects begin-traversal nodes that
+// were logically deleted by operations it served earlier and asks the host
+// to retry (§3.2).
+//
+// One deliberate deviation from Listings 1-2: host-managed nodes carry no
+// authoritative value, so reads and updates always complete NMP-side. The
+// paper lets reads complete host-side and patches host copies on update
+// via the returned host_ptr; that protocol admits a stale-host-copy window
+// around racing insert/remove pairs, and offloading reads is the
+// conservative choice with identical memory-traffic shape.
+type Hybrid struct {
+	m     *machine.Machine
+	host  *lfCore
+	part  kv.RangePartitioner
+	lists []*seqList
+	pubs  []*fc.PubList
+
+	totalLevels int
+	hostLevels  int
+	nmpLevels   int
+	window      int
+	rngs        []*prng.Source
+}
+
+// HybridConfig parameterizes the hybrid skiplist.
+type HybridConfig struct {
+	// TotalLevels is the full skiplist height (log2 N).
+	TotalLevels int
+	// NMPLevels is how many bottom levels live NMP-side; the remaining
+	// TotalLevels-NMPLevels top levels form the host-managed portion,
+	// sized so that it fits the LLC (§3.3).
+	NMPLevels int
+	// KeyMax bounds the key space for range partitioning.
+	KeyMax uint32
+	// Window is the number of in-flight NMP calls per host thread used
+	// by ApplyBatch (1 = blocking behaviour). Publication lists are
+	// sized as hostCores*Window slots.
+	Window int
+	Seed   uint64
+}
+
+// NewHybrid creates the structure; call Start to spawn the NMP combiners.
+func NewHybrid(m *machine.Machine, cfg HybridConfig) *Hybrid {
+	if cfg.NMPLevels <= 0 || cfg.NMPLevels >= cfg.TotalLevels {
+		panic("skiplist: NMPLevels must split the structure")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	parts := m.Cfg.Mem.NMPVaults
+	s := &Hybrid{
+		m:           m,
+		host:        newLFCore(m.Mem.RAM, m.Mem.HostAlloc, cfg.TotalLevels-cfg.NMPLevels),
+		part:        kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: parts},
+		totalLevels: cfg.TotalLevels,
+		hostLevels:  cfg.TotalLevels - cfg.NMPLevels,
+		nmpLevels:   cfg.NMPLevels,
+		window:      cfg.Window,
+	}
+	slots := m.Cfg.Mem.HostCores * cfg.Window
+	for p := 0; p < parts; p++ {
+		s.lists = append(s.lists, newSeqList(m.Mem.RAM, m.Mem.NMPAlloc[p], cfg.NMPLevels))
+		s.pubs = append(s.pubs, fc.NewPubList(m, p, slots))
+	}
+	for i := 0; i < m.Cfg.Mem.HostCores; i++ {
+		s.rngs = append(s.rngs, prng.New(cfg.Seed^prng.Mix64(uint64(i)+211)))
+	}
+	return s
+}
+
+// Start spawns the NMP combiner daemons. Call once before Machine.Run.
+func (s *Hybrid) Start() {
+	for p := range s.lists {
+		list := s.lists[p]
+		pub := s.pubs[p]
+		s.m.SpawnNMP(p, func(c *machine.Ctx) { fc.Serve(c, pub, list.handler()) })
+	}
+}
+
+// Build populates the structure untimed: NMP portions are bulk-loaded per
+// partition; keys whose height crosses the split get a host node holding
+// the excess levels and a shortcut to the NMP counterpart.
+func (s *Hybrid) Build(pairs []KV, seed uint64) {
+	ram := s.m.Mem.RAM
+	// Collect the tall keys in key order first (partitions are visited in
+	// ascending key-range order), then allocate their host nodes in
+	// shuffled order and link them.
+	type tall struct {
+		pair    KV
+		hh      int
+		nmpNode uint32
+	}
+	var talls []tall
+	buildPartitioned(s.m, s.part, s.lists, s.totalLevels, pairs, seed,
+		func(p int, pair KV, height int, nmpNode uint32) {
+			if height <= s.nmpLevels {
+				return
+			}
+			talls = append(talls, tall{pair: pair, hh: height - s.nmpLevels, nmpNode: nmpNode})
+		})
+	heights := make([]int, len(talls))
+	for i, t := range talls {
+		heights[i] = t.hh
+	}
+	addrs := shuffledNodeAlloc(s.m.Mem.HostAlloc, heights, seed^0x405)
+	tails := make([]uint32, s.hostLevels)
+	for l := range tails {
+		tails[l] = s.host.head
+	}
+	for i, t := range talls {
+		hostNode := addrs[i]
+		initNode(ram, hostNode, t.pair.Key, t.pair.Value, t.hh, t.nmpNode)
+		ram.Store32(auxAddr(t.nmpNode), hostNode)
+		for l := 0; l < t.hh; l++ {
+			ram.Store32(nextAddr(hostNode, l), ram.Load32(nextAddr(tails[l], l)))
+			ram.Store32(nextAddr(tails[l], l), hostNode)
+			tails[l] = hostNode
+		}
+	}
+}
+
+// shortcut performs the host-side traversal and derives the operation's
+// begin-NMP-traversal pointer (Listing 1 lines 7, 14-15): the host-level
+// bottom predecessor's NMP counterpart, provided the predecessor falls in
+// the target partition.
+func (s *Hybrid) shortcut(c *machine.Ctx, key uint32, p int) (hostNode, pred, begin uint32) {
+	hostNode, pred = s.host.search(c, key)
+	if pred != s.host.head && s.part.Part(c.Read32(keyAddr(pred))) == p {
+		begin = c.Read32(auxAddr(pred))
+	}
+	return hostNode, pred, begin
+}
+
+// request builds the NMP request for op, performing the host-side
+// pre-work: traversal, shortcut derivation, host-side removal ordering,
+// and host-node pre-allocation for inserts. It may complete the operation
+// host-side (done=true) when a remove loses its host-side race.
+func (s *Hybrid) request(c *machine.Ctx, op kv.Op, hostNode uint32, height int) (req fc.Request, pred uint32, done, ok bool) {
+	p := s.part.Part(op.Key)
+	found, pred, begin := s.shortcut(c, op.Key, p)
+	req = fc.Request{Key: op.Key, Value: op.Value, NMPPtr: begin}
+	switch op.Kind {
+	case kv.Read:
+		req.Op = fc.OpRead
+	case kv.Update:
+		req.Op = fc.OpUpdate
+	case kv.Insert:
+		req.Op = fc.OpInsert
+		req.Aux = uint32(height)
+		req.HostPtr = hostNode
+	case kv.Remove:
+		req.Op = fc.OpRemove
+		if found != 0 {
+			// §3.3: removals apply host-side first, NMP-side second.
+			if !s.host.removeNode(c, found, op.Key) {
+				// A concurrent remover won the host-side race and
+				// owns the NMP-side removal.
+				return req, pred, true, false
+			}
+		}
+	}
+	return req, pred, false, false
+}
+
+// finish performs the host-side post-work for a completed NMP response.
+// retry=true means the whole operation must restart from the host
+// traversal (after cleaning up the stale shortcut).
+func (s *Hybrid) finish(c *machine.Ctx, op kv.Op, hostNode uint32, resp fc.Response) (value uint32, ok, retry bool) {
+	if resp.Retry {
+		return 0, false, true
+	}
+	switch op.Kind {
+	case kv.Read:
+		return resp.Value, resp.Success, false
+	case kv.Update, kv.Remove:
+		return 0, resp.Success, false
+	case kv.Insert:
+		if !resp.Success {
+			return 0, false, false // key already present
+		}
+		if hostNode != 0 {
+			// §3.3: link the host levels after the NMP link (the
+			// linearization point) succeeded.
+			c.Write32(auxAddr(hostNode), resp.Ptr)
+			hh := int(c.Read32(heightAddr(hostNode)))
+			s.host.linkNode(c, hostNode, op.Key, hh)
+		}
+		return 0, true, false
+	default:
+		panic("skiplist: unknown op kind")
+	}
+}
+
+// cleanupStaleShortcut unlinks a host node whose NMP counterpart the
+// combiner reported as logically deleted, so retries cannot loop on the
+// same dead begin-traversal pointer.
+func (s *Hybrid) cleanupStaleShortcut(c *machine.Ctx, pred uint32) {
+	if pred == 0 || pred == s.host.head {
+		return
+	}
+	s.host.removeNode(c, pred, c.Read32(keyAddr(pred)))
+}
+
+// prepareInsert draws the height and pre-allocates the host-side node when
+// the height crosses the split (Listing 1 lines 10-13).
+func (s *Hybrid) prepareInsert(c *machine.Ctx, op kv.Op) (hostNode uint32, height int) {
+	height = s.rngs[c.Core()].GeometricHeight(s.totalLevels)
+	if height > s.nmpLevels {
+		hostNode = newNode(c, s.m.Mem.HostAlloc, op.Key, op.Value, height-s.nmpLevels, 0)
+	}
+	return hostNode, height
+}
+
+// Apply implements kv.Store with blocking NMP calls.
+func (s *Hybrid) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	var hostNode uint32
+	var height int
+	if op.Kind == kv.Insert {
+		hostNode, height = s.prepareInsert(c, op)
+	}
+	for {
+		req, pred, done, ok := s.request(c, op, hostNode, height)
+		if done {
+			return 0, ok
+		}
+		p := s.part.Part(op.Key)
+		resp := s.pubs[p].Call(c, thread*s.window, req)
+		value, ok, retry := s.finish(c, op, hostNode, resp)
+		if !retry {
+			return value, ok
+		}
+		s.cleanupStaleShortcut(c, pred)
+	}
+}
+
+// asyncOp carries one in-flight operation's host-side state.
+type asyncOp struct {
+	op       kv.Op
+	hostNode uint32
+	height   int
+	pred     uint32
+}
+
+// ApplyBatch implements kv.AsyncStore: non-blocking NMP calls (§3.5) with
+// up to the configured window of operations in flight per thread.
+func (s *Hybrid) ApplyBatch(c *machine.Ctx, thread int, ops []kv.Op) int {
+	w := fc.NewWindow(thread, s.window, s.pubs)
+	succeeded := 0
+	issue := func(a *asyncOp) bool {
+		// Returns false if the op completed host-side without offload.
+		req, pred, done, ok := s.request(c, a.op, a.hostNode, a.height)
+		if done {
+			if ok {
+				succeeded++
+			}
+			return false
+		}
+		a.pred = pred
+		w.Post(c, s.part.Part(a.op.Key), req, a)
+		return true
+	}
+	harvest := func() {
+		tag, resp, _ := w.Harvest(c)
+		a := tag.(*asyncOp)
+		_, ok, retry := s.finish(c, a.op, a.hostNode, resp)
+		if retry {
+			s.cleanupStaleShortcut(c, a.pred)
+			issue(a) // reissue; a host-side completion is already counted
+			return
+		}
+		if ok {
+			succeeded++
+		}
+	}
+	next := 0
+	for next < len(ops) || !w.Empty() {
+		if next < len(ops) && !w.Full() {
+			a := &asyncOp{op: ops[next]}
+			next++
+			if a.op.Kind == kv.Insert {
+				a.hostNode, a.height = s.prepareInsert(c, a.op)
+			}
+			issue(a)
+			continue
+		}
+		harvest()
+	}
+	return succeeded
+}
+
+// Dump returns live pairs across all NMP partitions — the authoritative
+// bottom level — in key order (untimed).
+func (s *Hybrid) Dump() []KV {
+	var out []KV
+	for _, l := range s.lists {
+		out = append(out, l.dump(s.m.Mem.RAM)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// CheckInvariants validates the host portion's skiplist property, each
+// partition's skiplist property and key ranges, and the cross-boundary
+// consistency: every live (unmarked) host node's shortcut must reference
+// an NMP node with the same key. A host node whose NMP counterpart is
+// logically deleted is a stale shortcut; those are permitted only when
+// marked host-side or not yet cleaned — they are counted, not failed,
+// as long as the authoritative NMP level does not contain the key.
+func (s *Hybrid) CheckInvariants() error {
+	ram := s.m.Mem.RAM
+	if err := s.host.checkInvariants(ram); err != nil {
+		return err
+	}
+	for p, l := range s.lists {
+		if err := l.checkInvariants(ram); err != nil {
+			return err
+		}
+		lo, hi := s.part.Range(p)
+		for _, pair := range l.dump(ram) {
+			if pair.Key < lo || pair.Key >= hi {
+				return errf("partition %d holds out-of-range key %d", p, pair.Key)
+			}
+		}
+	}
+	// Cross-boundary: walk live host nodes.
+	n := ref(ram.Load32(nextAddr(s.host.head, 0)))
+	for n != s.host.tail {
+		if !marked(ram.Load32(nextAddr(n, 0))) {
+			key := ram.Load32(keyAddr(n))
+			nmp := ram.Load32(auxAddr(n))
+			if nmp == 0 {
+				return errf("live host node key=%d has no NMP shortcut", key)
+			}
+			if got := ram.Load32(keyAddr(nmp)); got != key {
+				return errf("host node key=%d shortcut points at NMP key=%d", key, got)
+			}
+		}
+		n = ref(ram.Load32(nextAddr(n, 0)))
+	}
+	return nil
+}
+
+// StaleShortcuts counts live host nodes whose NMP counterpart is logically
+// deleted (transient states left by racing insert/remove pairs).
+func (s *Hybrid) StaleShortcuts() int {
+	ram := s.m.Mem.RAM
+	count := 0
+	n := ref(ram.Load32(nextAddr(s.host.head, 0)))
+	for n != s.host.tail {
+		if !marked(ram.Load32(nextAddr(n, 0))) {
+			nmp := ram.Load32(auxAddr(n))
+			if nmp != 0 && ram.Load32(flagsAddr(nmp))&flagDeleted != 0 {
+				count++
+			}
+		}
+		n = ref(ram.Load32(nextAddr(n, 0)))
+	}
+	return count
+}
+
+// Delays aggregates offload delay instrumentation across partitions.
+func (s *Hybrid) Delays() fc.Delays {
+	var d fc.Delays
+	for _, p := range s.pubs {
+		d.Add(p.Delays)
+	}
+	return d
+}
+
+var (
+	_ kv.Store      = (*Hybrid)(nil)
+	_ kv.AsyncStore = (*Hybrid)(nil)
+)

@@ -1,0 +1,108 @@
+package skiplist
+
+import (
+	"fmt"
+
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/prng"
+	"hybrids/internal/radix"
+	"hybrids/internal/sim/machine"
+)
+
+func errf(format string, args ...any) error { return fmt.Errorf("skiplist: "+format, args...) }
+
+// LockFree is the paper's non-NMP reference skiplist: the lock-free
+// skiplist of Fraser / Herlihy-Lev-Shavit, living entirely in host main
+// memory and operated by host threads.
+type LockFree struct {
+	m      *machine.Machine
+	core   *lfCore
+	levels int
+	rngs   []*prng.Source // per host core, for node heights
+}
+
+// NewLockFree creates an empty lock-free skiplist with the given total
+// level count (the paper configures log2 N levels).
+func NewLockFree(m *machine.Machine, levels int, seed uint64) *LockFree {
+	s := &LockFree{
+		m:      m,
+		core:   newLFCore(m.Mem.RAM, m.Mem.HostAlloc, levels),
+		levels: levels,
+	}
+	for i := 0; i < m.Cfg.Mem.HostCores; i++ {
+		s.rngs = append(s.rngs, prng.New(seed^prng.Mix64(uint64(i)+1)))
+	}
+	return s
+}
+
+// Build populates the skiplist untimed (the load phase). Keys are
+// deduplicated; heights are drawn deterministically from the build seed.
+func (s *LockFree) Build(pairs []KV, seed uint64) {
+	sorted := append([]KV(nil), pairs...)
+	radix.SortFunc(sorted, func(p KV) uint32 { return p.Key })
+	rng := prng.New(seed)
+	ram := s.m.Mem.RAM
+	uniq := sorted[:0]
+	var heights []int
+	for i, p := range sorted {
+		if i > 0 && len(uniq) > 0 && p.Key == uniq[len(uniq)-1].Key {
+			continue
+		}
+		uniq = append(uniq, p)
+		heights = append(heights, rng.GeometricHeight(s.levels))
+	}
+	addrs := shuffledNodeAlloc(s.m.Mem.HostAlloc, heights, seed^0x55)
+	// Sorted bulk link: keep the most recent node at each level and
+	// splice each new node after those tails.
+	tails := make([]uint32, s.levels)
+	for l := range tails {
+		tails[l] = s.core.head
+	}
+	for i, p := range uniq {
+		h := heights[i]
+		n := addrs[i]
+		initNode(ram, n, p.Key, p.Value, h, 0)
+		for l := 0; l < h; l++ {
+			ram.Store32(nextAddr(n, l), ram.Load32(nextAddr(tails[l], l)))
+			ram.Store32(nextAddr(tails[l], l), n)
+			tails[l] = n
+		}
+	}
+}
+
+// Apply implements kv.Store.
+func (s *LockFree) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	switch op.Kind {
+	case kv.Read:
+		node, _ := s.core.search(c, op.Key)
+		if node == 0 {
+			return 0, false
+		}
+		return c.Read32(valueAddr(node)), true
+	case kv.Update:
+		node, _ := s.core.search(c, op.Key)
+		if node == 0 {
+			return 0, false
+		}
+		c.Write32(valueAddr(node), op.Value)
+		return 0, true
+	case kv.Insert:
+		h := s.rngs[c.Core()].GeometricHeight(s.levels)
+		_, ok := s.core.insert(c, op.Key, op.Value, h, 0)
+		return 0, ok
+	case kv.Remove:
+		_, ok := s.core.remove(c, op.Key)
+		return 0, ok
+	default:
+		panic("skiplist: unknown op kind")
+	}
+}
+
+// Dump returns the live key-value pairs in key order (untimed; for
+// verification after the simulation).
+func (s *LockFree) Dump() []KV { return s.core.dump(s.m.Mem.RAM) }
+
+// CheckInvariants verifies the skiplist property (untimed).
+func (s *LockFree) CheckInvariants() error { return s.core.checkInvariants(s.m.Mem.RAM) }
+
+var _ kv.Store = (*LockFree)(nil)

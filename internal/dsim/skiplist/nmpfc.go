@@ -1,0 +1,157 @@
+package skiplist
+
+import (
+	"sort"
+
+	"hybrids/internal/dsim/fc"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/prng"
+	"hybrids/internal/radix"
+	"hybrids/internal/sim/machine"
+)
+
+// NMPFC is the NMP-based flat-combining skiplist of prior work [16, 44]:
+// the entire structure lives in NMP-capable memory, range-partitioned, and
+// host threads offload whole operations to the per-partition NMP cores.
+// Every traversal starts at the partition's sentinel head.
+type NMPFC struct {
+	m      *machine.Machine
+	part   kv.RangePartitioner
+	lists  []*seqList
+	pubs   []*fc.PubList
+	levels int
+	rngs   []*prng.Source
+}
+
+// NMPFCConfig parameterizes the NMP-based skiplist.
+type NMPFCConfig struct {
+	// Levels is the total skiplist level count (log2 N).
+	Levels int
+	// KeyMax bounds the key space for range partitioning.
+	KeyMax uint32
+	// SlotsPerPartition sizes each publication list; it must cover
+	// hostThreads (blocking calls use slot = thread index).
+	SlotsPerPartition int
+	Seed              uint64
+}
+
+// NewNMPFC creates the structure and spawns one combiner per partition.
+func NewNMPFC(m *machine.Machine, cfg NMPFCConfig) *NMPFC {
+	parts := m.Cfg.Mem.NMPVaults
+	s := &NMPFC{
+		m:      m,
+		part:   kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: parts},
+		levels: cfg.Levels,
+	}
+	for p := 0; p < parts; p++ {
+		s.lists = append(s.lists, newSeqList(m.Mem.RAM, m.Mem.NMPAlloc[p], cfg.Levels))
+		s.pubs = append(s.pubs, fc.NewPubList(m, p, cfg.SlotsPerPartition))
+	}
+	for i := 0; i < m.Cfg.Mem.HostCores; i++ {
+		s.rngs = append(s.rngs, prng.New(cfg.Seed^prng.Mix64(uint64(i)+101)))
+	}
+	return s
+}
+
+// Start spawns the NMP combiner daemons. Call once before Machine.Run.
+func (s *NMPFC) Start() {
+	for p := range s.lists {
+		list := s.lists[p]
+		pub := s.pubs[p]
+		s.m.SpawnNMP(p, func(c *machine.Ctx) { fc.Serve(c, pub, list.handler()) })
+	}
+}
+
+// Build populates the structure untimed.
+func (s *NMPFC) Build(pairs []KV, seed uint64) {
+	buildPartitioned(s.m, s.part, s.lists, s.levels, pairs, seed, nil)
+}
+
+// Apply implements kv.Store: the whole operation is offloaded.
+func (s *NMPFC) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	p := s.part.Part(op.Key)
+	req := fc.Request{Key: op.Key, Value: op.Value}
+	switch op.Kind {
+	case kv.Read:
+		req.Op = fc.OpRead
+	case kv.Update:
+		req.Op = fc.OpUpdate
+	case kv.Insert:
+		req.Op = fc.OpInsert
+		req.Aux = uint32(s.rngs[c.Core()].GeometricHeight(s.levels))
+	case kv.Remove:
+		req.Op = fc.OpRemove
+	}
+	resp := s.pubs[p].Call(c, thread, req)
+	return resp.Value, resp.Success
+}
+
+// Dump returns live pairs across all partitions in key order (untimed).
+func (s *NMPFC) Dump() []KV {
+	var out []KV
+	for _, l := range s.lists {
+		out = append(out, l.dump(s.m.Mem.RAM)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// CheckInvariants validates every partition's skiplist property and that
+// partition contents respect the key ranges (untimed).
+func (s *NMPFC) CheckInvariants() error {
+	for p, l := range s.lists {
+		if err := l.checkInvariants(s.m.Mem.RAM); err != nil {
+			return err
+		}
+		lo, hi := s.part.Range(p)
+		for _, pair := range l.dump(s.m.Mem.RAM) {
+			if pair.Key < lo || pair.Key >= hi {
+				return errf("partition %d holds out-of-range key %d", p, pair.Key)
+			}
+		}
+	}
+	return nil
+}
+
+// Delays aggregates offload delay instrumentation across partitions.
+func (s *NMPFC) Delays() fc.Delays {
+	var d fc.Delays
+	for _, p := range s.pubs {
+		d.Add(p.Delays)
+	}
+	return d
+}
+
+// buildPartitioned splits pairs by partition, bulk-loads each partition's
+// list, and optionally reports each created node through onNode (used by
+// the hybrid build to wire host shortcuts). Heights are drawn from seed
+// deterministically per key.
+func buildPartitioned(m *machine.Machine, part kv.RangePartitioner, lists []*seqList, levels int,
+	pairs []KV, seed uint64, onNode func(p int, pair KV, height int, node uint32)) {
+	sorted := append([]KV(nil), pairs...)
+	radix.SortFunc(sorted, func(p KV) uint32 { return p.Key })
+	rng := prng.New(seed)
+	byPart := make([][]KV, len(lists))
+	heights := make([][]int, len(lists))
+	var prevKey uint32
+	for i, pr := range sorted {
+		if i > 0 && pr.Key == prevKey {
+			continue
+		}
+		prevKey = pr.Key
+		h := rng.GeometricHeight(levels)
+		p := part.Part(pr.Key)
+		byPart[p] = append(byPart[p], pr)
+		heights[p] = append(heights[p], h)
+	}
+	for p, list := range lists {
+		nodes := list.buildSorted(m.Mem.RAM, byPart[p], heights[p])
+		if onNode != nil {
+			for i, n := range nodes {
+				onNode(p, byPart[p][i], heights[p][i], n)
+			}
+		}
+	}
+}
+
+var _ kv.Store = (*NMPFC)(nil)

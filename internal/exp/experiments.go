@@ -1,0 +1,502 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hybrids/internal/ycsb"
+)
+
+// Result is one reproduced table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Experiment is a runnable reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(sc Scale, progress io.Writer) Result
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: evaluation framework configuration", runTable1},
+		{"fig5a", "Figure 5a: skiplist throughput, YCSB-C", runFig5a},
+		{"fig5b", "Figure 5b: skiplist DRAM reads per operation, YCSB-C", runFig5b},
+		{"fig6a", "Figure 6a: B+ tree throughput, YCSB-C", runFig6a},
+		{"fig6b", "Figure 6b: B+ tree DRAM reads per operation, YCSB-C", runFig6b},
+		{"table2", "Table 2: NMP operation offloading delays", runTable2},
+		{"fig7", "Figure 7: skiplist sensitivity to concurrent modifications", runFig7},
+		{"fig8", "Figure 8: B+ tree sensitivity to concurrent modifications", runFig8},
+		{"fig9", "Figure 9: B+ tree memory reads per op across mixes", runFig9},
+		{"ablate-window", "Ablation: non-blocking window depth (§3.5)", runAblateWindow},
+		{"ablate-skew", "Ablation: workload skew (the paper's §7 limitation)", runAblateSkew},
+		{"ablate-split", "Ablation: skiplist host-NMP split level (§3.3)", runAblateSplit},
+		{"ablate-mmio", "Ablation: NMP offload (MMIO) latency sensitivity (§3.2)", runAblateMMIO},
+		{"ablate-partitions", "Ablation: NMP partition count (§3.2)", runAblatePartitions},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func progressf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// --- Table 1 -------------------------------------------------------------
+
+func runTable1(sc Scale, _ io.Writer) Result {
+	mc := sc.Machine.Mem
+	rows := [][]string{
+		{"host cores", fmt.Sprintf("%d out-of-order-equivalent @ 2GHz, 1 thread/core", mc.HostCores)},
+		{"L1 dcache", fmt.Sprintf("%dKB private, %d-way LRU, %d-cycle, %dB blocks", mc.L1.Size>>10, mc.L1.Ways, mc.L1.Latency, mc.L1.BlockSize)},
+		{"L2 cache", fmt.Sprintf("%dKB shared, %d-way LRU, %d-cycle, %dB blocks", mc.L2.Size>>10, mc.L2.Ways, mc.L2.Latency, mc.L2.BlockSize)},
+		{"memory", fmt.Sprintf("%dMB host + %dMB NMP, %d+%d vaults, %d banks/vault", mc.HostMemSize>>20, mc.NMPMemSize>>20, mc.HostVaults, mc.NMPVaults, mc.Vault.Banks)},
+		{"DRAM timing", fmt.Sprintf("tRP=%d tRCD=%d tCL=%d tBURST=%d cycles", mc.Vault.Timing.TRP, mc.Vault.Timing.TRCD, mc.Vault.Timing.TCL, mc.Vault.Timing.TBURST)},
+		{"NMP cores", fmt.Sprintf("%d in-order single-cycle @ 2GHz, one %dB node buffer", mc.NMPVaults, mc.L1.BlockSize)},
+		{"scratchpad", fmt.Sprintf("%dKB per NMP core (publication lists host-mapped)", mc.ScratchSize>>10)},
+		{"offload path", fmt.Sprintf("MMIO write %d / read %d / +%d per extra word / host DRAM extra %d cycles", mc.MMIOWriteLatency, mc.MMIOReadLatency, mc.MMIOWordExtra, mc.HostDRAMExtra)},
+	}
+	return Result{ID: "table1", Title: "Table 1 (scale: " + sc.Name + ")", Header: []string{"component", "configuration"}, Rows: rows}
+}
+
+// --- Figures 5a/5b: skiplist baseline (YCSB-C) ---------------------------
+
+func skiplistYCSBCGrid(sc Scale, threadCounts []int, progress io.Writer) map[string]map[int]Cell {
+	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
+	load := gen.Load()
+	out := map[string]map[int]Cell{}
+	for _, th := range threadCounts {
+		streams := gen.Streams(th, sc.WarmupPerThread+sc.OpsPerThread)
+		for _, v := range skiplistVariants(sc) {
+			progressf(progress, "  fig5 %s threads=%d...\n", v.name, th)
+			cell := runCell(sc, v, load, streams)
+			if out[v.name] == nil {
+				out[v.name] = map[int]Cell{}
+			}
+			out[v.name][th] = cell
+		}
+	}
+	return out
+}
+
+func runFig5a(sc Scale, progress io.Writer) Result {
+	grid := skiplistYCSBCGrid(sc, sc.ThreadCounts, progress)
+	res := Result{
+		ID: "fig5a", Title: "Figure 5a (skiplist, YCSB-C, scale " + sc.Name + ")",
+		Header: []string{"implementation", "threads", "Mops/s", "vs lock-free@same"},
+	}
+	for _, v := range skiplistVariants(sc) {
+		for _, th := range sc.ThreadCounts {
+			c := grid[v.name][th]
+			rel := c.MOpsPerSec / grid["lock-free"][th].MOpsPerSec
+			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), f2(rel) + "x"})
+		}
+	}
+	top := sc.ThreadCounts[len(sc.ThreadCounts)-1]
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("paper (8 threads): hybrid-blocking +46%% over lock-free, +99%% over NMP-based; hybrid-nonblocking4 = 2.46x lock-free"),
+		fmt.Sprintf("measured (%d threads): hybrid-blocking %.2fx lock-free, %.2fx NMP-based; hybrid-nonblocking%d %.2fx lock-free",
+			top,
+			grid["hybrid-blocking"][top].MOpsPerSec/grid["lock-free"][top].MOpsPerSec,
+			grid["hybrid-blocking"][top].MOpsPerSec/grid["NMP-based"][top].MOpsPerSec,
+			sc.Window,
+			grid[fmt.Sprintf("hybrid-nonblocking%d", sc.Window)][top].MOpsPerSec/grid["lock-free"][top].MOpsPerSec))
+	return res
+}
+
+func runFig5b(sc Scale, progress io.Writer) Result {
+	grid := skiplistYCSBCGrid(sc, []int{sc.MaxThreads}, progress)
+	res := Result{
+		ID: "fig5b", Title: "Figure 5b (skiplist DRAM reads/op, YCSB-C, scale " + sc.Name + ")",
+		Header: []string{"implementation", "DRAM reads/op", "vs lock-free"},
+	}
+	lf := grid["lock-free"][sc.MaxThreads].ReadsPerOp
+	for _, v := range skiplistVariants(sc) {
+		c := grid[v.name][sc.MaxThreads]
+		res.Rows = append(res.Rows, []string{v.name, f2(c.ReadsPerOp), f2(c.ReadsPerOp / lf)})
+	}
+	res.Notes = append(res.Notes, "paper: lock-free 36, hybrid 24 (2/3 of lock-free), NMP-based ~60 (hybrid = 40% of it)")
+	return res
+}
+
+// --- Figures 6a/6b: B+ tree baseline (YCSB-C) ----------------------------
+
+func btreeYCSBCGrid(sc Scale, threadCounts []int, progress io.Writer) map[string]map[int]Cell {
+	gen := ycsb.New(ycsb.YCSBC(sc.BTreeRecords, sc.KeyMax, sc.Seed))
+	load := gen.Load()
+	out := map[string]map[int]Cell{}
+	for _, th := range threadCounts {
+		streams := gen.Streams(th, sc.WarmupPerThread+sc.OpsPerThread)
+		for _, v := range btreeVariants(sc) {
+			progressf(progress, "  fig6 %s threads=%d...\n", v.name, th)
+			cell := runCell(sc, v, load, streams)
+			if out[v.name] == nil {
+				out[v.name] = map[int]Cell{}
+			}
+			out[v.name][th] = cell
+		}
+	}
+	return out
+}
+
+func runFig6a(sc Scale, progress io.Writer) Result {
+	grid := btreeYCSBCGrid(sc, sc.ThreadCounts, progress)
+	res := Result{
+		ID: "fig6a", Title: "Figure 6a (B+ tree, YCSB-C, scale " + sc.Name + ")",
+		Header: []string{"implementation", "threads", "Mops/s", "vs host-only@same"},
+	}
+	for _, v := range btreeVariants(sc) {
+		for _, th := range sc.ThreadCounts {
+			c := grid[v.name][th]
+			rel := c.MOpsPerSec / grid["host-only"][th].MOpsPerSec
+			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), f2(rel) + "x"})
+		}
+	}
+	top := sc.ThreadCounts[len(sc.ThreadCounts)-1]
+	res.Notes = append(res.Notes,
+		"paper (8 threads): hybrid-blocking +18% over host-only; hybrid-nonblocking4 = 2.11x host-only",
+		fmt.Sprintf("measured (%d threads): hybrid-blocking %.2fx host-only; hybrid-nonblocking%d %.2fx host-only",
+			top,
+			grid["hybrid-blocking"][top].MOpsPerSec/grid["host-only"][top].MOpsPerSec,
+			sc.Window,
+			grid[fmt.Sprintf("hybrid-nonblocking%d", sc.Window)][top].MOpsPerSec/grid["host-only"][top].MOpsPerSec))
+	return res
+}
+
+func runFig6b(sc Scale, progress io.Writer) Result {
+	grid := btreeYCSBCGrid(sc, []int{sc.MaxThreads}, progress)
+	res := Result{
+		ID: "fig6b", Title: "Figure 6b (B+ tree DRAM reads/op, YCSB-C, scale " + sc.Name + ")",
+		Header: []string{"implementation", "DRAM reads/op", "vs host-only"},
+	}
+	ho := grid["host-only"][sc.MaxThreads].ReadsPerOp
+	for _, v := range btreeVariants(sc) {
+		c := grid[v.name][sc.MaxThreads]
+		res.Rows = append(res.Rows, []string{v.name, f2(c.ReadsPerOp), f2(c.ReadsPerOp / ho)})
+	}
+	res.Notes = append(res.Notes, "paper: host-only ~9 reads/op, hybrid ~3 (the NMP levels)")
+	return res
+}
+
+// --- Table 2: offload delay decomposition --------------------------------
+
+func runTable2(sc Scale, progress io.Writer) Result {
+	// Single-threaded blocking hybrid B+ tree, read-only: isolates the
+	// offload path exactly as the paper measures it (same initial tree,
+	// same host levels, one offload at a time).
+	progressf(progress, "  table2 single-offload measurement...\n")
+	gen := ycsb.New(ycsb.YCSBC(sc.BTreeRecords, sc.KeyMax, sc.Seed))
+	load := gen.Load()
+	streams := gen.Streams(1, sc.WarmupPerThread+sc.OpsPerThread)
+	cell := runCell(sc, btreeHybrid(sc, 1, false), load, streams)
+
+	mc := sc.Machine.Mem
+	reqWrite := mc.MMIOWriteLatency + 6*mc.MMIOWordExtra
+	respRead := mc.MMIOReadLatency + 2*mc.MMIOWordExtra
+	llcMiss := mc.L1.Latency + mc.L2.Latency + mc.HostDRAMExtra +
+		mc.Vault.Timing.TRCD + mc.Vault.Timing.TCL + mc.Vault.Timing.TBURST
+
+	d := cell.Delays
+	rows := [][]string{
+		{"operation request write (host->scratchpad burst)", fmt.Sprint(reqWrite)},
+		{"post -> combiner pickup (doorbell + scan)", fmt.Sprint(d.PostToScan / max64(d.Count, 1))},
+		{"NMP-side service (traversal + execution)", fmt.Sprint(d.Service / max64(d.Count, 1))},
+		{"completion -> host observes (poll)", fmt.Sprint(d.CompleteToObserve / max64(d.ObserveCount, 1))},
+		{"response read (host<-scratchpad burst)", fmt.Sprint(respRead)},
+		{"reference: one LLC-miss DRAM access", fmt.Sprint(llcMiss)},
+	}
+	return Result{
+		ID: "table2", Title: "Table 2 (offload delays in cycles, scale " + sc.Name + ")",
+		Header: []string{"delay component", "cycles (mean)"},
+		Rows:   rows,
+		Notes: []string{
+			"paper: communication delays to and from the NMP core sum to ~1-2 LLC miss delays",
+			fmt.Sprintf("measured: request+observe+response = %d cycles vs LLC miss %d cycles (%.2fx)",
+				reqWrite+d.CompleteToObserve/max64(d.ObserveCount, 1)+respRead, llcMiss,
+				float64(reqWrite+d.CompleteToObserve/max64(d.ObserveCount, 1)+respRead)/float64(llcMiss)),
+		},
+	}
+}
+
+func max64(v, floor uint64) uint64 {
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// --- Figures 7-9: sensitivity analysis -----------------------------------
+
+type mix struct {
+	label                string
+	read, insert, remove int
+	fullyUniform         bool // B+ tree: uniform fresh inserts (no forced splits)
+}
+
+func sensitivityMixes() []mix {
+	return []mix{
+		{label: "100-0-0", read: 100},
+		{label: "90-5-5", read: 90, insert: 5, remove: 5},
+		{label: "70-15-15", read: 70, insert: 15, remove: 15},
+		{label: "50-25-25", read: 50, insert: 25, remove: 25},
+	}
+}
+
+func runFig7(sc Scale, progress io.Writer) Result {
+	res := Result{
+		ID: "fig7", Title: "Figure 7 (skiplist sensitivity, 8 threads, normalized to lock-free 100-0-0, scale " + sc.Name + ")",
+		Header: []string{"workload", "implementation", "Mops/s", "normalized"},
+	}
+	var base float64
+	for _, mx := range sensitivityMixes() {
+		gen := ycsb.New(ycsb.Mix(sc.SkiplistRecords, sc.KeyMax, mx.read, mx.insert, mx.remove, sc.Seed))
+		load := gen.Load()
+		streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+		for _, v := range skiplistVariants(sc) {
+			progressf(progress, "  fig7 %s %s...\n", mx.label, v.name)
+			c := runCell(sc, v, load, streams)
+			if mx.label == "100-0-0" && v.name == "lock-free" {
+				base = c.MOpsPerSec
+			}
+			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(c.MOpsPerSec), f2(c.MOpsPerSec / base)})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper: at 50-25-25, hybrid-blocking = 1.61x and hybrid-nonblocking4 = 3.12x lock-free;",
+		"hybrids retain 90-93% of their read-only throughput vs lock-free's 80%")
+	return res
+}
+
+func btreeMixConfig(sc Scale, mx mix) ycsb.Config {
+	cfg := ycsb.Mix(sc.BTreeRecords, sc.KeyMax, mx.read, mx.insert, mx.remove, sc.Seed)
+	if !mx.fullyUniform {
+		// §5.2: inserts target the last leaf of each NMP partition to
+		// force maximum node splits.
+		cfg.Inserts = ycsb.PartitionTail
+		cfg.Partitions = sc.Machine.Mem.NMPVaults
+	}
+	return cfg
+}
+
+func btreeSensitivityMixes() []mix {
+	return append(sensitivityMixes(),
+		mix{label: "50-25-25-uniform", read: 50, insert: 25, remove: 25, fullyUniform: true})
+}
+
+// btreeSensitivityMemo caches the shared fig8/fig9 grid per scale so that
+// "-exp all" measures it once.
+var btreeSensitivityMemo = map[string]map[string]map[string]Cell{}
+
+func runBTreeSensitivity(sc Scale, progress io.Writer) map[string]map[string]Cell {
+	memoKey := fmt.Sprintf("%s/%d/%d", sc.Name, sc.OpsPerThread, sc.BTreeRecords)
+	if grid, ok := btreeSensitivityMemo[memoKey]; ok {
+		return grid
+	}
+	out := map[string]map[string]Cell{}
+	for _, mx := range btreeSensitivityMixes() {
+		gen := ycsb.New(btreeMixConfig(sc, mx))
+		load := gen.Load()
+		streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+		for _, v := range btreeVariants(sc) {
+			progressf(progress, "  fig8/9 %s %s...\n", mx.label, v.name)
+			c := runCell(sc, v, load, streams)
+			if out[mx.label] == nil {
+				out[mx.label] = map[string]Cell{}
+			}
+			out[mx.label][v.name] = c
+		}
+	}
+	btreeSensitivityMemo[memoKey] = out
+	return out
+}
+
+func runFig8(sc Scale, progress io.Writer) Result {
+	grid := runBTreeSensitivity(sc, progress)
+	res := Result{
+		ID: "fig8", Title: "Figure 8 (B+ tree sensitivity, 8 threads, normalized to host-only 100-0-0, scale " + sc.Name + ")",
+		Header: []string{"workload", "implementation", "Mops/s", "normalized"},
+	}
+	base := grid["100-0-0"]["host-only"].MOpsPerSec
+	for _, mx := range btreeSensitivityMixes() {
+		for _, v := range btreeVariants(sc) {
+			c := grid[mx.label][v.name]
+			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(c.MOpsPerSec), f2(c.MOpsPerSec / base)})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper: hybrid-blocking stays within ~93.5-100% of host-only across mixes;",
+		"hybrid-nonblocking4 is ~1.46-1.60x host-only on every mix")
+	return res
+}
+
+func runFig9(sc Scale, progress io.Writer) Result {
+	grid := runBTreeSensitivity(sc, progress)
+	res := Result{
+		ID: "fig9", Title: "Figure 9 (B+ tree DRAM reads/op across mixes, 8 threads, scale " + sc.Name + ")",
+		Header: []string{"workload", "implementation", "DRAM reads/op"},
+	}
+	for _, mx := range btreeSensitivityMixes() {
+		for _, v := range btreeVariants(sc) {
+			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(grid[mx.label][v.name].ReadsPerOp)})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper: host-only's reads/op DROP as targeted insert ratio grows (split-path locality)",
+		"and rise again under 50-25-25-uniform; hybrid stays ~flat near the NMP level count")
+	return res
+}
+
+// --- Ablations ------------------------------------------------------------
+
+func runAblateWindow(sc Scale, progress io.Writer) Result {
+	res := Result{
+		ID: "ablate-window", Title: "Ablation: in-flight window depth (YCSB-C, 8 threads, scale " + sc.Name + ")",
+		Header: []string{"structure", "window", "Mops/s"},
+	}
+	skGen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
+	skLoad := skGen.Load()
+	skStreams := skGen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+	btGen := ycsb.New(ycsb.YCSBC(sc.BTreeRecords, sc.KeyMax, sc.Seed))
+	btLoad := btGen.Load()
+	btStreams := btGen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+	for _, w := range []int{1, 2, 4} {
+		progressf(progress, "  window=%d...\n", w)
+		c := runCell(sc, skiplistHybrid(sc, w, true), skLoad, skStreams)
+		res.Rows = append(res.Rows, []string{"hybrid skiplist", fmt.Sprint(w), f2(c.MOpsPerSec)})
+		c = runCell(sc, btreeHybrid(sc, w, true), btLoad, btStreams)
+		res.Rows = append(res.Rows, []string{"hybrid B+ tree", fmt.Sprint(w), f2(c.MOpsPerSec)})
+	}
+	res.Notes = append(res.Notes, "deeper windows hide offload latency until NMP cores or the host issue path saturate (§3.5)")
+	sortRows(res.Rows)
+	return res
+}
+
+func runAblateSkew(sc Scale, progress io.Writer) Result {
+	res := Result{
+		ID: "ablate-skew", Title: "Ablation: read-only skew sweep (skiplist, 8 threads, scale " + sc.Name + ")",
+		Header: []string{"distribution", "lock-free Mops/s", "hybrid-blocking Mops/s", "hybrid/lock-free", "LF reads/op", "hybrid reads/op"},
+	}
+	for _, d := range []struct {
+		label string
+		dist  ycsb.Dist
+		theta float64
+	}{
+		{"uniform", ycsb.Uniform, 0},
+		{"zipf-0.50", ycsb.Zipfian, 0.50},
+		{"zipf-0.80", ycsb.Zipfian, 0.80},
+		{"zipf-0.99", ycsb.Zipfian, 0.99},
+	} {
+		progressf(progress, "  skew %s...\n", d.label)
+		cfg := ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed)
+		cfg.Dist = d.dist
+		if d.theta != 0 {
+			cfg.ZipfTheta = d.theta
+		}
+		gen := ycsb.New(cfg)
+		load := gen.Load()
+		streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+		lf := runCell(sc, skiplistLockFree(sc), load, streams)
+		hy := runCell(sc, skiplistHybrid(sc, 1, false), load, streams)
+		res.Rows = append(res.Rows, []string{
+			d.label, f2(lf.MOpsPerSec), f2(hy.MOpsPerSec),
+			f2(hy.MOpsPerSec / lf.MOpsPerSec), f2(lf.ReadsPerOp), f2(hy.ReadsPerOp),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"§7: under high skew the conventional structure keeps hot low-level nodes cached,",
+		"eroding the hybrid's advantage — the proposed fix (self-adjusting placement) is future work")
+	return res
+}
+
+func runAblateSplit(sc Scale, progress io.Writer) Result {
+	res := Result{
+		ID: "ablate-split", Title: "Ablation: skiplist NMP level count (YCSB-C, 8 threads, blocking, scale " + sc.Name + ")",
+		Header: []string{"NMP levels", "host levels", "Mops/s", "DRAM reads/op"},
+	}
+	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
+	load := gen.Load()
+	streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+	for _, nl := range []int{sc.SkiplistNMPLevels - 2, sc.SkiplistNMPLevels, sc.SkiplistNMPLevels + 2, sc.SkiplistNMPLevels + 4} {
+		if nl <= 0 || nl >= sc.SkiplistLevels {
+			continue
+		}
+		progressf(progress, "  split nmp=%d...\n", nl)
+		scv := sc
+		scv.SkiplistNMPLevels = nl
+		c := runCell(scv, skiplistHybrid(scv, 1, false), load, streams)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(nl), fmt.Sprint(sc.SkiplistLevels - nl), f2(c.MOpsPerSec), f2(c.ReadsPerOp)})
+	}
+	res.Notes = append(res.Notes,
+		"too few NMP levels -> host portion outgrows the LLC (misses);",
+		"too many -> long serialized NMP traversals (the paper's LLC-sizing rule picks the knee)")
+	return res
+}
+
+func runAblateMMIO(sc Scale, progress io.Writer) Result {
+	res := Result{
+		ID: "ablate-mmio", Title: "Ablation: offload latency sensitivity (skiplist YCSB-C, 8 threads, scale " + sc.Name + ")",
+		Header: []string{"MMIO scale", "hybrid-blocking Mops/s", "hybrid-nonblocking Mops/s"},
+	}
+	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
+	load := gen.Load()
+	streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+	for _, f := range []float64{0.5, 1, 2, 4} {
+		progressf(progress, "  mmio x%.1f...\n", f)
+		scv := sc
+		scv.Machine.Mem.MMIOWriteLatency = uint64(float64(sc.Machine.Mem.MMIOWriteLatency) * f)
+		scv.Machine.Mem.MMIOReadLatency = uint64(float64(sc.Machine.Mem.MMIOReadLatency) * f)
+		b := runCell(scv, skiplistHybrid(scv, 1, false), load, streams)
+		nb := runCell(scv, skiplistHybrid(scv, scv.Window, true), load, streams)
+		res.Rows = append(res.Rows, []string{fmt.Sprintf("%.1fx", f), f2(b.MOpsPerSec), f2(nb.MOpsPerSec)})
+	}
+	res.Notes = append(res.Notes, "non-blocking calls should damp the offload-cost slope (the paper's §3.5 motivation)")
+	return res
+}
+
+func runAblatePartitions(sc Scale, progress io.Writer) Result {
+	res := Result{
+		ID: "ablate-partitions", Title: "Ablation: NMP partition count (skiplist YCSB-C, 8 threads, non-blocking, scale " + sc.Name + ")",
+		Header: []string{"partitions", "Mops/s"},
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		progressf(progress, "  partitions=%d...\n", parts)
+		scv := sc
+		scv.Machine.Mem.NMPVaults = parts
+		gen := ycsb.New(ycsb.YCSBC(scv.SkiplistRecords, scv.KeyMax, scv.Seed))
+		load := gen.Load()
+		streams := gen.Streams(scv.MaxThreads, scv.WarmupPerThread+scv.OpsPerThread)
+		c := runCell(scv, skiplistHybrid(scv, scv.Window, true), load, streams)
+		res.Rows = append(res.Rows, []string{fmt.Sprint(parts), f2(c.MOpsPerSec)})
+	}
+	res.Notes = append(res.Notes, "combiner parallelism scales with partitions until host issue rate dominates")
+	return res
+}
+
+func sortRows(rows [][]string) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i][0] != rows[j][0] {
+			return rows[i][0] < rows[j][0]
+		}
+		return rows[i][1] < rows[j][1]
+	})
+}

@@ -1,0 +1,237 @@
+package exp
+
+import (
+	"fmt"
+
+	"hybrids/internal/dsim/btree"
+	"hybrids/internal/dsim/fc"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/dsim/skiplist"
+	"hybrids/internal/sim/machine"
+	"hybrids/internal/sim/memsys"
+	"hybrids/internal/ycsb"
+)
+
+// runner executes one host thread's operation stream against a structure.
+type runner interface {
+	RunThread(c *machine.Ctx, thread int, ops []kv.Op)
+}
+
+type syncRunner struct{ s kv.Store }
+
+func (r syncRunner) RunThread(c *machine.Ctx, thread int, ops []kv.Op) {
+	for _, op := range ops {
+		r.s.Apply(c, thread, op)
+	}
+}
+
+type asyncRunner struct{ s kv.AsyncStore }
+
+func (r asyncRunner) RunThread(c *machine.Ctx, thread int, ops []kv.Op) {
+	r.s.ApplyBatch(c, thread, ops)
+}
+
+// delayer is implemented by structures exposing Table 2 instrumentation.
+type delayer interface{ Delays() fc.Delays }
+
+// variant names one evaluated implementation and how to build it on a
+// fresh machine.
+type variant struct {
+	name  string
+	build func(m *machine.Machine, load []ycsb.Pair) runner
+}
+
+// Cell is one measured grid point.
+type Cell struct {
+	Variant    string
+	Threads    int
+	Cycles     uint64  // measured-phase virtual cycles
+	Ops        int     // measured operations
+	MOpsPerSec float64 // at the 2 GHz core clock
+	ReadsPerOp float64 // DRAM block reads per operation
+	Delays     fc.Delays
+}
+
+// Throughput returns operations per kilocycle (clock-independent).
+func (c Cell) Throughput() float64 { return float64(c.Ops) / float64(c.Cycles) * 1000 }
+
+// runCell builds the variant on a fresh machine and measures steady-state
+// throughput and DRAM reads per operation: every thread runs its warmup
+// slice, all threads rendezvous, and the measured slices run to
+// completion. Reported cycles span rendezvous to last completion. The same
+// load set and streams must be passed for every variant of a grid point so
+// variants see identical work.
+func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
+	threads := len(streams)
+	m := machine.New(sc.Machine)
+	r := v.build(m, load)
+
+	arrived := 0
+	finished := 0
+	var startCycle uint64
+	var startStats, endStats memsys.Stats
+	var startDelays, endDelays fc.Delays
+	endCycle := uint64(0)
+	for th := 0; th < threads; th++ {
+		th := th
+		m.SpawnHost(th, fmt.Sprintf("driver%d", th), func(c *machine.Ctx) {
+			r.RunThread(c, th, streams[th][:sc.WarmupPerThread])
+			arrived++
+			if arrived == threads {
+				startCycle = c.Now()
+				startStats = m.Mem.Stats
+				if d, ok := rStore(r).(delayer); ok {
+					startDelays = d.Delays()
+				}
+			}
+			for arrived < threads {
+				c.Step(64)
+			}
+			r.RunThread(c, th, streams[th][sc.WarmupPerThread:])
+			finished++
+			if c.Now() > endCycle {
+				endCycle = c.Now()
+			}
+			if finished == threads {
+				endStats = m.Mem.Stats
+				if d, ok := rStore(r).(delayer); ok {
+					endDelays = d.Delays()
+				}
+			}
+		})
+	}
+	m.Run()
+
+	ops := threads * sc.OpsPerThread
+	cycles := endCycle - startCycle
+	stats := endStats.Sub(startStats)
+	cell := Cell{
+		Variant:    v.name,
+		Threads:    threads,
+		Cycles:     cycles,
+		Ops:        ops,
+		MOpsPerSec: float64(ops) / float64(cycles) * 2e9 / 1e6, // 2 GHz clock
+		ReadsPerOp: float64(stats.DRAMReads()) / float64(ops),
+	}
+	cell.Delays = endDelays
+	cell.Delays.PostToScan -= startDelays.PostToScan
+	cell.Delays.Service -= startDelays.Service
+	cell.Delays.Count -= startDelays.Count
+	cell.Delays.CompleteToObserve -= startDelays.CompleteToObserve
+	cell.Delays.ObserveCount -= startDelays.ObserveCount
+	return cell
+}
+
+// rStore unwraps the underlying store from a runner for instrumentation.
+func rStore(r runner) any {
+	switch rr := r.(type) {
+	case syncRunner:
+		return rr.s
+	case asyncRunner:
+		return rr.s
+	default:
+		return r
+	}
+}
+
+// Load conversion helpers.
+
+func skiplistPairs(load []ycsb.Pair) []skiplist.KV {
+	out := make([]skiplist.KV, len(load))
+	for i, p := range load {
+		out[i] = skiplist.KV{Key: p.Key, Value: p.Value}
+	}
+	return out
+}
+
+func btreePairs(load []ycsb.Pair) []btree.KV {
+	out := make([]btree.KV, len(load))
+	for i, p := range load {
+		out[i] = btree.KV{Key: p.Key, Value: p.Value}
+	}
+	return out
+}
+
+// Skiplist variants evaluated in §5 (Figure 5, Figure 7).
+
+func skiplistLockFree(sc Scale) variant {
+	return variant{name: "lock-free", build: func(m *machine.Machine, load []ycsb.Pair) runner {
+		s := skiplist.NewLockFree(m, sc.SkiplistLevels, sc.Seed)
+		s.Build(skiplistPairs(load), sc.Seed+1)
+		return syncRunner{s}
+	}}
+}
+
+func skiplistNMPBased(sc Scale) variant {
+	return variant{name: "NMP-based", build: func(m *machine.Machine, load []ycsb.Pair) runner {
+		s := skiplist.NewNMPFC(m, skiplist.NMPFCConfig{
+			Levels: sc.SkiplistLevels, KeyMax: sc.KeyMax,
+			SlotsPerPartition: m.Cfg.Mem.HostCores, Seed: sc.Seed,
+		})
+		s.Build(skiplistPairs(load), sc.Seed+1)
+		s.Start()
+		return syncRunner{s}
+	}}
+}
+
+func skiplistHybrid(sc Scale, window int, async bool) variant {
+	name := "hybrid-blocking"
+	if async {
+		name = fmt.Sprintf("hybrid-nonblocking%d", window)
+	}
+	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) runner {
+		s := skiplist.NewHybrid(m, skiplist.HybridConfig{
+			TotalLevels: sc.SkiplistLevels, NMPLevels: sc.SkiplistNMPLevels,
+			KeyMax: sc.KeyMax, Window: window, Seed: sc.Seed,
+		})
+		s.Build(skiplistPairs(load), sc.Seed+1)
+		s.Start()
+		if async {
+			return asyncRunner{s}
+		}
+		return syncRunner{s}
+	}}
+}
+
+func skiplistVariants(sc Scale) []variant {
+	return []variant{
+		skiplistLockFree(sc),
+		skiplistNMPBased(sc),
+		skiplistHybrid(sc, 1, false),
+		skiplistHybrid(sc, sc.Window, true),
+	}
+}
+
+// B+ tree variants evaluated in §5 (Figure 6, Figure 8).
+
+func btreeHostOnly(sc Scale) variant {
+	return variant{name: "host-only", build: func(m *machine.Machine, load []ycsb.Pair) runner {
+		t := btree.NewHostOnly(m)
+		t.Build(btreePairs(load), sc.BTreeFill)
+		return syncRunner{t}
+	}}
+}
+
+func btreeHybrid(sc Scale, window int, async bool) variant {
+	name := "hybrid-blocking"
+	if async {
+		name = fmt.Sprintf("hybrid-nonblocking%d", window)
+	}
+	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) runner {
+		t := btree.NewHybrid(m, btree.HybridBTreeConfig{NMPLevels: sc.BTreeNMPLevels, Window: window})
+		t.Build(btreePairs(load), sc.BTreeFill)
+		t.Start()
+		if async {
+			return asyncRunner{t}
+		}
+		return syncRunner{t}
+	}}
+}
+
+func btreeVariants(sc Scale) []variant {
+	return []variant{
+		btreeHostOnly(sc),
+		btreeHybrid(sc, 1, false),
+		btreeHybrid(sc, sc.Window, true),
+	}
+}

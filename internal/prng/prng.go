@@ -1,0 +1,63 @@
+// Package prng provides small, deterministic, allocation-free pseudo-random
+// generators used by workload generation and simulated data structures.
+// Determinism matters: experiment results must be bit-identical across
+// runs, so all randomness flows from explicit seeds through these
+// generators rather than math/rand's global state.
+package prng
+
+// Source is a splitmix64 generator: tiny state, excellent distribution for
+// non-cryptographic use, and stable across Go releases (unlike math/rand's
+// unexported algorithms).
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Next returns the next 64 uniformly distributed bits.
+func (s *Source) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns 32 uniform bits.
+func (s *Source) Uint32() uint32 { return uint32(s.Next() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive bound")
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// GeometricHeight returns 1 + Geometric(1/2) capped at max: the skiplist
+// node height distribution (each node at level i appears at level i+1 with
+// probability 1/2).
+func (s *Source) GeometricHeight(max int) int {
+	h := 1
+	for h < max && s.Next()&1 == 1 {
+		h++
+	}
+	return h
+}
+
+// Mix64 is a stateless splitmix64 finalizer, usable as a hash for key
+// scrambling.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

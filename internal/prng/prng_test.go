@@ -1,0 +1,109 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds agreed %d times", same)
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		if v := s.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestGeometricHeightDistribution(t *testing.T) {
+	s := New(11)
+	counts := make([]int, 33)
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		h := s.GeometricHeight(32)
+		if h < 1 || h > 32 {
+			t.Fatalf("height %d out of range", h)
+		}
+		counts[h]++
+	}
+	// P(h=1) ~ 1/2, P(h=2) ~ 1/4, each level ~half the previous.
+	if f := float64(counts[1]) / n; f < 0.48 || f > 0.52 {
+		t.Fatalf("P(h=1) = %v", f)
+	}
+	for h := 2; h <= 8; h++ {
+		ratio := float64(counts[h]) / float64(counts[h-1])
+		if ratio < 0.44 || ratio > 0.56 {
+			t.Fatalf("P(h=%d)/P(h=%d) = %v, want ~0.5", h, h-1, ratio)
+		}
+	}
+}
+
+func TestGeometricHeightCap(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 100000; i++ {
+		if h := s.GeometricHeight(4); h > 4 {
+			t.Fatalf("height %d above cap", h)
+		}
+	}
+}
+
+func TestMix64IsInjectiveOnSample(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return a == b || Mix64(a) != Mix64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint32CoversHighBits(t *testing.T) {
+	s := New(3)
+	var or uint32
+	for i := 0; i < 1000; i++ {
+		or |= s.Uint32()
+	}
+	if or != ^uint32(0) {
+		t.Fatalf("bits never set: %#x", ^or)
+	}
+}

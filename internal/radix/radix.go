@@ -1,0 +1,42 @@
+// Package radix provides a least-significant-digit radix sort keyed by
+// uint32, used by bulk loaders where sorting tens of millions of records
+// with sort.Slice would dominate experiment setup time.
+package radix
+
+// SortFunc sorts s ascending by key in three 11-bit counting passes.
+// It is stable and allocates one scratch slice of len(s).
+func SortFunc[T any](s []T, key func(T) uint32) {
+	if len(s) < 2 {
+		return
+	}
+	buf := make([]T, len(s))
+	const bits = 11
+	const mask = 1<<bits - 1
+	var counts [1 << bits]int
+	src, dst := s, buf
+	for pass := 0; pass < 3; pass++ {
+		shift := uint(pass * bits)
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range src {
+			counts[(key(v)>>shift)&mask]++
+		}
+		sum := 0
+		for i := range counts {
+			counts[i], sum = sum, sum+counts[i]
+		}
+		for _, v := range src {
+			d := (key(v) >> shift) & mask
+			dst[counts[d]] = v
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	// Three passes: result is back in the original slice (s -> buf ->
+	// s -> buf ends in buf after pass 3... passes alternate, 3 passes
+	// end in buf when starting from s).
+	if &src[0] != &s[0] {
+		copy(s, src)
+	}
+}

@@ -1,0 +1,66 @@
+package radix
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hybrids/internal/prng"
+)
+
+type kv struct{ k, v uint32 }
+
+func TestSortFuncMatchesSortSlice(t *testing.T) {
+	rng := prng.New(1)
+	s := make([]kv, 10000)
+	for i := range s {
+		s[i] = kv{k: rng.Uint32(), v: uint32(i)}
+	}
+	want := append([]kv(nil), s...)
+	sort.Slice(want, func(i, j int) bool { return want[i].k < want[j].k })
+	SortFunc(s, func(x kv) uint32 { return x.k })
+	for i := range s {
+		if s[i].k != want[i].k {
+			t.Fatalf("order differs at %d: %d vs %d", i, s[i].k, want[i].k)
+		}
+	}
+}
+
+func TestSortFuncStable(t *testing.T) {
+	s := []kv{{5, 0}, {3, 1}, {5, 2}, {3, 3}, {5, 4}}
+	SortFunc(s, func(x kv) uint32 { return x.k })
+	want := []kv{{3, 1}, {3, 3}, {5, 0}, {5, 2}, {5, 4}}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("not stable: %v", s)
+		}
+	}
+}
+
+func TestSortFuncProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		s := make([]kv, len(vals))
+		for i, v := range vals {
+			s[i] = kv{k: v}
+		}
+		SortFunc(s, func(x kv) uint32 { return x.k })
+		for i := 1; i < len(s); i++ {
+			if s[i-1].k > s[i].k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortFuncEmptyAndSingle(t *testing.T) {
+	SortFunc([]kv{}, func(x kv) uint32 { return x.k })
+	one := []kv{{7, 7}}
+	SortFunc(one, func(x kv) uint32 { return x.k })
+	if one[0].k != 7 {
+		t.Fatal("single element corrupted")
+	}
+}

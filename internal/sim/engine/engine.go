@@ -1,0 +1,305 @@
+// Package engine implements a deterministic virtual-time discrete-event
+// engine for architecture simulation.
+//
+// Simulated hardware agents (host threads, near-memory cores) are Actors:
+// goroutines that run ordinary Go code but advance a virtual cycle clock
+// through explicit Advance calls. The engine runs exactly one actor at any
+// real-time instant and dispatches actors in virtual-time order with
+// deterministic FIFO tie-breaking, so a simulation with fixed inputs always
+// produces identical interleavings and identical results — host garbage
+// collection or OS scheduling can never perturb simulated time.
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Actor is a simulated execution agent with its own virtual clock.
+// All methods must be called only from the actor's own goroutine, while
+// that actor is the one dispatched by the engine.
+type Actor struct {
+	// ID is the engine-assigned index, unique per engine.
+	ID int
+	// Name labels the actor in diagnostics.
+	Name string
+	// Daemon actors do not keep the simulation alive: once every
+	// non-daemon actor has finished, Stopping reports true and daemons
+	// are expected to return from their body promptly.
+	Daemon bool
+
+	eng         *Engine
+	now         uint64
+	wake        chan struct{}
+	finished    bool
+	blocked     bool
+	wakePending bool
+	body        func(*Actor)
+
+	// Cycles accumulates the total virtual cycles this actor advanced.
+	Cycles uint64
+}
+
+// Now returns the actor's current virtual time in cycles.
+func (a *Actor) Now() uint64 { return a.now }
+
+// Engine returns the engine that owns this actor.
+func (a *Actor) Engine() *Engine { return a.eng }
+
+// Advance moves the actor's virtual clock forward by c cycles, yielding to
+// any other actor whose next event is earlier. Advance(0) is a pure yield:
+// it lets same-cycle actors queued earlier run first.
+func (a *Actor) Advance(c uint64) {
+	a.now += c
+	a.Cycles += c
+	e := a.eng
+	// Fast path: if this actor would still be dispatched first — strictly
+	// earlier than every pending event (ties go to the earlier-queued
+	// event, so equality must park) — skip the park/wake round trip.
+	// Dispatch order is identical to the slow path.
+	if len(e.pq) == 0 || a.now < e.pq[0].at {
+		e.now = a.now
+		return
+	}
+	e.push(a)
+	a.park()
+}
+
+// AdvanceTo moves the actor's clock to absolute virtual time t. It panics
+// if t is in the actor's past.
+func (a *Actor) AdvanceTo(t uint64) {
+	if t < a.now {
+		panic(fmt.Sprintf("engine: actor %q AdvanceTo(%d) before now=%d", a.Name, t, a.now))
+	}
+	a.Advance(t - a.now)
+}
+
+// Yield cedes control without consuming virtual time; actors scheduled for
+// the same cycle run in FIFO order.
+func (a *Actor) Yield() { a.Advance(0) }
+
+// Stopping reports whether every non-daemon actor has finished. Daemon
+// actors must poll it and return once it reports true.
+func (a *Actor) Stopping() bool { return a.eng.stopping }
+
+// Block parks the actor with no scheduled wake-up: it resumes only when
+// another actor calls Unblock on it (modelling a hardware monitor/mwait on
+// a doorbell) or when the engine enters the stopping state. Virtual time
+// does not advance while blocked beyond the unblocker's wake time.
+// A wake permit posted by Unblock while the target was still running is
+// consumed by the target's next Block, which then returns immediately —
+// so a wake racing with the waiter's final check is never lost.
+func (a *Actor) Block() {
+	if a.wakePending {
+		a.wakePending = false
+		return
+	}
+	if a.eng.stopping {
+		return
+	}
+	a.blocked = true
+	a.park()
+}
+
+// Unblock schedules blocked actor b to resume delay cycles after the
+// caller's current time. If b is running, a wake permit is recorded for
+// b's next Block instead. Must be called by the currently running actor.
+func (a *Actor) Unblock(b *Actor, delay uint64) {
+	if !b.blocked {
+		b.wakePending = true
+		return
+	}
+	b.blocked = false
+	t := a.now + delay
+	if t < b.now {
+		t = b.now
+	}
+	b.now = t
+	a.eng.push(b)
+}
+
+func (a *Actor) park() {
+	a.eng.parked <- struct{}{}
+	<-a.wake
+}
+
+// Engine schedules actors in virtual-time order.
+// The zero value is not usable; call New.
+type Engine struct {
+	now      uint64
+	seq      uint64
+	pq       eventHeap
+	actors   []*Actor
+	parked   chan struct{}
+	live     int // unfinished non-daemon actors
+	liveAll  int // unfinished actors of any kind
+	stopping bool
+	running  bool
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the engine's current virtual time (the dispatch time of the
+// most recent event).
+func (e *Engine) Now() uint64 { return e.now }
+
+// Actors returns all actors ever spawned on the engine.
+func (e *Engine) Actors() []*Actor { return e.actors }
+
+// Spawn registers a new actor whose body runs starting at the spawner's
+// current virtual time (or cycle 0 when called before Run). Spawn may be
+// called before Run or from a running actor, never from outside while the
+// engine runs.
+func (e *Engine) Spawn(name string, daemon bool, body func(*Actor)) *Actor {
+	a := &Actor{
+		ID:     len(e.actors),
+		Name:   name,
+		Daemon: daemon,
+		eng:    e,
+		wake:   make(chan struct{}),
+		body:   body,
+	}
+	if e.running {
+		// Inherit the current virtual time so causality is preserved.
+		a.now = e.now
+	}
+	e.actors = append(e.actors, a)
+	e.liveAll++
+	if !daemon {
+		e.live++
+	}
+	go a.run()
+	e.push(a)
+	return a
+}
+
+func (a *Actor) run() {
+	<-a.wake
+	a.body(a)
+	a.finished = true
+	e := a.eng
+	e.liveAll--
+	if !a.Daemon {
+		e.live--
+		if e.live == 0 {
+			e.stopping = true
+			// Wake every blocked actor so daemons can observe
+			// Stopping and exit.
+			for _, b := range e.actors {
+				if b.blocked && !b.finished {
+					b.blocked = false
+					if b.now < e.now {
+						b.now = e.now
+					}
+					e.push(b)
+				}
+			}
+		}
+	}
+	e.parked <- struct{}{}
+}
+
+// Run dispatches events until every actor (daemons included) has finished.
+// It panics on deadlock: a state where unfinished actors exist but no
+// events remain, which indicates an actor waiting on a condition no other
+// actor can ever satisfy.
+func (e *Engine) Run() {
+	if e.running {
+		panic("engine: Run called twice")
+	}
+	e.running = true
+	if e.live == 0 {
+		e.stopping = true
+	}
+	for e.liveAll > 0 {
+		if len(e.pq) == 0 {
+			panic("engine: deadlock: live actors but no pending events: " + e.liveNames())
+		}
+		ev := e.pop()
+		if ev.a.finished {
+			continue
+		}
+		e.now = ev.at
+		ev.a.wake <- struct{}{}
+		<-e.parked
+	}
+}
+
+func (e *Engine) liveNames() string {
+	var names []string
+	for _, a := range e.actors {
+		if !a.finished {
+			names = append(names, a.Name)
+		}
+	}
+	sort.Strings(names)
+	return fmt.Sprint(names)
+}
+
+type event struct {
+	at  uint64
+	seq uint64
+	a   *Actor
+}
+
+func (e *Engine) push(a *Actor) {
+	e.seq++
+	e.pq.push(event{at: a.now, seq: e.seq, a: a})
+}
+
+func (e *Engine) pop() event { return e.pq.pop() }
+
+// eventHeap is a binary min-heap ordered by (at, seq). A hand-rolled heap
+// avoids container/heap interface dispatch on the hottest path in the
+// simulator.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}

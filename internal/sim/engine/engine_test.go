@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleActorAdvances(t *testing.T) {
+	e := New()
+	var trace []uint64
+	e.Spawn("a", false, func(a *Actor) {
+		for i := 0; i < 5; i++ {
+			a.Advance(10)
+			trace = append(trace, a.Now())
+		}
+	})
+	e.Run()
+	want := []uint64{10, 20, 30, 40, 50}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if e.Now() != 50 {
+		t.Fatalf("engine Now = %d, want 50", e.Now())
+	}
+}
+
+func TestActorsInterleaveInVirtualTimeOrder(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("slow", false, func(a *Actor) {
+		for i := 0; i < 3; i++ {
+			a.Advance(100)
+			order = append(order, "slow")
+		}
+	})
+	e.Spawn("fast", false, func(a *Actor) {
+		for i := 0; i < 3; i++ {
+			a.Advance(30)
+			order = append(order, "fast")
+		}
+	})
+	e.Run()
+	want := []string{"fast", "fast", "fast", "slow", "slow", "slow"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameCycleFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Spawn("a", false, func(a *Actor) {
+			a.Advance(7)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-cycle order = %v, want spawn order", order)
+		}
+	}
+}
+
+func TestYieldRotatesSameCycleActors(t *testing.T) {
+	e := New()
+	var order []string
+	e.Spawn("x", false, func(a *Actor) {
+		order = append(order, "x1")
+		a.Yield()
+		order = append(order, "x2")
+	})
+	e.Spawn("y", false, func(a *Actor) {
+		order = append(order, "y1")
+		a.Yield()
+		order = append(order, "y2")
+	})
+	e.Run()
+	want := []string{"x1", "y1", "x2", "y2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDaemonStopsAfterNonDaemons(t *testing.T) {
+	e := New()
+	daemonTicks := 0
+	e.Spawn("daemon", true, func(a *Actor) {
+		for !a.Stopping() {
+			daemonTicks++
+			a.Advance(1)
+		}
+	})
+	e.Spawn("worker", false, func(a *Actor) {
+		a.Advance(25)
+	})
+	e.Run()
+	if daemonTicks < 25 {
+		t.Fatalf("daemon ran %d ticks, want >= 25", daemonTicks)
+	}
+	if daemonTicks > 30 {
+		t.Fatalf("daemon ran %d ticks after stop, want prompt exit", daemonTicks)
+	}
+}
+
+func TestAdvanceToAbsoluteTime(t *testing.T) {
+	e := New()
+	e.Spawn("a", false, func(a *Actor) {
+		a.AdvanceTo(42)
+		if a.Now() != 42 {
+			t.Errorf("Now = %d, want 42", a.Now())
+		}
+		a.AdvanceTo(42) // no-op is allowed
+		if a.Cycles != 42 {
+			t.Errorf("Cycles = %d, want 42", a.Cycles)
+		}
+	})
+	e.Run()
+}
+
+func TestAdvanceToPastPanics(t *testing.T) {
+	e := New()
+	e.Spawn("a", false, func(a *Actor) {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo into the past did not panic")
+			}
+		}()
+		a.Advance(10)
+		a.AdvanceTo(5)
+	})
+	e.Run()
+}
+
+func TestSpawnDuringRunInheritsTime(t *testing.T) {
+	e := New()
+	var childStart uint64
+	e.Spawn("parent", false, func(a *Actor) {
+		a.Advance(100)
+		e.Spawn("child", false, func(c *Actor) {
+			childStart = c.Now()
+			c.Advance(1)
+		})
+		a.Advance(1)
+	})
+	e.Run()
+	if childStart != 100 {
+		t.Fatalf("child started at %d, want 100", childStart)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func(seed int64) []int {
+		e := New()
+		var order []int
+		for i := 0; i < 6; i++ {
+			i := i
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			e.Spawn("a", false, func(a *Actor) {
+				for j := 0; j < 50; j++ {
+					a.Advance(uint64(rng.Intn(17) + 1))
+					order = append(order, i)
+				}
+			})
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	e := New()
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestCyclesAccounting(t *testing.T) {
+	e := New()
+	var a1, a2 *Actor
+	a1 = e.Spawn("a1", false, func(a *Actor) {
+		a.Advance(30)
+		a.Advance(12)
+	})
+	a2 = e.Spawn("a2", false, func(a *Actor) {
+		a.Advance(5)
+	})
+	e.Run()
+	if a1.Cycles != 42 {
+		t.Errorf("a1.Cycles = %d, want 42", a1.Cycles)
+	}
+	if a2.Cycles != 5 {
+		t.Errorf("a2.Cycles = %d, want 5", a2.Cycles)
+	}
+}
+
+// TestEngineTimeMonotonic property: with arbitrary positive advance
+// sequences across several actors, the dispatch order observed by a probe
+// is monotone in virtual time.
+func TestEngineTimeMonotonic(t *testing.T) {
+	f := func(steps [][]uint16) bool {
+		if len(steps) == 0 {
+			return true
+		}
+		if len(steps) > 8 {
+			steps = steps[:8]
+		}
+		e := New()
+		var stamps []uint64
+		for _, seq := range steps {
+			seq := seq
+			e.Spawn("p", false, func(a *Actor) {
+				for _, s := range seq {
+					a.Advance(uint64(s%997) + 1)
+					stamps = append(stamps, a.Now())
+				}
+			})
+		}
+		e.Run()
+		for i := 1; i < len(stamps); i++ {
+			if stamps[i] < stamps[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	var h eventHeap
+	rng := rand.New(rand.NewSource(1))
+	seq := uint64(0)
+	for i := 0; i < 1000; i++ {
+		seq++
+		h.push(event{at: uint64(rng.Intn(100)), seq: seq})
+	}
+	prevAt, prevSeq := uint64(0), uint64(0)
+	for i := 0; i < 1000; i++ {
+		ev := h.pop()
+		if ev.at < prevAt || (ev.at == prevAt && ev.seq < prevSeq) {
+			t.Fatalf("heap order violated at pop %d: (%d,%d) after (%d,%d)", i, ev.at, ev.seq, prevAt, prevSeq)
+		}
+		prevAt, prevSeq = ev.at, ev.seq
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d left", len(h))
+	}
+}
+
+func TestBlockUnblockRoundTrip(t *testing.T) {
+	e := New()
+	var order []string
+	var waiter *Actor
+	waiter = e.Spawn("waiter", false, func(a *Actor) {
+		order = append(order, "block")
+		a.Block()
+		order = append(order, fmt.Sprintf("woke@%d", a.Now()))
+	})
+	e.Spawn("waker", false, func(a *Actor) {
+		a.Advance(100)
+		a.Unblock(waiter, 5)
+		order = append(order, "unblocked")
+	})
+	e.Run()
+	want := []string{"block", "unblocked", "woke@105"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUnblockPermitPreventsLostWakeup(t *testing.T) {
+	// The waker signals while the waiter is still running; the waiter's
+	// subsequent Block must consume the permit and return immediately.
+	e := New()
+	var wokeAt uint64
+	var waiter *Actor
+	waiter = e.Spawn("waiter", false, func(a *Actor) {
+		a.Advance(50) // signal arrives during this window
+		a.Block()     // must not hang
+		wokeAt = a.Now()
+	})
+	e.Spawn("waker", false, func(a *Actor) {
+		a.Advance(10)
+		a.Unblock(waiter, 0)
+	})
+	e.Run()
+	if wokeAt != 50 {
+		t.Fatalf("woke at %d, want 50 (permit consumed without parking)", wokeAt)
+	}
+}
+
+func TestBlockedDaemonWakesAtStopping(t *testing.T) {
+	e := New()
+	served := false
+	e.Spawn("daemon", true, func(a *Actor) {
+		for !a.Stopping() {
+			a.Block()
+		}
+		served = true
+	})
+	e.Spawn("worker", false, func(a *Actor) { a.Advance(30) })
+	e.Run()
+	if !served {
+		t.Fatal("blocked daemon never released at stopping")
+	}
+}
+
+func TestUnblockClampsToTargetClock(t *testing.T) {
+	// A waker behind the blocked actor's clock must not move it backwards.
+	e := New()
+	var wokeAt uint64
+	var waiter *Actor
+	waiter = e.Spawn("waiter", false, func(a *Actor) {
+		a.Advance(1000)
+		a.Block()
+		wokeAt = a.Now()
+	})
+	e.Spawn("waker", false, func(a *Actor) {
+		a.Advance(10)
+		for !waiterBlocked(waiter) {
+			a.Advance(10)
+		}
+		a.Unblock(waiter, 1)
+	})
+	e.Run()
+	if wokeAt < 1000 {
+		t.Fatalf("woke at %d: clock moved backwards", wokeAt)
+	}
+}
+
+func waiterBlocked(a *Actor) bool { return a.blocked }

@@ -1,0 +1,228 @@
+// Package machine assembles the simulated NMP system of the HybriDS paper:
+// a virtual-time engine, the Table 1 memory system, host hardware threads
+// and per-partition NMP cores. Simulated programs (the data structure
+// algorithms) receive a Ctx through which every load, store and atomic is
+// charged simulated cycles.
+package machine
+
+import (
+	"fmt"
+
+	"hybrids/internal/sim/engine"
+	"hybrids/internal/sim/memsys"
+)
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	Mem memsys.Config
+	// HostStep and NMPStep are the per-simple-instruction compute costs
+	// charged by algorithm code between memory operations. Host cores
+	// are wide out-of-order machines that hide most non-memory work;
+	// NMP cores are in-order single-cycle (§2).
+	HostStep uint64
+	NMPStep  uint64
+}
+
+// Default returns the Table 1 machine configuration.
+func Default() Config {
+	return Config{Mem: memsys.DefaultConfig(), HostStep: 1, NMPStep: 1}
+}
+
+// Machine is an assembled simulated system.
+type Machine struct {
+	Cfg Config
+	Eng *engine.Engine
+	Mem *memsys.MemSys
+
+	// Ops counts completed data structure operations, incremented by
+	// workload drivers via Ctx.OpDone; the experiment harness divides by
+	// elapsed virtual cycles for throughput.
+	Ops uint64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	return &Machine{Cfg: cfg, Eng: engine.New(), Mem: memsys.New(cfg.Mem)}
+}
+
+// coreKind distinguishes the two access paths.
+type coreKind int
+
+const (
+	hostCore coreKind = iota
+	nmpCore
+)
+
+// Ctx is a simulated hardware context: the handle algorithm code uses to
+// touch simulated memory and consume simulated time. A Ctx is bound to one
+// actor and must only be used from that actor's body.
+type Ctx struct {
+	M    *Machine
+	A    *engine.Actor
+	kind coreKind
+	core int // host core index, or NMP partition index
+}
+
+// SpawnHost starts a host hardware thread pinned to the given core running
+// body. The paper's configuration runs one thread per core.
+func (m *Machine) SpawnHost(core int, name string, body func(*Ctx)) *engine.Actor {
+	if core < 0 || core >= m.Cfg.Mem.HostCores {
+		panic(fmt.Sprintf("machine: host core %d out of range", core))
+	}
+	return m.Eng.Spawn(name, false, func(a *engine.Actor) {
+		body(&Ctx{M: m, A: a, kind: hostCore, core: core})
+	})
+}
+
+// SpawnNMP starts the NMP core for partition p running body as a daemon
+// actor: it serves offloaded operations until all host threads finish.
+func (m *Machine) SpawnNMP(p int, body func(*Ctx)) *engine.Actor {
+	if p < 0 || p >= m.Cfg.Mem.NMPVaults {
+		panic(fmt.Sprintf("machine: NMP partition %d out of range", p))
+	}
+	return m.Eng.Spawn(fmt.Sprintf("nmp%d", p), true, func(a *engine.Actor) {
+		body(&Ctx{M: m, A: a, kind: nmpCore, core: p})
+	})
+}
+
+// Run dispatches the simulation to completion and returns total elapsed
+// virtual cycles.
+func (m *Machine) Run() uint64 {
+	m.Eng.Run()
+	return m.Eng.Now()
+}
+
+// Core returns the context's core (host) or partition (NMP) index.
+func (c *Ctx) Core() int { return c.core }
+
+// IsNMP reports whether this context is an NMP core.
+func (c *Ctx) IsNMP() bool { return c.kind == nmpCore }
+
+// Now returns the context's current virtual time.
+func (c *Ctx) Now() uint64 { return c.A.Now() }
+
+// Step charges n simple-instruction cycles of compute.
+func (c *Ctx) Step(n uint64) {
+	if c.kind == hostCore {
+		c.A.Advance(n * c.M.Cfg.HostStep)
+	} else {
+		c.A.Advance(n * c.M.Cfg.NMPStep)
+	}
+}
+
+// OpDone records one completed data structure operation.
+func (c *Ctx) OpDone() { c.M.Ops++ }
+
+// Block parks this context's actor until another actor unblocks it or the
+// simulation is stopping (a hardware monitor/mwait on a doorbell).
+func (c *Ctx) Block() { c.A.Block() }
+
+// Unblock resumes a blocked actor delay cycles from now (the doorbell
+// signal propagation latency).
+func (c *Ctx) Unblock(a *engine.Actor, delay uint64) { c.A.Unblock(a, delay) }
+
+// Stopping reports whether all non-daemon actors have finished (used by
+// NMP core loops to shut down).
+func (c *Ctx) Stopping() bool { return c.A.Stopping() }
+
+func (c *Ctx) access(a memsys.Addr, write bool) {
+	var lat uint64
+	if c.kind == hostCore {
+		lat = c.M.Mem.HostAccess(c.core, a, write, c.A.Now())
+	} else {
+		lat = c.M.Mem.NMPAccess(c.core, a, write, c.A.Now())
+	}
+	c.A.Advance(lat)
+}
+
+// Read32 performs a timed 32-bit load.
+func (c *Ctx) Read32(a memsys.Addr) uint32 {
+	c.access(a, false)
+	return c.M.Mem.RAM.Load32(a)
+}
+
+// Write32 performs a timed 32-bit store.
+func (c *Ctx) Write32(a memsys.Addr, v uint32) {
+	c.access(a, true)
+	c.M.Mem.RAM.Store32(a, v)
+}
+
+// Read64 performs a timed 64-bit load.
+func (c *Ctx) Read64(a memsys.Addr) uint64 {
+	c.access(a, false)
+	return c.M.Mem.RAM.Load64(a)
+}
+
+// Write64 performs a timed 64-bit store.
+func (c *Ctx) Write64(a memsys.Addr, v uint64) {
+	c.access(a, true)
+	c.M.Mem.RAM.Store64(a, v)
+}
+
+// CAS32 performs a timed compare-and-swap on a 32-bit word. The latency is
+// charged first and the data effect applies atomically at arrival time, so
+// concurrent CASes linearize in virtual-time order. Only host cores issue
+// atomics: the NMP-managed portion is single-threaded by construction.
+func (c *Ctx) CAS32(a memsys.Addr, old, new uint32) bool {
+	c.atomicAccess(a)
+	if c.M.Mem.RAM.Load32(a) != old {
+		return false
+	}
+	c.M.Mem.RAM.Store32(a, new)
+	return true
+}
+
+// CAS64 is CAS32 for 64-bit words.
+func (c *Ctx) CAS64(a memsys.Addr, old, new uint64) bool {
+	c.atomicAccess(a)
+	if c.M.Mem.RAM.Load64(a) != old {
+		return false
+	}
+	c.M.Mem.RAM.Store64(a, new)
+	return true
+}
+
+// AtomicAdd32 atomically adds delta to the word at a, returning the new
+// value.
+func (c *Ctx) AtomicAdd32(a memsys.Addr, delta uint32) uint32 {
+	c.atomicAccess(a)
+	v := c.M.Mem.RAM.Load32(a) + delta
+	c.M.Mem.RAM.Store32(a, v)
+	return v
+}
+
+// MMIOWriteBurst writes vs to consecutive 32-bit scratchpad words starting
+// at a in one write-combined burst (host cores only).
+func (c *Ctx) MMIOWriteBurst(a memsys.Addr, vs []uint32) {
+	if c.kind != hostCore {
+		panic("machine: MMIO bursts are a host-side path")
+	}
+	lat := c.M.Mem.MMIOBurst(a, len(vs), true)
+	c.A.Advance(lat)
+	for i, v := range vs {
+		c.M.Mem.RAM.Store32(a+memsys.Addr(i)*4, v)
+	}
+}
+
+// MMIOReadBurst reads n consecutive 32-bit scratchpad words starting at a
+// in one burst (host cores only).
+func (c *Ctx) MMIOReadBurst(a memsys.Addr, n int) []uint32 {
+	if c.kind != hostCore {
+		panic("machine: MMIO bursts are a host-side path")
+	}
+	lat := c.M.Mem.MMIOBurst(a, n, false)
+	c.A.Advance(lat)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = c.M.Mem.RAM.Load32(a + memsys.Addr(i)*4)
+	}
+	return out
+}
+
+func (c *Ctx) atomicAccess(a memsys.Addr) {
+	if c.kind != hostCore {
+		panic("machine: NMP cores have no atomic path (single-threaded partitions)")
+	}
+	lat := c.M.Mem.HostAtomic(c.core, a, c.A.Now())
+	c.A.Advance(lat)
+}

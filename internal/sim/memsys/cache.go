@@ -1,0 +1,160 @@
+package memsys
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Size is the total capacity in bytes.
+	Size Addr
+	// Ways is the set associativity.
+	Ways int
+	// BlockSize is the line size in bytes (the paper uses 128 B).
+	BlockSize Addr
+	// Latency is the hit latency in cycles.
+	Latency uint64
+}
+
+func (c CacheConfig) validate(name string) {
+	if c.BlockSize == 0 || c.BlockSize&(c.BlockSize-1) != 0 {
+		panic(fmt.Sprintf("memsys: %s block size %d not a power of two", name, c.BlockSize))
+	}
+	if c.Ways <= 0 || c.Size == 0 || c.Size%(c.BlockSize*Addr(c.Ways)) != 0 {
+		panic(fmt.Sprintf("memsys: %s geometry invalid: size=%d ways=%d block=%d", name, c.Size, c.Ways, c.BlockSize))
+	}
+}
+
+type line struct {
+	tag   uint32 // block number (addr >> blockShift)
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a set-associative, write-back, write-allocate tag store with LRU
+// replacement. It tracks which blocks are resident (timing plane only —
+// data lives in RAM).
+type Cache struct {
+	cfg     CacheConfig
+	sets    [][]line
+	setMask uint32
+	stamp   uint64
+}
+
+// NewCache builds a cache from cfg.
+func NewCache(name string, cfg CacheConfig) *Cache {
+	cfg.validate(name)
+	nsets := uint32(cfg.Size / (cfg.BlockSize * Addr(cfg.Ways)))
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("memsys: %s set count %d not a power of two", name, nsets))
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, int(nsets)*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: nsets - 1}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Lookup probes for block, updating recency on a hit and setting the dirty
+// bit when write is true. It reports whether the block was resident.
+func (c *Cache) Lookup(block uint32, write bool) bool {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			c.stamp++
+			set[i].lru = c.stamp
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports residency without touching recency or dirty state.
+func (c *Cache) Contains(block uint32) bool {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts block (which must not be resident) choosing an invalid way
+// or evicting the LRU line. It returns the evicted block and whether it was
+// dirty; ok is false when no eviction happened.
+func (c *Cache) Fill(block uint32, dirty bool) (evicted uint32, evictedDirty, ok bool) {
+	set := c.sets[block&c.setMask]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		evicted, evictedDirty, ok = v.tag, v.dirty, true
+	}
+	c.stamp++
+	*v = line{tag: block, valid: true, dirty: dirty, lru: c.stamp}
+	return evicted, evictedDirty, ok
+}
+
+// Invalidate drops block if resident, reporting whether it was present and
+// whether the dropped line was dirty.
+func (c *Cache) Invalidate(block uint32) (present, dirty bool) {
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			present, dirty = true, set[i].dirty
+			set[i] = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line. Used between experiment phases.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// directory tracks, per block, which host cores hold the block in their
+// private L1, so stores can invalidate remote copies (MESI-style ownership
+// without modelling the full protocol state machine).
+type directory struct {
+	sharers map[uint32]uint32 // block -> bitmask of core IDs
+}
+
+func newDirectory() directory { return directory{sharers: make(map[uint32]uint32)} }
+
+func (d *directory) add(block uint32, core int) { d.sharers[block] |= 1 << uint(core) }
+func (d *directory) drop(block uint32, core int) {
+	if m, ok := d.sharers[block]; ok {
+		m &^= 1 << uint(core)
+		if m == 0 {
+			delete(d.sharers, block)
+		} else {
+			d.sharers[block] = m
+		}
+	}
+}
+
+// others returns the sharer bitmask excluding core.
+func (d *directory) others(block uint32, core int) uint32 {
+	return d.sharers[block] &^ (1 << uint(core))
+}

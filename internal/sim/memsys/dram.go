@@ -1,0 +1,82 @@
+package memsys
+
+// DRAMTiming holds core DRAM timing parameters in cycles. Table 1 gives
+// tRP = tRCD = tCL = 13.75 ns and tBURST = 3.2 ns; at the 2 GHz core clock
+// those round to 28, 28, 28 and 7 cycles.
+type DRAMTiming struct {
+	TRP    uint64 // row precharge
+	TRCD   uint64 // row activate (RAS-to-CAS)
+	TCL    uint64 // column access
+	TBURST uint64 // data burst for one 128 B block
+}
+
+// Table1Timing returns the paper's DRAM timing at 2 GHz.
+func Table1Timing() DRAMTiming {
+	return DRAMTiming{TRP: 28, TRCD: 28, TCL: 28, TBURST: 7}
+}
+
+// VaultConfig describes one HMC memory vault.
+type VaultConfig struct {
+	// Banks is the number of DRAM banks in the vault (Table 1: 8).
+	Banks int
+	// RowShift sets the open-row granule: accesses whose addresses agree
+	// above this shift hit the same row buffer. 13 models an 8 KiB row
+	// footprint, typical for HMC-class vaults.
+	RowShift uint
+	Timing   DRAMTiming
+}
+
+type bank struct {
+	openRow   uint32
+	hasOpen   bool
+	busyUntil uint64
+}
+
+// Vault models one memory vault: a set of banks with open-row policy and
+// per-bank service serialization. It is purely a timing model.
+type Vault struct {
+	cfg      VaultConfig
+	banks    []bank
+	bankMask uint32
+}
+
+// NewVault builds a vault from cfg; cfg.Banks must be a power of two.
+func NewVault(cfg VaultConfig) *Vault {
+	if cfg.Banks <= 0 || cfg.Banks&(cfg.Banks-1) != 0 {
+		panic("memsys: vault bank count must be a positive power of two")
+	}
+	return &Vault{cfg: cfg, banks: make([]bank, cfg.Banks), bankMask: uint32(cfg.Banks - 1)}
+}
+
+// Access services a block access beginning no earlier than now and returns
+// its completion time. Bank selection uses the block-number low bits so
+// consecutive blocks in a vault spread across banks.
+func (v *Vault) Access(a Addr, blockShift uint, now uint64) (done uint64) {
+	b := &v.banks[(uint32(a)>>blockShift)&v.bankMask]
+	row := uint32(a) >> v.cfg.RowShift
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	t := v.cfg.Timing
+	var lat uint64
+	switch {
+	case b.hasOpen && b.openRow == row:
+		lat = t.TCL + t.TBURST // row buffer hit
+	case !b.hasOpen:
+		lat = t.TRCD + t.TCL + t.TBURST // closed bank
+	default:
+		lat = t.TRP + t.TRCD + t.TCL + t.TBURST // row conflict
+	}
+	b.openRow, b.hasOpen = row, true
+	b.busyUntil = start + lat
+	return start + lat
+}
+
+// Drain resets all bank state (used between experiment phases so timing
+// does not leak across measurements).
+func (v *Vault) Drain() {
+	for i := range v.banks {
+		v.banks[i] = bank{}
+	}
+}

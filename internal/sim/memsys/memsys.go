@@ -1,0 +1,461 @@
+package memsys
+
+import "fmt"
+
+// Config describes the whole memory system. DefaultConfig mirrors Table 1.
+type Config struct {
+	HostCores int
+
+	L1 CacheConfig // private per host core
+	L2 CacheConfig // shared LLC
+
+	// HostMemSize and NMPMemSize split DRAM into host-accessible main
+	// memory and NMP-capable memory (Table 1: 1 GiB + 1 GiB).
+	HostMemSize Addr
+	NMPMemSize  Addr
+
+	HostVaults int // main-memory vaults (8)
+	NMPVaults  int // NMP partitions, one NMP core each (8)
+
+	Vault VaultConfig
+
+	// HostDRAMExtra is the off-chip round trip a host LLC miss pays on
+	// top of vault service time (serial link + memory-controller
+	// queuing). NMP cores sit beside their vault and pay none of it —
+	// this asymmetry is the architectural premise of the paper.
+	HostDRAMExtra uint64
+
+	// MMIOWriteLatency / MMIOReadLatency cost one uncached host access to
+	// an NMP scratchpad publication slot (posted write / round-trip
+	// read). The paper's Table 2 measures the delays these induce.
+	MMIOWriteLatency uint64
+	MMIOReadLatency  uint64
+	// MMIOWordExtra is the per-additional-word serialization cost of a
+	// write-combined burst to consecutive scratchpad words.
+	MMIOWordExtra uint64
+
+	// ScratchSize is per-NMP-core scratchpad capacity (Table 1: 40 KiB,
+	// of which 8 KiB is host-mapped for publication lists).
+	ScratchSize Addr
+
+	// AtomicExtra is the additional cost of a read-modify-write (CAS,
+	// atomic add) beyond a store hit.
+	AtomicExtra uint64
+	// InvalidateLatency is the stall a store pays to invalidate remote L1
+	// copies of its block.
+	InvalidateLatency uint64
+
+	// NMPBufLatency is an NMP-core access that hits the node-size buffer
+	// register; NMPScratchLatency is an NMP-core access to its own
+	// scratchpad. Both model small local SRAM.
+	NMPBufLatency     uint64
+	NMPScratchLatency uint64
+
+	// TLB models host-side address translation (the evaluation platform
+	// is a full-system simulation: host cores translate every access,
+	// while NMP cores access their partitions physically, §2). Misses
+	// pay WalkExtra cycles plus two page-table reads that traverse the
+	// cache hierarchy like ordinary data. Entries = 0 disables the TLB
+	// (perfect translation).
+	TLB TLBConfig
+}
+
+// TLBConfig describes a per-core host TLB.
+type TLBConfig struct {
+	Entries   int
+	Ways      int
+	PageBits  uint
+	WalkExtra uint64
+}
+
+// DefaultConfig returns the Table 1 machine.
+func DefaultConfig() Config {
+	return Config{
+		HostCores:         8,
+		L1:                CacheConfig{Size: 64 << 10, Ways: 2, BlockSize: 128, Latency: 2},
+		L2:                CacheConfig{Size: 1 << 20, Ways: 8, BlockSize: 128, Latency: 20},
+		HostMemSize:       1 << 30,
+		NMPMemSize:        1 << 30,
+		HostVaults:        8,
+		NMPVaults:         8,
+		Vault:             VaultConfig{Banks: 8, RowShift: 13, Timing: Table1Timing()},
+		HostDRAMExtra:     80,
+		MMIOWriteLatency:  60,
+		MMIOReadLatency:   120,
+		MMIOWordExtra:     4,
+		ScratchSize:       40 << 10,
+		AtomicExtra:       8,
+		InvalidateLatency: 12,
+		NMPBufLatency:     1,
+		NMPScratchLatency: 2,
+		// Cortex-A15-class translation: 512-entry unified L2 TLB,
+		// 4 KiB pages, two-level page-table walk.
+		TLB: TLBConfig{Entries: 512, Ways: 4, PageBits: 12, WalkExtra: 8},
+	}
+}
+
+// Stats counts memory-system events. DRAM read counts are the quantity the
+// paper reports in Figures 5b, 6b and 9.
+type Stats struct {
+	L1Hits        uint64
+	L2Hits        uint64
+	HostDRAMReads uint64
+	DRAMWrites    uint64
+	NMPBufHits    uint64
+	NMPDRAMReads  uint64
+	MMIOReads     uint64
+	MMIOWrites    uint64
+	Invalidations uint64
+	Atomics       uint64
+	ScratchOps    uint64
+	TLBMisses     uint64
+}
+
+// DRAMReads returns total DRAM block reads across host and NMP paths.
+func (s Stats) DRAMReads() uint64 { return s.HostDRAMReads + s.NMPDRAMReads }
+
+// Sub returns s - t field-wise, for measuring a phase between snapshots.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		L1Hits:        s.L1Hits - t.L1Hits,
+		L2Hits:        s.L2Hits - t.L2Hits,
+		HostDRAMReads: s.HostDRAMReads - t.HostDRAMReads,
+		DRAMWrites:    s.DRAMWrites - t.DRAMWrites,
+		NMPBufHits:    s.NMPBufHits - t.NMPBufHits,
+		NMPDRAMReads:  s.NMPDRAMReads - t.NMPDRAMReads,
+		MMIOReads:     s.MMIOReads - t.MMIOReads,
+		MMIOWrites:    s.MMIOWrites - t.MMIOWrites,
+		Invalidations: s.Invalidations - t.Invalidations,
+		Atomics:       s.Atomics - t.Atomics,
+		ScratchOps:    s.ScratchOps - t.ScratchOps,
+		TLBMisses:     s.TLBMisses - t.TLBMisses,
+	}
+}
+
+// nmpBuf is the node-size (one cache block) buffer register each NMP core
+// holds, per the baseline architecture of §2 and prior work [16].
+type nmpBuf struct {
+	block uint32
+	valid bool
+}
+
+// MemSys is the assembled memory system: functional RAM plus the timing
+// models, address map, and region allocators.
+type MemSys struct {
+	Cfg Config
+	RAM *RAM
+
+	l1         []*Cache
+	l2         *Cache
+	dir        directory
+	hostVaults []*Vault
+	nmpVaults  []*Vault
+	nmpBufs    []nmpBuf
+
+	tlbs     []*Cache // per host core, tags are virtual page numbers
+	ptL1Base Addr     // first-level page table (one 4 B entry per 4 MiB)
+	ptL2Base Addr     // second-level page table (one 4 B entry per page)
+
+	blockShift uint
+
+	// HostAlloc allocates host main-memory; NMPAlloc[p] allocates within
+	// NMP partition p.
+	HostAlloc *Allocator
+	NMPAlloc  []*Allocator
+
+	scratchBase Addr
+
+	Stats Stats
+}
+
+// New assembles a memory system from cfg.
+func New(cfg Config) *MemSys {
+	if cfg.HostCores <= 0 || cfg.HostVaults <= 0 || cfg.NMPVaults <= 0 {
+		panic("memsys: config must have positive core and vault counts")
+	}
+	if cfg.L1.BlockSize != cfg.L2.BlockSize {
+		panic("memsys: L1 and L2 block sizes must match")
+	}
+	bs := cfg.L1.BlockSize
+	shift := uint(0)
+	for Addr(1)<<shift != bs {
+		shift++
+	}
+	total := cfg.HostMemSize + cfg.NMPMemSize + Addr(cfg.NMPVaults)*cfg.ScratchSize
+	m := &MemSys{
+		Cfg:         cfg,
+		RAM:         NewRAM(total),
+		l2:          NewCache("L2", cfg.L2),
+		dir:         newDirectory(),
+		blockShift:  shift,
+		scratchBase: cfg.HostMemSize + cfg.NMPMemSize,
+	}
+	for i := 0; i < cfg.HostCores; i++ {
+		m.l1 = append(m.l1, NewCache(fmt.Sprintf("L1.%d", i), cfg.L1))
+	}
+	for i := 0; i < cfg.HostVaults; i++ {
+		m.hostVaults = append(m.hostVaults, NewVault(cfg.Vault))
+	}
+	partSize := cfg.NMPMemSize / Addr(cfg.NMPVaults)
+	for i := 0; i < cfg.NMPVaults; i++ {
+		m.nmpVaults = append(m.nmpVaults, NewVault(cfg.Vault))
+		base := cfg.HostMemSize + Addr(i)*partSize
+		m.NMPAlloc = append(m.NMPAlloc, NewAllocator(fmt.Sprintf("nmp%d", i), base, partSize))
+	}
+	m.nmpBufs = make([]nmpBuf, cfg.NMPVaults)
+	m.HostAlloc = NewAllocator("host", 0, cfg.HostMemSize)
+	// Address 0 doubles as the nil simulated pointer; burn the first
+	// block so no allocation ever returns it.
+	m.HostAlloc.Alloc(bs, bs)
+	if cfg.TLB.Entries > 0 {
+		pageSize := Addr(1) << cfg.TLB.PageBits
+		for i := 0; i < cfg.HostCores; i++ {
+			m.tlbs = append(m.tlbs, NewCache(fmt.Sprintf("TLB.%d", i), CacheConfig{
+				Size: Addr(cfg.TLB.Entries) * pageSize, Ways: cfg.TLB.Ways, BlockSize: pageSize,
+			}))
+		}
+		// Reserve the page tables in host memory so walks occupy the
+		// caches like real PTE traffic.
+		pages := cfg.HostMemSize >> cfg.TLB.PageBits
+		m.ptL2Base = m.HostAlloc.Alloc(pages*4, bs)
+		m.ptL1Base = m.HostAlloc.Alloc((pages>>10+1)*4, bs)
+	}
+	return m
+}
+
+// BlockSize returns the cache block size in bytes.
+func (m *MemSys) BlockSize() Addr { return m.Cfg.L1.BlockSize }
+
+func (m *MemSys) block(a Addr) uint32 { return uint32(a) >> m.blockShift }
+
+// Region classification.
+
+// IsHostMem reports whether a lies in host-accessible main memory.
+func (m *MemSys) IsHostMem(a Addr) bool { return a < m.Cfg.HostMemSize }
+
+// IsNMPMem reports whether a lies in NMP-capable memory, returning the
+// owning partition.
+func (m *MemSys) IsNMPMem(a Addr) (part int, ok bool) {
+	if a < m.Cfg.HostMemSize || a >= m.scratchBase {
+		return 0, false
+	}
+	partSize := m.Cfg.NMPMemSize / Addr(m.Cfg.NMPVaults)
+	return int((a - m.Cfg.HostMemSize) / partSize), true
+}
+
+// ScratchAddr returns the base address of NMP core p's scratchpad.
+func (m *MemSys) ScratchAddr(p int) Addr {
+	return m.scratchBase + Addr(p)*m.Cfg.ScratchSize
+}
+
+// IsScratch reports whether a lies in a scratchpad, returning the owner.
+func (m *MemSys) IsScratch(a Addr) (part int, ok bool) {
+	if a < m.scratchBase {
+		return 0, false
+	}
+	p := int((a - m.scratchBase) / m.Cfg.ScratchSize)
+	if p >= m.Cfg.NMPVaults {
+		return 0, false
+	}
+	return p, true
+}
+
+// HostAccess charges a host-core load or store at address a issued at
+// virtual time now, returning its latency in cycles. Scratchpad addresses
+// take the uncached MMIO path; NMP-memory addresses panic — the
+// architecture gives host cores no path to NMP partitions (§2), so an
+// attempt is an algorithm bug worth failing loudly on.
+func (m *MemSys) HostAccess(core int, a Addr, write bool, now uint64) uint64 {
+	if _, ok := m.IsScratch(a); ok {
+		if write {
+			m.Stats.MMIOWrites++
+			return m.Cfg.MMIOWriteLatency
+		}
+		m.Stats.MMIOReads++
+		return m.Cfg.MMIOReadLatency
+	}
+	if part, ok := m.IsNMPMem(a); ok {
+		panic(fmt.Sprintf("memsys: host core %d touched NMP partition %d address %#x", core, part, a))
+	}
+	return m.hostCached(core, a, write, false, now)
+}
+
+// MMIOBurst charges a write-combined host access to nwords consecutive
+// scratchpad words, returning its latency. The first word pays the full
+// MMIO latency; subsequent words pay only serialization.
+func (m *MemSys) MMIOBurst(a Addr, nwords int, write bool) uint64 {
+	if _, ok := m.IsScratch(a); !ok {
+		panic(fmt.Sprintf("memsys: MMIO burst outside scratchpad at %#x", a))
+	}
+	if nwords <= 0 {
+		panic("memsys: empty MMIO burst")
+	}
+	var lat uint64
+	if write {
+		m.Stats.MMIOWrites++
+		lat = m.Cfg.MMIOWriteLatency
+	} else {
+		m.Stats.MMIOReads++
+		lat = m.Cfg.MMIOReadLatency
+	}
+	return lat + uint64(nwords-1)*m.Cfg.MMIOWordExtra
+}
+
+// HostAtomic charges a host-core read-modify-write (CAS, fetch-add).
+func (m *MemSys) HostAtomic(core int, a Addr, now uint64) uint64 {
+	if !m.IsHostMem(a) {
+		panic(fmt.Sprintf("memsys: host atomic outside host memory at %#x", a))
+	}
+	m.Stats.Atomics++
+	return m.hostCached(core, a, true, true, now)
+}
+
+// hostCached performs a translated host access: a TLB lookup, a page-table
+// walk on a miss (two PTE reads through the cache hierarchy), then the data
+// access itself.
+func (m *MemSys) hostCached(core int, a Addr, write, atomic bool, now uint64) uint64 {
+	var lat uint64
+	if m.tlbs != nil {
+		vpage := uint32(a) >> m.Cfg.TLB.PageBits
+		tlb := m.tlbs[core]
+		if !tlb.Lookup(vpage, false) {
+			m.Stats.TLBMisses++
+			lat += m.Cfg.TLB.WalkExtra
+			l1e := m.ptL1Base + Addr(vpage>>10)*4
+			l2e := m.ptL2Base + Addr(vpage)*4
+			lat += m.cachedAccess(core, l1e, false, false, now+lat)
+			lat += m.cachedAccess(core, l2e, false, false, now+lat)
+			tlb.Fill(vpage, false)
+		}
+	}
+	return lat + m.cachedAccess(core, a, write, atomic, now+lat)
+}
+
+func (m *MemSys) cachedAccess(core int, a Addr, write, atomic bool, now uint64) uint64 {
+	blk := m.block(a)
+	l1 := m.l1[core]
+	lat := m.Cfg.L1.Latency
+	if atomic {
+		lat += m.Cfg.AtomicExtra
+	}
+	// Stores and atomics must own the block exclusively: invalidate any
+	// remote L1 copies (directory protocol).
+	if write {
+		if others := m.dir.others(blk, core); others != 0 {
+			for c := 0; c < m.Cfg.HostCores; c++ {
+				if others&(1<<uint(c)) != 0 {
+					m.l1[c].Invalidate(blk)
+					m.dir.drop(blk, c)
+					m.Stats.Invalidations++
+				}
+			}
+			lat += m.Cfg.InvalidateLatency
+		}
+	}
+	if l1.Lookup(blk, write) {
+		m.Stats.L1Hits++
+		return lat
+	}
+	// L1 miss: probe L2.
+	lat += m.Cfg.L2.Latency
+	if !m.l2.Lookup(blk, false) {
+		// L2 miss: fetch the block from its home vault over the
+		// off-chip link.
+		done := m.hostVault(a).Access(a, m.blockShift, now+lat+m.Cfg.HostDRAMExtra/2)
+		lat = done - now + m.Cfg.HostDRAMExtra/2
+		m.Stats.HostDRAMReads++
+		if ev, dirty, ok := m.l2.Fill(blk, false); ok && dirty {
+			// Dirty LLC victim writes back off the critical path;
+			// it only occupies its bank.
+			m.writebackToDRAM(ev, now+lat)
+		}
+	} else {
+		m.Stats.L2Hits++
+	}
+	// Fill L1 (write-allocate).
+	if ev, dirty, ok := l1.Fill(blk, write); ok {
+		m.dir.drop(ev, core)
+		if dirty {
+			// Victim writes back into L2 without stalling the core.
+			if !m.l2.Lookup(ev, true) {
+				if ev2, d2, ok2 := m.l2.Fill(ev, true); ok2 && d2 {
+					m.writebackToDRAM(ev2, now+lat)
+				}
+			}
+		}
+	}
+	m.dir.add(blk, core)
+	return lat
+}
+
+func (m *MemSys) writebackToDRAM(block uint32, now uint64) {
+	a := Addr(block) << m.blockShift
+	if m.IsHostMem(a) {
+		m.hostVault(a).Access(a, m.blockShift, now)
+		m.Stats.DRAMWrites++
+	}
+}
+
+func (m *MemSys) hostVault(a Addr) *Vault {
+	return m.hostVaults[int(m.block(a))%m.Cfg.HostVaults]
+}
+
+// NMPAccess charges NMP core p's load or store at address a. NMP cores may
+// touch only their own partition and their own scratchpad; anything else
+// panics, enforcing the architecture's partition isolation.
+func (m *MemSys) NMPAccess(p int, a Addr, write bool, now uint64) uint64 {
+	if sp, ok := m.IsScratch(a); ok {
+		if sp != p {
+			panic(fmt.Sprintf("memsys: NMP core %d touched scratchpad %d", p, sp))
+		}
+		m.Stats.ScratchOps++
+		return m.Cfg.NMPScratchLatency
+	}
+	part, ok := m.IsNMPMem(a)
+	if !ok || part != p {
+		panic(fmt.Sprintf("memsys: NMP core %d touched address %#x outside its partition", p, a))
+	}
+	blk := m.block(a)
+	buf := &m.nmpBufs[p]
+	if write {
+		// Write-through to the vault; refresh the buffer if it holds
+		// this block so subsequent reads stay local.
+		done := m.nmpVaults[p].Access(a, m.blockShift, now)
+		m.Stats.DRAMWrites++
+		if buf.valid && buf.block == blk {
+			return m.Cfg.NMPBufLatency
+		}
+		return done - now
+	}
+	if buf.valid && buf.block == blk {
+		m.Stats.NMPBufHits++
+		return m.Cfg.NMPBufLatency
+	}
+	done := m.nmpVaults[p].Access(a, m.blockShift, now)
+	m.Stats.NMPDRAMReads++
+	buf.block, buf.valid = blk, true
+	return done - now
+}
+
+// FlushCaches empties all host caches, the directory, NMP buffers and DRAM
+// bank state. Experiments call it between the load phase and the measured
+// phase so construction traffic cannot leak into measurements.
+func (m *MemSys) FlushCaches() {
+	for _, c := range m.l1 {
+		c.Flush()
+	}
+	m.l2.Flush()
+	m.dir = newDirectory()
+	for i := range m.nmpBufs {
+		m.nmpBufs[i] = nmpBuf{}
+	}
+	for _, v := range m.hostVaults {
+		v.Drain()
+	}
+	for _, v := range m.nmpVaults {
+		v.Drain()
+	}
+	for _, t := range m.tlbs {
+		t.Flush()
+	}
+}

@@ -1,0 +1,501 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	// Shrink memory so tests stay light; geometry semantics unchanged.
+	cfg.HostMemSize = 16 << 20
+	cfg.NMPMemSize = 16 << 20
+	cfg.L2.Size = 64 << 10
+	cfg.L1.Size = 8 << 10
+	cfg.TLB.Entries = 0 // exact-latency tests assume perfect translation
+	return cfg
+}
+
+func TestRAMRoundTrip(t *testing.T) {
+	r := NewRAM(1 << 20)
+	r.Store32(0x100, 0xdeadbeef)
+	if got := r.Load32(0x100); got != 0xdeadbeef {
+		t.Fatalf("Load32 = %#x", got)
+	}
+	r.Store64(0x200, 0x1122334455667788)
+	if got := r.Load64(0x200); got != 0x1122334455667788 {
+		t.Fatalf("Load64 = %#x", got)
+	}
+	// Adjacent words do not clobber each other.
+	r.Store32(0x104, 7)
+	if got := r.Load32(0x100); got != 0xdeadbeef {
+		t.Fatalf("adjacent store clobbered: %#x", got)
+	}
+}
+
+func TestRAMPropertyStoreLoad(t *testing.T) {
+	r := NewRAM(1 << 20)
+	f := func(addr uint32, v uint32) bool {
+		a := Addr(addr%(1<<20)) &^ 3
+		r.Store32(a, v)
+		return r.Load32(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAMUnalignedPanics(t *testing.T) {
+	r := NewRAM(1 << 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned access did not panic")
+		}
+	}()
+	r.Load32(2)
+}
+
+func TestRAMOutOfRangePanics(t *testing.T) {
+	r := NewRAM(1 << 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	r.Load32(1 << 16)
+}
+
+func TestAllocatorAlignmentAndExhaustion(t *testing.T) {
+	al := NewAllocator("t", 0x1000, 0x100)
+	a := al.Alloc(10, 8)
+	if a != 0x1000 {
+		t.Fatalf("first alloc = %#x", a)
+	}
+	b := al.Alloc(8, 64)
+	if b%64 != 0 || b < a+10 {
+		t.Fatalf("aligned alloc = %#x", b)
+	}
+	if al.Used() == 0 || al.Remaining() == 0 {
+		t.Fatalf("accounting broken: used=%d rem=%d", al.Used(), al.Remaining())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustion did not panic")
+		}
+	}()
+	al.Alloc(0x1000, 8)
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache("t", CacheConfig{Size: 1 << 12, Ways: 2, BlockSize: 128, Latency: 1})
+	if c.Lookup(5, false) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Fill(5, false)
+	if !c.Lookup(5, false) {
+		t.Fatal("miss after fill")
+	}
+	if !c.Contains(5) {
+		t.Fatal("Contains false after fill")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 4 sets: blocks with equal low 2 bits share a set.
+	c := NewCache("t", CacheConfig{Size: 1 << 10, Ways: 2, BlockSize: 128, Latency: 1})
+	c.Fill(0, false)
+	c.Fill(4, false)
+	c.Lookup(0, false) // make block 4 the LRU line
+	ev, _, ok := c.Fill(8, false)
+	if !ok || ev != 4 {
+		t.Fatalf("evicted %d (ok=%v), want 4", ev, ok)
+	}
+	if !c.Contains(0) || c.Contains(4) || !c.Contains(8) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestCacheDirtyEvictionReported(t *testing.T) {
+	c := NewCache("t", CacheConfig{Size: 256, Ways: 1, BlockSize: 128, Latency: 1})
+	c.Fill(0, false)
+	c.Lookup(0, true) // dirty it
+	_, dirty, ok := c.Fill(2, false)
+	if !ok || !dirty {
+		t.Fatalf("dirty eviction not reported (ok=%v dirty=%v)", ok, dirty)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache("t", CacheConfig{Size: 1 << 10, Ways: 2, BlockSize: 128, Latency: 1})
+	c.Fill(3, true)
+	present, dirty := c.Invalidate(3)
+	if !present || !dirty {
+		t.Fatalf("invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Contains(3) {
+		t.Fatal("block resident after invalidate")
+	}
+	present, _ = c.Invalidate(3)
+	if present {
+		t.Fatal("second invalidate reported present")
+	}
+}
+
+func TestCachePropertyResidencyMatchesModel(t *testing.T) {
+	// Model each set as an LRU list and check the cache agrees.
+	cfg := CacheConfig{Size: 2048, Ways: 4, BlockSize: 128, Latency: 1}
+	c := NewCache("t", cfg)
+	nsets := uint32(cfg.Size / (cfg.BlockSize * Addr(cfg.Ways)))
+	model := make(map[uint32][]uint32) // set -> blocks MRU-first
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		blk := uint32(rng.Intn(64))
+		set := blk % nsets
+		lst := model[set]
+		pos := -1
+		for j, b := range lst {
+			if b == blk {
+				pos = j
+				break
+			}
+		}
+		if c.Lookup(blk, false) != (pos >= 0) {
+			t.Fatalf("step %d: residency of block %d disagrees with model", i, blk)
+		}
+		if pos >= 0 {
+			lst = append(lst[:pos], lst[pos+1:]...)
+		} else {
+			c.Fill(blk, false)
+			if len(lst) == cfg.Ways {
+				lst = lst[:cfg.Ways-1] // drop LRU
+			}
+		}
+		model[set] = append([]uint32{blk}, lst...)
+	}
+}
+
+func TestVaultRowBufferTiming(t *testing.T) {
+	v := NewVault(VaultConfig{Banks: 8, RowShift: 13, Timing: Table1Timing()})
+	tm := Table1Timing()
+	// First access to a closed bank: activate + CAS + burst.
+	done := v.Access(0, 7, 0)
+	if done != tm.TRCD+tm.TCL+tm.TBURST {
+		t.Fatalf("closed-bank access = %d", done)
+	}
+	// Same row (same bank: bank bits are block bits 0..2, so +128B*8 keeps bank 0): row hit.
+	start := done
+	done = v.Access(1024, 7, start)
+	if done-start != tm.TCL+tm.TBURST {
+		t.Fatalf("row hit latency = %d, want %d", done-start, tm.TCL+tm.TBURST)
+	}
+	// Different row, same bank: conflict.
+	start = done
+	done = v.Access(1<<14, 7, start)
+	if done-start != tm.TRP+tm.TRCD+tm.TCL+tm.TBURST {
+		t.Fatalf("row conflict latency = %d", done-start)
+	}
+}
+
+func TestVaultBankBusySerializes(t *testing.T) {
+	v := NewVault(VaultConfig{Banks: 8, RowShift: 13, Timing: Table1Timing()})
+	d1 := v.Access(0, 7, 0)
+	// Second request to the same bank issued at time 0 must wait.
+	d2 := v.Access(1024, 7, 0)
+	if d2 <= d1 {
+		t.Fatalf("overlapping bank accesses: d1=%d d2=%d", d1, d2)
+	}
+	// Requests to different banks proceed in parallel.
+	v2 := NewVault(VaultConfig{Banks: 8, RowShift: 13, Timing: Table1Timing()})
+	a := v2.Access(0, 7, 0)
+	b := v2.Access(128, 7, 0) // next block -> next bank
+	if b != a {
+		t.Fatalf("different banks serialized: %d vs %d", a, b)
+	}
+}
+
+func TestMemSysHostHitMissPath(t *testing.T) {
+	m := New(testConfig())
+	a := m.HostAlloc.Alloc(64, 64)
+	lat1 := m.HostAccess(0, a, false, 0)
+	if m.Stats.HostDRAMReads != 1 {
+		t.Fatalf("cold read DRAMReads = %d", m.Stats.HostDRAMReads)
+	}
+	lat2 := m.HostAccess(0, a, false, lat1)
+	if lat2 != m.Cfg.L1.Latency {
+		t.Fatalf("warm read latency = %d, want L1 %d", lat2, m.Cfg.L1.Latency)
+	}
+	if m.Stats.L1Hits != 1 {
+		t.Fatalf("L1Hits = %d", m.Stats.L1Hits)
+	}
+	if lat1 <= lat2 {
+		t.Fatalf("miss (%d) not slower than hit (%d)", lat1, lat2)
+	}
+}
+
+func TestMemSysL2SharedAcrossCores(t *testing.T) {
+	m := New(testConfig())
+	a := m.HostAlloc.Alloc(64, 64)
+	m.HostAccess(0, a, false, 0)
+	base := m.Stats
+	m.HostAccess(1, a, false, 1000)
+	d := m.Stats.Sub(base)
+	if d.HostDRAMReads != 0 || d.L2Hits != 1 {
+		t.Fatalf("core 1 after core 0: dram=%d l2hits=%d, want 0/1", d.HostDRAMReads, d.L2Hits)
+	}
+}
+
+func TestMemSysWriteInvalidatesRemoteL1(t *testing.T) {
+	m := New(testConfig())
+	a := m.HostAlloc.Alloc(64, 64)
+	m.HostAccess(0, a, false, 0) // core 0 caches it
+	m.HostAccess(1, a, false, 0) // core 1 caches it
+	base := m.Stats
+	m.HostAccess(1, a, true, 100) // core 1 writes: must invalidate core 0
+	if m.Stats.Sub(base).Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", m.Stats.Sub(base).Invalidations)
+	}
+	base = m.Stats
+	m.HostAccess(0, a, false, 200) // core 0 re-reads: L1 miss, L2 hit
+	d := m.Stats.Sub(base)
+	if d.L1Hits != 0 || d.L2Hits != 1 {
+		t.Fatalf("after invalidation: l1=%d l2=%d, want 0/1", d.L1Hits, d.L2Hits)
+	}
+}
+
+func TestMemSysAtomicCountsAndCosts(t *testing.T) {
+	m := New(testConfig())
+	a := m.HostAlloc.Alloc(64, 64)
+	m.HostAccess(0, a, false, 0)
+	base := m.Stats
+	lat := m.HostAtomic(0, a, 10)
+	if m.Stats.Sub(base).Atomics != 1 {
+		t.Fatal("atomic not counted")
+	}
+	if lat < m.Cfg.L1.Latency+m.Cfg.AtomicExtra {
+		t.Fatalf("atomic latency %d below floor", lat)
+	}
+}
+
+func TestMemSysHostCannotTouchNMP(t *testing.T) {
+	m := New(testConfig())
+	a := m.NMPAlloc[0].Alloc(64, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("host access to NMP memory did not panic")
+		}
+	}()
+	m.HostAccess(0, a, false, 0)
+}
+
+func TestMemSysNMPPartitionIsolation(t *testing.T) {
+	m := New(testConfig())
+	a := m.NMPAlloc[1].Alloc(64, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NMP cross-partition access did not panic")
+		}
+	}()
+	m.NMPAccess(0, a, false, 0)
+}
+
+func TestMemSysNMPBufferActsAsSingleBlockCache(t *testing.T) {
+	m := New(testConfig())
+	a := m.NMPAlloc[0].Alloc(256, 128)
+	lat1 := m.NMPAccess(0, a, false, 0)
+	if m.Stats.NMPDRAMReads != 1 {
+		t.Fatalf("cold NMP read: dram=%d", m.Stats.NMPDRAMReads)
+	}
+	lat2 := m.NMPAccess(0, a+64, false, lat1) // same block
+	if lat2 != m.Cfg.NMPBufLatency || m.Stats.NMPBufHits != 1 {
+		t.Fatalf("buffered read lat=%d hits=%d", lat2, m.Stats.NMPBufHits)
+	}
+	m.NMPAccess(0, a+128, false, lat1+lat2) // next block evicts buffer
+	base := m.Stats
+	m.NMPAccess(0, a, false, 1000)
+	if m.Stats.Sub(base).NMPDRAMReads != 1 {
+		t.Fatal("buffer retained stale block")
+	}
+}
+
+func TestMemSysScratchpadMMIO(t *testing.T) {
+	m := New(testConfig())
+	sp := m.ScratchAddr(3)
+	if lat := m.HostAccess(0, sp, true, 0); lat != m.Cfg.MMIOWriteLatency {
+		t.Fatalf("MMIO write latency = %d", lat)
+	}
+	if lat := m.HostAccess(0, sp, false, 0); lat != m.Cfg.MMIOReadLatency {
+		t.Fatalf("MMIO read latency = %d", lat)
+	}
+	if lat := m.NMPAccess(3, sp, false, 0); lat != m.Cfg.NMPScratchLatency {
+		t.Fatalf("NMP scratch latency = %d", lat)
+	}
+	if m.Stats.MMIOWrites != 1 || m.Stats.MMIOReads != 1 || m.Stats.ScratchOps != 1 {
+		t.Fatalf("MMIO stats %+v", m.Stats)
+	}
+}
+
+func TestMemSysRegionClassification(t *testing.T) {
+	m := New(testConfig())
+	if !m.IsHostMem(0) || m.IsHostMem(m.Cfg.HostMemSize) {
+		t.Fatal("host region boundary wrong")
+	}
+	p, ok := m.IsNMPMem(m.Cfg.HostMemSize)
+	if !ok || p != 0 {
+		t.Fatalf("NMP region start: p=%d ok=%v", p, ok)
+	}
+	last := m.Cfg.HostMemSize + m.Cfg.NMPMemSize - 1
+	p, ok = m.IsNMPMem(last)
+	if !ok || p != m.Cfg.NMPVaults-1 {
+		t.Fatalf("NMP region end: p=%d ok=%v", p, ok)
+	}
+	if _, ok := m.IsNMPMem(m.ScratchAddr(0)); ok {
+		t.Fatal("scratch classified as NMP mem")
+	}
+	sp, ok := m.IsScratch(m.ScratchAddr(2) + 100)
+	if !ok || sp != 2 {
+		t.Fatalf("scratch owner = %d ok=%v", sp, ok)
+	}
+}
+
+func TestMemSysFlushCaches(t *testing.T) {
+	m := New(testConfig())
+	a := m.HostAlloc.Alloc(64, 64)
+	m.HostAccess(0, a, false, 0)
+	m.FlushCaches()
+	base := m.Stats
+	m.HostAccess(0, a, false, 0)
+	if m.Stats.Sub(base).HostDRAMReads != 1 {
+		t.Fatal("flush did not clear caches")
+	}
+}
+
+func TestMemSysLLCCapacityPressure(t *testing.T) {
+	// Touch far more blocks than L2 capacity; re-touching the first ones
+	// must miss again (the pollution effect the paper's design targets).
+	cfg := testConfig()
+	m := New(cfg)
+	blocks := int(cfg.L2.Size/cfg.L2.BlockSize) * 4
+	addrs := make([]Addr, blocks)
+	for i := range addrs {
+		addrs[i] = m.HostAlloc.Alloc(cfg.L2.BlockSize, cfg.L2.BlockSize)
+	}
+	now := uint64(0)
+	for _, a := range addrs {
+		now += m.HostAccess(0, a, false, now)
+	}
+	base := m.Stats
+	for _, a := range addrs[:16] {
+		now += m.HostAccess(0, a, false, now)
+	}
+	if got := m.Stats.Sub(base).HostDRAMReads; got != 16 {
+		t.Fatalf("re-touch after pollution: dram=%d, want 16", got)
+	}
+}
+
+func TestNilBlockNeverAllocated(t *testing.T) {
+	m := New(testConfig())
+	if a := m.HostAlloc.Alloc(8, 8); a == 0 {
+		t.Fatal("allocator returned simulated nil address 0")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{L1Hits: 10, HostDRAMReads: 5, NMPDRAMReads: 2}
+	b := Stats{L1Hits: 4, HostDRAMReads: 1, NMPDRAMReads: 2}
+	d := a.Sub(b)
+	if d.L1Hits != 6 || d.HostDRAMReads != 4 || d.NMPDRAMReads != 0 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if a.DRAMReads() != 7 {
+		t.Fatalf("DRAMReads = %d", a.DRAMReads())
+	}
+}
+
+func TestTLBMissTriggersPageWalk(t *testing.T) {
+	cfg := testConfig()
+	cfg.TLB = TLBConfig{Entries: 16, Ways: 4, PageBits: 12, WalkExtra: 8}
+	m := New(cfg)
+	m.HostAlloc.Alloc(4096, 4096) // spacer: keep the test block away from the page tables
+	a := m.HostAlloc.Alloc(64, 64)
+	base := m.Stats
+	latCold := m.HostAccess(0, a, false, 0)
+	d := m.Stats.Sub(base)
+	if d.TLBMisses != 1 {
+		t.Fatalf("TLB misses = %d, want 1", d.TLBMisses)
+	}
+	// Cold walk: 2 PTE reads from DRAM plus the data read.
+	if d.HostDRAMReads != 3 {
+		t.Fatalf("cold translated read DRAM = %d, want 3 (2 PTE + data)", d.HostDRAMReads)
+	}
+	base = m.Stats
+	latWarm := m.HostAccess(0, a, false, latCold)
+	if m.Stats.Sub(base).TLBMisses != 0 {
+		t.Fatal("second access to same page missed TLB")
+	}
+	if latWarm >= latCold {
+		t.Fatalf("warm (%d) not faster than cold translated (%d)", latWarm, latCold)
+	}
+	// Touch many distinct pages to evict, then the first page misses again.
+	now := latCold + latWarm
+	for i := 0; i < 64; i++ {
+		p := m.HostAlloc.Alloc(4096, 4096)
+		now += m.HostAccess(0, p, false, now)
+	}
+	base = m.Stats
+	m.HostAccess(0, a, false, now)
+	if m.Stats.Sub(base).TLBMisses != 1 {
+		t.Fatal("TLB capacity eviction not modelled")
+	}
+}
+
+func TestTLBDisabledHasNoWalks(t *testing.T) {
+	m := New(testConfig()) // Entries = 0
+	a := m.HostAlloc.Alloc(64, 64)
+	m.HostAccess(0, a, false, 0)
+	if m.Stats.TLBMisses != 0 || m.Stats.HostDRAMReads != 1 {
+		t.Fatalf("disabled TLB produced walks: %+v", m.Stats)
+	}
+}
+
+func TestVaultPropertyBankCompletionMonotonic(t *testing.T) {
+	// Per bank, completions must be non-decreasing when requests are
+	// issued in non-decreasing time order.
+	f := func(addrs []uint16, gaps []uint8) bool {
+		v := NewVault(VaultConfig{Banks: 8, RowShift: 13, Timing: Table1Timing()})
+		lastDone := map[uint32]uint64{}
+		now := uint64(0)
+		for i, a16 := range addrs {
+			if i < len(gaps) {
+				now += uint64(gaps[i])
+			}
+			a := Addr(a16) << 7 // block-aligned
+			bank := (uint32(a) >> 7) & 7
+			done := v.Access(a, 7, now)
+			if done < now {
+				return false
+			}
+			if done < lastDone[bank] {
+				return false
+			}
+			lastDone[bank] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryMultipleSharers(t *testing.T) {
+	m := New(testConfig())
+	a := m.HostAlloc.Alloc(64, 64)
+	for core := 0; core < 4; core++ {
+		m.HostAccess(core, a, false, uint64(core)*1000)
+	}
+	base := m.Stats
+	m.HostAccess(0, a, true, 5000) // writer invalidates the other three
+	if got := m.Stats.Sub(base).Invalidations; got != 3 {
+		t.Fatalf("invalidations = %d, want 3", got)
+	}
+}

@@ -1,0 +1,360 @@
+// Package ycsb is a from-scratch workload generator compatible with the
+// Yahoo! Cloud Serving Benchmark core workloads used in the HybriDS paper:
+// a load phase of uniformly scattered keys plus operation streams with
+// configurable read/update/insert/remove mixes and zipfian or uniform key
+// popularity (YCSB-C = 100% reads, zipfian). It also generates the paper's
+// custom sensitivity workloads (§5.2), including the B+ tree
+// "targeted-split" insert pattern that forces maximum node splits at the
+// last leaf of each NMP partition.
+//
+// Record index -> key mapping uses a keyed Feistel permutation: keys are
+// unique by construction (no dedup state even for tens of millions of
+// records), uniformly scattered (which doubles as YCSB's zipfian
+// scrambling), and fresh insert keys simply continue the index sequence.
+// The key space is viewed as 8 equal stripes and generated keys land in
+// the lower half of each stripe, so range partitions stay balanced for any
+// power-of-two partition count up to 8 while each stripe's upper half
+// leaves headroom for the PartitionTail pattern's incrementing keys.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/prng"
+)
+
+// Dist selects the popularity distribution for read/update/remove keys.
+type Dist int
+
+// Distributions.
+const (
+	Uniform Dist = iota
+	Zipfian
+)
+
+func (d Dist) String() string {
+	if d == Zipfian {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// InsertPattern selects how insert keys are chosen.
+type InsertPattern int
+
+const (
+	// FreshUniform mints previously unused keys scattered uniformly
+	// (no systematic B+ tree node splits beyond normal growth).
+	FreshUniform InsertPattern = iota
+	// PartitionTail mints incrementing keys just past the current
+	// maximum of each NMP partition, round-robin across partitions:
+	// every insert lands on the partition's last leaf and forces the
+	// maximum possible node splits while spreading load evenly (§5.2).
+	PartitionTail
+)
+
+// Pair is a load-phase record.
+type Pair struct {
+	Key, Value uint32
+}
+
+// Config parameterizes a workload.
+type Config struct {
+	// Records is the initial record count (the paper loads 2^22 keys
+	// into skiplists and ~30M into B+ trees).
+	Records int
+	// KeyMax is the exclusive key-space bound (a power of two); load and
+	// fresh-insert keys fall in [1, KeyMax/2].
+	KeyMax uint32
+	// ReadPct/UpdatePct/InsertPct/RemovePct must sum to 100 (the paper's
+	// X-Y-Z mixes are read-insert-remove).
+	ReadPct, UpdatePct, InsertPct, RemovePct int
+	// Dist is the popularity distribution for read/update/remove keys.
+	Dist Dist
+	// ZipfTheta is the zipfian skew (YCSB default 0.99).
+	ZipfTheta float64
+	// Inserts selects the insert key pattern.
+	Inserts InsertPattern
+	// Partitions is required by PartitionTail: the NMP partition count
+	// (key ranges are KeyMax/Partitions).
+	Partitions int
+	Seed       uint64
+}
+
+// YCSBC returns the paper's baseline workload: read-only, zipfian.
+func YCSBC(records int, keyMax uint32, seed uint64) Config {
+	return Config{
+		Records: records, KeyMax: keyMax,
+		ReadPct: 100, Dist: Zipfian, ZipfTheta: 0.99, Seed: seed,
+	}
+}
+
+// Mix returns a read-insert-remove sensitivity workload with uniform key
+// popularity (§5.2: "workloads with varying ratios of insertions and
+// removals and uniform distribution of accessed keys").
+func Mix(records int, keyMax uint32, read, insert, remove int, seed uint64) Config {
+	return Config{
+		Records: records, KeyMax: keyMax,
+		ReadPct: read, InsertPct: insert, RemovePct: remove,
+		Dist: Uniform, Seed: seed,
+	}
+}
+
+// keyPerm is a 4-round Feistel permutation over [0, 2^bits): a keyed
+// bijection, so distinct indices always yield distinct keys.
+type keyPerm struct {
+	half uint
+	mask uint64
+	seed uint64
+}
+
+func newKeyPerm(bits uint, seed uint64) keyPerm {
+	return keyPerm{half: bits / 2, mask: 1<<(bits/2) - 1, seed: seed}
+}
+
+func (p keyPerm) apply(i uint64) uint64 {
+	l := (i >> p.half) & p.mask
+	r := i & p.mask
+	for round := uint64(0); round < 4; round++ {
+		l, r = r, l^(prng.Mix64(r^p.seed^(round<<48))&p.mask)
+	}
+	return l<<p.half | r
+}
+
+// Generator produces a load set and deterministic per-thread op streams.
+type Generator struct {
+	cfg      Config
+	perm     keyPerm
+	permBits uint   // Feistel domain width (even)
+	keyBits  uint   // log2(KeyMax)
+	fresh    uint64 // next fresh record index for FreshUniform inserts
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	if cfg.ReadPct+cfg.UpdatePct+cfg.InsertPct+cfg.RemovePct != 100 {
+		panic(fmt.Sprintf("ycsb: op mix sums to %d, want 100",
+			cfg.ReadPct+cfg.UpdatePct+cfg.InsertPct+cfg.RemovePct))
+	}
+	if cfg.KeyMax&(cfg.KeyMax-1) != 0 {
+		panic("ycsb: KeyMax must be a power of two")
+	}
+	if cfg.KeyMax < uint32(cfg.Records)*4 {
+		panic("ycsb: key space too small for record count")
+	}
+	if cfg.ZipfTheta == 0 {
+		cfg.ZipfTheta = 0.99
+	}
+	bits := uint(0)
+	for uint32(1)<<bits < cfg.KeyMax {
+		bits++
+	}
+	if bits < 8 {
+		panic("ycsb: KeyMax too small")
+	}
+	// The Feistel permutation needs an even width; keys use 3 stripe bits
+	// plus the rest as intra-stripe offset, all drawn from the permuted
+	// index.
+	permBits := bits - 2
+	if permBits%2 == 1 {
+		permBits--
+	}
+	if uint64(cfg.Records) > uint64(1)<<(permBits-1) {
+		panic("ycsb: key space too small for record count plus insert headroom")
+	}
+	return &Generator{
+		cfg:      cfg,
+		perm:     newKeyPerm(permBits, cfg.Seed^0x10ad10ad),
+		permBits: permBits,
+		keyBits:  bits,
+		fresh:    uint64(cfg.Records),
+	}
+}
+
+// key maps a record index to its key: the permuted index's top 3 bits pick
+// one of 8 stripes and the rest lands at the bottom of the stripe,
+// leaving tail headroom at every stripe's top.
+func (g *Generator) key(idx uint64) uint32 {
+	v := g.perm.apply(idx)
+	stripe := v >> (g.permBits - 3)
+	off := v & (1<<(g.permBits-3) - 1)
+	return uint32(stripe<<(g.keyBits-3)|off) + 1
+}
+
+// Load returns the load-phase records (values derived from keys).
+func (g *Generator) Load() []Pair {
+	out := make([]Pair, g.cfg.Records)
+	for i := range out {
+		k := g.key(uint64(i))
+		out[i] = Pair{Key: k, Value: uint32(prng.Mix64(uint64(k)))}
+	}
+	return out
+}
+
+// Streams generates op streams for the given number of threads,
+// opsPerThread each, in one deterministic pass. Fresh insert keys are
+// globally unique across threads and across successive Streams calls.
+func (g *Generator) Streams(threads, opsPerThread int) [][]kv.Op {
+	streams := make([][]kv.Op, threads)
+	pickers := make([]*picker, threads)
+	for t := range streams {
+		streams[t] = make([]kv.Op, 0, opsPerThread)
+		pickers[t] = g.newPicker(uint64(t))
+	}
+	tail := g.newTailCursors()
+	// Interleave generation round-robin so PartitionTail key assignment
+	// is balanced across threads regardless of thread count.
+	for i := 0; i < opsPerThread; i++ {
+		for t := 0; t < threads; t++ {
+			streams[t] = append(streams[t], g.genOp(pickers[t], tail))
+		}
+	}
+	return streams
+}
+
+func (g *Generator) genOp(p *picker, tail *tailCursors) kv.Op {
+	r := p.rng.Intn(100)
+	switch {
+	case r < g.cfg.ReadPct:
+		return kv.Op{Kind: kv.Read, Key: p.existing()}
+	case r < g.cfg.ReadPct+g.cfg.UpdatePct:
+		return kv.Op{Kind: kv.Update, Key: p.existing(), Value: p.rng.Uint32()}
+	case r < g.cfg.ReadPct+g.cfg.UpdatePct+g.cfg.InsertPct:
+		var key uint32
+		if g.cfg.Inserts == PartitionTail {
+			key = tail.next()
+		} else {
+			key = g.key(g.fresh)
+			g.fresh++
+		}
+		return kv.Op{Kind: kv.Insert, Key: key, Value: p.rng.Uint32()}
+	default:
+		return kv.Op{Kind: kv.Remove, Key: p.existing()}
+	}
+}
+
+// picker draws keys from the configured popularity distribution over the
+// initial records.
+type picker struct {
+	g    *Generator
+	rng  *prng.Source
+	zipf *zipfian
+}
+
+func (g *Generator) newPicker(salt uint64) *picker {
+	p := &picker{g: g, rng: prng.New(g.cfg.Seed ^ prng.Mix64(salt+0x9c))}
+	if g.cfg.Dist == Zipfian {
+		p.zipf = newZipfian(uint64(g.cfg.Records), g.cfg.ZipfTheta, prng.New(g.cfg.Seed^prng.Mix64(salt+0x2f)))
+	}
+	return p
+}
+
+func (p *picker) existing() uint32 {
+	var idx uint64
+	if p.zipf != nil {
+		// The Feistel index->key permutation already scatters hot
+		// items over the key space (YCSB's ScrambledZipfian), keeping
+		// partitions balanced.
+		idx = p.zipf.next()
+	} else {
+		idx = uint64(p.rng.Intn(p.g.cfg.Records))
+	}
+	return p.g.key(idx)
+}
+
+// tailCursors implements PartitionTail: per-partition incrementing keys
+// starting just above the partition's largest load key.
+type tailCursors struct {
+	cursors []uint32
+	his     []uint32
+	next_   int
+}
+
+func (g *Generator) newTailCursors() *tailCursors {
+	if g.cfg.Inserts != PartitionTail {
+		return nil
+	}
+	if g.cfg.Partitions <= 0 {
+		panic("ycsb: PartitionTail requires Partitions")
+	}
+	part := kv.RangePartitioner{KeyMax: g.cfg.KeyMax, Parts: g.cfg.Partitions}
+	t := &tailCursors{}
+	maxInPart := make([]uint32, g.cfg.Partitions)
+	for i := 0; i < g.cfg.Records; i++ {
+		k := g.key(uint64(i))
+		p := part.Part(k)
+		if k > maxInPart[p] {
+			maxInPart[p] = k
+		}
+	}
+	for p := 0; p < g.cfg.Partitions; p++ {
+		lo, hi := part.Range(p)
+		cursor := maxInPart[p]
+		if cursor == 0 {
+			cursor = lo
+		}
+		t.cursors = append(t.cursors, cursor)
+		t.his = append(t.his, hi)
+	}
+	return t
+}
+
+func (t *tailCursors) next() uint32 {
+	for tries := 0; tries < len(t.cursors); tries++ {
+		p := t.next_
+		t.next_ = (t.next_ + 1) % len(t.cursors)
+		if t.cursors[p]+1 < t.his[p] {
+			t.cursors[p]++
+			return t.cursors[p]
+		}
+	}
+	panic("ycsb: partition tails exhausted; increase KeyMax headroom")
+}
+
+// zipfian is YCSB's bounded zipfian generator (Gray et al.'s rejection
+// inversion constants): item 0 is the hottest.
+type zipfian struct {
+	items             uint64
+	theta             float64
+	alpha, zetan, eta float64
+	zeta2theta        float64
+	rng               *prng.Source
+}
+
+func newZipfian(items uint64, theta float64, rng *prng.Source) *zipfian {
+	z := &zipfian{items: items, theta: theta, rng: rng}
+	z.zetan = zetaStatic(items, theta)
+	z.zeta2theta = zetaStatic(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(items), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+var zetaCache = map[[2]uint64]float64{}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	ck := [2]uint64{n, math.Float64bits(theta)}
+	if v, ok := zetaCache[ck]; ok {
+		return v
+	}
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	zetaCache[ck] = sum
+	return sum
+}
+
+func (z *zipfian) next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

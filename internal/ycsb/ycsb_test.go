@@ -1,0 +1,249 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/prng"
+)
+
+func TestLoadKeysUniqueAndBounded(t *testing.T) {
+	g := New(YCSBC(10000, 1<<24, 1))
+	load := g.Load()
+	if len(load) != 10000 {
+		t.Fatalf("load size = %d", len(load))
+	}
+	seen := map[uint32]bool{}
+	for _, p := range load {
+		if p.Key == 0 || p.Key >= 1<<24 {
+			t.Fatalf("key %d out of bounds", p.Key)
+		}
+		if seen[p.Key] {
+			t.Fatalf("duplicate key %d", p.Key)
+		}
+		seen[p.Key] = true
+	}
+}
+
+func TestYCSBCIsReadOnly(t *testing.T) {
+	g := New(YCSBC(1000, 1<<20, 2))
+	for _, stream := range g.Streams(4, 500) {
+		for _, op := range stream {
+			if op.Kind != kv.Read {
+				t.Fatalf("YCSB-C produced %s", op.Kind)
+			}
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g := New(Mix(1000, 1<<20, 50, 25, 25, 3))
+	counts := map[kv.Kind]int{}
+	total := 0
+	for _, stream := range g.Streams(8, 2000) {
+		for _, op := range stream {
+			counts[op.Kind]++
+			total++
+		}
+	}
+	check := func(kind kv.Kind, wantPct int) {
+		got := 100 * counts[kind] / total
+		if got < wantPct-3 || got > wantPct+3 {
+			t.Errorf("%s = %d%%, want ~%d%%", kind, got, wantPct)
+		}
+	}
+	check(kv.Read, 50)
+	check(kv.Insert, 25)
+	check(kv.Remove, 25)
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	mk := func() [][]kv.Op {
+		return New(Mix(500, 1<<20, 60, 20, 20, 7)).Streams(4, 300)
+	}
+	a, b := mk(), mk()
+	for th := range a {
+		for i := range a[th] {
+			if a[th][i] != b[th][i] {
+				t.Fatalf("stream %d op %d differs", th, i)
+			}
+		}
+	}
+}
+
+func TestFreshInsertKeysUniqueAcrossThreads(t *testing.T) {
+	g := New(Mix(1000, 1<<22, 0, 100, 0, 11))
+	seen := map[uint32]bool{}
+	for _, p := range g.Load() {
+		seen[p.Key] = true
+	}
+	for _, stream := range g.Streams(8, 500) {
+		for _, op := range stream {
+			if op.Kind != kv.Insert {
+				continue
+			}
+			if seen[op.Key] {
+				t.Fatalf("insert key %d duplicates an earlier key", op.Key)
+			}
+			seen[op.Key] = true
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := newZipfian(100000, 0.99, prng.New(5))
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.next()
+		if v >= 100000 {
+			t.Fatalf("zipfian drew %d >= items", v)
+		}
+		counts[v]++
+	}
+	// Item 0 should be far hotter than the uniform expectation.
+	if counts[0] < draws/1000 {
+		t.Fatalf("hottest item drawn %d times; zipfian not skewed", counts[0])
+	}
+	// Top 1% of items should dominate the draws.
+	top := 0
+	for v, c := range counts {
+		if v < 1000 {
+			top += c
+		}
+	}
+	if float64(top)/draws < 0.4 {
+		t.Fatalf("top 1%% items got only %.1f%% of draws", 100*float64(top)/draws)
+	}
+}
+
+func TestZipfianZetaMatchesDirectSum(t *testing.T) {
+	n := uint64(1000)
+	want := 0.0
+	for i := uint64(1); i <= n; i++ {
+		want += 1 / math.Pow(float64(i), 0.99)
+	}
+	if got := zetaStatic(n, 0.99); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("zeta = %v, want %v", got, want)
+	}
+}
+
+func TestScrambledZipfianBalancesPartitions(t *testing.T) {
+	// After scrambling, zipfian-hot keys should spread across partitions
+	// (the property that keeps NMP partitions load-balanced).
+	g := New(YCSBC(200000, 1<<24, 13))
+	part := kv.RangePartitioner{KeyMax: 1 << 24, Parts: 8}
+	counts := make([]int, 8)
+	total := 0
+	for _, stream := range g.Streams(2, 20000) {
+		for _, op := range stream {
+			counts[part.Part(op.Key)]++
+			total++
+		}
+	}
+	// Zipfian inherently concentrates some mass on single hot items (the
+	// paper's footnote 4 acknowledges hot partitions); scrambling must
+	// still keep every partition in play and none dominant.
+	for p, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.03 || frac > 0.45 {
+			t.Fatalf("partition %d gets %.1f%% of accesses; scrambling broken", p, 100*frac)
+		}
+	}
+}
+
+func TestPartitionTailInsertsHitPartitionTails(t *testing.T) {
+	cfg := Mix(4000, 1<<24, 0, 100, 0, 17)
+	cfg.Inserts = PartitionTail
+	cfg.Partitions = 8
+	g := New(cfg)
+	part := kv.RangePartitioner{KeyMax: 1 << 24, Parts: 8}
+	// Per-partition max over the load keys.
+	maxKey := make([]uint32, 8)
+	for _, p := range g.Load() {
+		pp := part.Part(p.Key)
+		if p.Key > maxKey[pp] {
+			maxKey[pp] = p.Key
+		}
+	}
+	perPart := make([]int, 8)
+	last := make([]uint32, 8)
+	for _, stream := range g.Streams(4, 200) {
+		for _, op := range stream {
+			p := part.Part(op.Key)
+			if op.Key <= maxKey[p] {
+				t.Fatalf("tail insert key %d not beyond partition %d max %d", op.Key, p, maxKey[p])
+			}
+			if last[p] != 0 && op.Key != last[p]+1 {
+				t.Fatalf("partition %d tail keys not incrementing: %d after %d", p, op.Key, last[p])
+			}
+			last[p] = op.Key
+			perPart[p]++
+		}
+	}
+	for p, c := range perPart {
+		if c != 100 {
+			t.Fatalf("partition %d received %d tail inserts, want 100 (even spread)", p, c)
+		}
+	}
+}
+
+func TestBadMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mix not summing to 100 did not panic")
+		}
+	}()
+	New(Config{Records: 10, KeyMax: 1 << 20, ReadPct: 50})
+}
+
+func TestSmallKeySpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny key space did not panic")
+		}
+	}()
+	New(YCSBC(1000, 1500, 1))
+}
+
+func TestKeyPermIsBijective(t *testing.T) {
+	p := newKeyPerm(16, 0xfeed)
+	seen := make([]bool, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		v := p.apply(i)
+		if v >= 1<<16 {
+			t.Fatalf("perm(%d) = %d outside domain", i, v)
+		}
+		if seen[v] {
+			t.Fatalf("perm collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestKeyPermSeedChangesMapping(t *testing.T) {
+	a := newKeyPerm(16, 1)
+	b := newKeyPerm(16, 2)
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.apply(i) == b.apply(i) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds agree on %d/1000 points", same)
+	}
+}
+
+func TestKeysStayInStripeLowerPortion(t *testing.T) {
+	g := New(YCSBC(50000, 1<<24, 9))
+	stripe := uint32(1 << 21) // KeyMax/8
+	headroom := stripe / 4    // permBits = keyBits-2 -> lower quarter
+	for _, p := range g.Load() {
+		off := (p.Key - 1) % stripe
+		if off >= headroom {
+			t.Fatalf("key %d at stripe offset %d beyond headroom %d", p.Key, off, headroom)
+		}
+	}
+}
