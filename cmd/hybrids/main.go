@@ -4,11 +4,12 @@
 // Usage:
 //
 //	hybrids -list
-//	hybrids -exp fig5a [-scale small|paper|tiny] [-ops N] [-markdown]
+//	hybrids -exp fig5a [-scale quick|small|paper|tiny] [-ops N] [-markdown|-json]
 //	hybrids -exp all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,9 +21,10 @@ import (
 func main() {
 	var (
 		expID    = flag.String("exp", "", "experiment id (or 'all')")
-		scale    = flag.String("scale", "small", "scale: tiny, small, or paper")
+		scale    = flag.String("scale", "small", "scale: quick, tiny, small, or paper")
 		list     = flag.Bool("list", false, "list experiments")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics)")
 		ops      = flag.Int("ops", 0, "override measured ops per thread")
 		warmup   = flag.Int("warmup", -1, "override warmup ops per thread")
 		quiet    = flag.Bool("q", false, "suppress progress output")
@@ -42,6 +44,8 @@ func main() {
 
 	var sc exp.Scale
 	switch *scale {
+	case "quick":
+		sc = exp.QuickScale()
 	case "tiny":
 		sc = exp.TinyScale()
 	case "small":
@@ -64,12 +68,16 @@ func main() {
 		progress = nil
 	}
 
+	var results []exp.Result
 	run := func(e exp.Experiment) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", e.ID)
 		res := e.Run(sc, progress)
-		if *markdown {
+		switch {
+		case *jsonOut:
+			results = append(results, res)
+		case *markdown:
 			fmt.Print(res.Markdown())
-		} else {
+		default:
 			fmt.Println(res.Format())
 		}
 	}
@@ -78,12 +86,25 @@ func main() {
 		for _, e := range exp.Registry() {
 			run(e)
 		}
-		return
+	} else {
+		e, ok := exp.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, ok := exp.Find(*expID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expID)
-		os.Exit(2)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Scale   string       `json:"scale"`
+			Results []exp.Result `json:"results"`
+		}{sc.Name, results}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	run(e)
 }

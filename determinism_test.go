@@ -1,0 +1,39 @@
+package hybrids_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hybrids/internal/exp"
+)
+
+// TestExperimentDeterminism is the top-level determinism regression: the
+// simulator is a deterministic virtual-time machine, so running the same
+// experiment twice at the same scale and seed must reproduce every emitted
+// row byte-for-byte and every measured cell exactly.
+func TestExperimentDeterminism(t *testing.T) {
+	e, ok := exp.Find("fig5a")
+	if !ok {
+		t.Fatal("fig5a not registered")
+	}
+	first := e.Run(exp.QuickScale(), nil)
+	second := e.Run(exp.QuickScale(), nil)
+
+	if len(first.Rows) == 0 {
+		t.Fatal("fig5a emitted no rows")
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		for i := range first.Rows {
+			if i < len(second.Rows) && !reflect.DeepEqual(first.Rows[i], second.Rows[i]) {
+				t.Errorf("row %d differs: %v vs %v", i, first.Rows[i], second.Rows[i])
+			}
+		}
+		t.Fatal("fig5a rows are not deterministic")
+	}
+	if !reflect.DeepEqual(first.Cells, second.Cells) {
+		t.Fatal("fig5a measured cells are not deterministic")
+	}
+	if first.Format() != second.Format() {
+		t.Fatal("fig5a formatted output is not byte-identical")
+	}
+}

@@ -78,6 +78,6 @@ func main() {
 		totalOps := *threads * *ops
 		mops := float64(totalOps) / float64(cycles) * 2e9 / 1e6
 		fmt.Printf("%-20s %8.2f Mops/s   %6.1f DRAM reads/op\n",
-			variant, mops, float64(m.Mem.Stats.DRAMReads())/float64(totalOps))
+			variant, mops, float64(m.Mem.Stats().DRAMReads())/float64(totalOps))
 	}
 }

@@ -53,8 +53,8 @@ func main() {
 	totalOps := threads * *ops
 	fmt.Printf("50-25-25 read-insert-remove, targeted splits, %d records\n\n", *records)
 	fmt.Printf("throughput:      %.2f Mops/s\n", float64(totalOps)/float64(cycles)*2e9/1e6)
-	fmt.Printf("DRAM reads/op:   %.2f\n", float64(m.Mem.Stats.DRAMReads())/float64(totalOps))
-	fmt.Printf("TLB misses/op:   %.2f\n", float64(m.Mem.Stats.TLBMisses)/float64(totalOps))
+	fmt.Printf("DRAM reads/op:   %.2f\n", float64(m.Mem.Stats().DRAMReads())/float64(totalOps))
+	fmt.Printf("TLB misses/op:   %.2f\n", float64(m.Mem.Stats().TLBMisses)/float64(totalOps))
 
 	d := t.Delays()
 	if d.Count > 0 {

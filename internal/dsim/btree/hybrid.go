@@ -3,6 +3,8 @@ package btree
 import (
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
+	"hybrids/internal/dsim/offload"
+	"hybrids/internal/metrics"
 	"hybrids/internal/sim/machine"
 )
 
@@ -15,10 +17,9 @@ type Hybrid struct {
 	m     *machine.Machine
 	host  *hostCore
 	trees []*nmpTree
-	pubs  []*fc.PubList
+	rt    *offload.Runtime
 
 	nmpLevels int
-	window    int
 }
 
 // HybridBTreeConfig parameterizes the hybrid B+ tree.
@@ -36,20 +37,15 @@ func NewHybrid(m *machine.Machine, cfg HybridBTreeConfig) *Hybrid {
 	if cfg.NMPLevels <= 0 {
 		panic("btree: NMPLevels must be positive")
 	}
-	if cfg.Window <= 0 {
-		cfg.Window = 1
-	}
 	parts := m.Cfg.Mem.NMPVaults
 	t := &Hybrid{
 		m:         m,
 		host:      newHostCore(m, cfg.NMPLevels),
+		rt:        offload.New(m, offload.Config{Window: cfg.Window}),
 		nmpLevels: cfg.NMPLevels,
-		window:    cfg.Window,
 	}
-	slots := m.Cfg.Mem.HostCores * cfg.Window
 	for p := 0; p < parts; p++ {
 		t.trees = append(t.trees, newNMPTree(cfg.NMPLevels, m.Mem.NMPAlloc[p]))
-		t.pubs = append(t.pubs, fc.NewPubList(m, p, slots))
 	}
 	return t
 }
@@ -80,9 +76,7 @@ func dedupCount(pairs []KV) []KV {
 // Start spawns the NMP combiner daemons. Call once before Machine.Run.
 func (t *Hybrid) Start() {
 	for p := range t.trees {
-		tree := t.trees[p]
-		pub := t.pubs[p]
-		t.m.SpawnNMP(p, func(c *machine.Ctx) { fc.Serve(c, pub, tree.handler()) })
+		t.rt.Start(p, t.trees[p].handler())
 	}
 }
 
@@ -102,55 +96,9 @@ func (t *Hybrid) route(c *machine.Ctx, key uint32) (p pathInfo, part int, begin 
 	return p, part, begin, true
 }
 
-// Apply implements kv.Store with blocking NMP calls.
-func (t *Hybrid) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
-	slot := thread * t.window
-	for attempt := uint64(0); ; attempt++ {
-		c.Step(attempt * 8)
-		p, part, begin, ok := t.route(c, op.Key)
-		if !ok {
-			continue
-		}
-		req := fc.Request{Key: op.Key, Value: op.Value, NMPPtr: begin, Aux: p.seqs[t.nmpLevels]}
-		switch op.Kind {
-		case kv.Read:
-			req.Op = fc.OpRead
-		case kv.Update:
-			req.Op = fc.OpUpdate
-		case kv.Insert:
-			req.Op = fc.OpInsert
-		case kv.Remove:
-			req.Op = fc.OpRemove
-		default:
-			panic("btree: unknown op kind")
-		}
-		resp := t.pubs[part].Call(c, slot, req)
-		if resp.Retry {
-			continue
-		}
-		if op.Kind != kv.Insert || !resp.LockPath {
-			return resp.Value, resp.Success
-		}
-		// LOCK_PATH: lock the host-side path and resume the insert
-		// (Listing 4 lines 26-43).
-		ls, _, ok := t.host.lockPath(c, &p)
-		if !ok {
-			t.pubs[part].Call(c, slot, fc.Request{Op: fc.OpUnlockPath})
-			continue
-		}
-		resume := t.pubs[part].Call(c, slot, fc.Request{Op: fc.OpResumeInsert})
-		if !resume.Success {
-			panic("btree: RESUME_INSERT failed")
-		}
-		t.host.insertChain(c, &p, t.nmpLevels, resume.Value, taggedPtr(resume.Ptr, part), &ls)
-		t.host.unlock(c, ls)
-		return 0, true
-	}
-}
-
-// batchOp tracks one in-flight non-blocking operation's phase.
-type batchOp struct {
-	op   kv.Op
+// btState tracks one operation's host-side path, locked-path state and
+// protocol phase across the offload runtime's retry loop.
+type btState struct {
 	p    pathInfo
 	part int
 	// phase: 0 = initial request in flight, 1 = RESUME_INSERT in flight
@@ -159,102 +107,93 @@ type batchOp struct {
 	ls    lockSet
 }
 
+// btAdapter plugs the hybrid B+ tree protocol (§3.4) — parent sequence
+// numbers plus the LOCK_PATH / RESUME_INSERT exchange — into the shared
+// offload runtime.
+type btAdapter struct{ t *Hybrid }
+
+func (ad btAdapter) Begin(c *machine.Ctx, op kv.Op) btState { return btState{} }
+
+func (ad btAdapter) Prepare(c *machine.Ctx, op kv.Op, st *btState, attempt int, batch bool) (fc.Request, int, offload.PrepareCtl, bool) {
+	t := ad.t
+	if batch {
+		// Non-blocking issue: brief fixed backoff after a failed
+		// optimistic descend.
+		if attempt > 0 {
+			c.Step(16)
+		}
+	} else {
+		// Blocking call: linear backoff (a Step(0) yield on the first
+		// attempt keeps same-cycle actors in FIFO order).
+		c.Step(uint64(attempt) * 8)
+	}
+	p, part, begin, ok := t.route(c, op.Key)
+	if !ok {
+		return fc.Request{}, 0, offload.PrepareRestart, false
+	}
+	st.p, st.part, st.phase = p, part, 0
+	req := fc.Request{Key: op.Key, Value: op.Value, NMPPtr: begin, Aux: p.seqs[t.nmpLevels]}
+	switch op.Kind {
+	case kv.Read:
+		req.Op = fc.OpRead
+	case kv.Update:
+		req.Op = fc.OpUpdate
+	case kv.Insert:
+		req.Op = fc.OpInsert
+	case kv.Remove:
+		req.Op = fc.OpRemove
+	default:
+		panic("btree: unknown op kind")
+	}
+	return req, part, offload.PrepareOffload, false
+}
+
+func (ad btAdapter) Finish(c *machine.Ctx, op kv.Op, st *btState, resp fc.Response) offload.Verdict {
+	t := ad.t
+	switch st.phase {
+	case 1: // RESUME_INSERT completed
+		if !resp.Success {
+			panic("btree: RESUME_INSERT failed")
+		}
+		t.host.insertChain(c, &st.p, t.nmpLevels, resp.Value, taggedPtr(resp.Ptr, st.part), &st.ls)
+		t.host.unlock(c, st.ls)
+		return offload.Verdict{Kind: offload.OpDone, OK: true, Gate: offload.GateRelease}
+	case 2: // UNLOCK_PATH acknowledged: restart the whole insert
+		return offload.Verdict{Kind: offload.OpRetry}
+	}
+	if resp.Retry {
+		return offload.Verdict{Kind: offload.OpRetry}
+	}
+	if op.Kind == kv.Insert && resp.LockPath {
+		// LOCK_PATH: lock the host-side path and resume the insert
+		// (Listing 4 lines 26-43).
+		ls, _, ok := t.host.lockPath(c, &st.p)
+		if !ok {
+			st.phase = 2
+			return offload.Verdict{Kind: offload.OpFollowUp, Next: fc.Request{Op: fc.OpUnlockPath}}
+		}
+		st.ls = ls
+		st.phase = 1
+		return offload.Verdict{
+			Kind: offload.OpFollowUp,
+			Next: fc.Request{Op: fc.OpResumeInsert},
+			Gate: offload.GateAcquire,
+		}
+	}
+	return offload.Verdict{Kind: offload.OpDone, OK: resp.Success, Value: resp.Value}
+}
+
+// Apply implements kv.Store with blocking NMP calls.
+func (t *Hybrid) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	return offload.Apply(t.rt, btAdapter{t}, c, thread, op)
+}
+
 // ApplyBatch implements kv.AsyncStore: non-blocking NMP calls (§3.5).
-// While any insert of this thread holds host-side locks, new traversals
-// are deferred: a descend could otherwise spin on the thread's own locks,
-// which would deadlock a single actor.
+// While any insert of this thread holds host-side locks, the runtime's
+// deferral gate pauses new traversals: a descend could otherwise spin on
+// the thread's own locks, which would deadlock a single actor.
 func (t *Hybrid) ApplyBatch(c *machine.Ctx, thread int, ops []kv.Op) int {
-	w := fc.NewWindow(thread, t.window, t.pubs)
-	succeeded := 0
-	locksHeld := 0
-	var deferred []*batchOp
-
-	issue := func(a *batchOp) {
-		for {
-			p, part, begin, ok := t.route(c, a.op.Key)
-			if !ok {
-				c.Step(16)
-				continue
-			}
-			a.p, a.part, a.phase = p, part, 0
-			req := fc.Request{Key: a.op.Key, Value: a.op.Value, NMPPtr: begin, Aux: p.seqs[t.nmpLevels]}
-			switch a.op.Kind {
-			case kv.Read:
-				req.Op = fc.OpRead
-			case kv.Update:
-				req.Op = fc.OpUpdate
-			case kv.Insert:
-				req.Op = fc.OpInsert
-			case kv.Remove:
-				req.Op = fc.OpRemove
-			}
-			w.Post(c, part, req, a)
-			return
-		}
-	}
-	reissue := func(a *batchOp) {
-		if locksHeld > 0 {
-			deferred = append(deferred, a)
-		} else {
-			issue(a)
-		}
-	}
-	harvest := func() {
-		tag, resp, pos := w.Harvest(c)
-		a := tag.(*batchOp)
-		switch a.phase {
-		case 1: // RESUME_INSERT completed
-			if !resp.Success {
-				panic("btree: RESUME_INSERT failed")
-			}
-			t.host.insertChain(c, &a.p, t.nmpLevels, resp.Value, taggedPtr(resp.Ptr, a.part), &a.ls)
-			t.host.unlock(c, a.ls)
-			locksHeld--
-			succeeded++
-			return
-		case 2: // UNLOCK_PATH acknowledged: restart the whole insert
-			reissue(a)
-			return
-		}
-		if resp.Retry {
-			reissue(a)
-			return
-		}
-		if a.op.Kind == kv.Insert && resp.LockPath {
-			ls, _, ok := t.host.lockPath(c, &a.p)
-			if !ok {
-				a.phase = 2
-				w.PostAt(c, pos, a.part, fc.Request{Op: fc.OpUnlockPath}, a)
-				return
-			}
-			a.ls = ls
-			a.phase = 1
-			locksHeld++
-			w.PostAt(c, pos, a.part, fc.Request{Op: fc.OpResumeInsert}, a)
-			return
-		}
-		if resp.Success {
-			succeeded++
-		}
-	}
-
-	next := 0
-	for next < len(ops) || !w.Empty() || len(deferred) > 0 {
-		if locksHeld == 0 && len(deferred) > 0 && !w.Full() {
-			a := deferred[0]
-			deferred = deferred[1:]
-			issue(a)
-			continue
-		}
-		if locksHeld == 0 && next < len(ops) && !w.Full() {
-			a := &batchOp{op: ops[next]}
-			next++
-			issue(a)
-			continue
-		}
-		harvest()
-	}
-	return succeeded
+	return offload.ApplyBatch(t.rt, btAdapter{t}, c, thread, ops)
 }
 
 // Dump returns live pairs in key order (untimed).
@@ -265,13 +204,10 @@ func (t *Hybrid) Dump() []KV { return dumpTree(t.m, t.host, t.trees, t.nmpLevels
 func (t *Hybrid) CheckInvariants() error { return checkTree(t.m, t.host, t.trees, t.nmpLevels) }
 
 // Delays aggregates offload delay instrumentation across partitions.
-func (t *Hybrid) Delays() fc.Delays {
-	var d fc.Delays
-	for _, p := range t.pubs {
-		d.Add(p.Delays)
-	}
-	return d
-}
+func (t *Hybrid) Delays() fc.Delays { return t.rt.Delays() }
+
+// Metrics returns the owning machine's unified instrumentation registry.
+func (t *Hybrid) Metrics() *metrics.Registry { return t.m.Metrics }
 
 var (
 	_ kv.Store      = (*Hybrid)(nil)

@@ -13,7 +13,9 @@ package fc
 
 import (
 	"fmt"
+	"strings"
 
+	"hybrids/internal/metrics"
 	"hybrids/internal/sim/engine"
 	"hybrids/internal/sim/machine"
 	"hybrids/internal/sim/memsys"
@@ -134,6 +136,38 @@ func (d *Delays) Add(other Delays) {
 	d.ObserveCount += other.ObserveCount
 }
 
+// Per-partition delay histogram names registered in the machine's metrics
+// registry: offload/p<i>/post_to_scan, offload/p<i>/service and
+// offload/p<i>/observe.
+func delayMetricName(part int, kind string) string {
+	return fmt.Sprintf("offload/p%d/%s", part, kind)
+}
+
+// DelaysFrom assembles the Table 2 delay view from a registry snapshot (or
+// snapshot delta), summing the per-partition offload histograms.
+func DelaysFrom(s metrics.Snapshot) Delays {
+	var d Delays
+	for _, name := range s.Names() {
+		if !strings.HasPrefix(name, "offload/p") {
+			continue
+		}
+		v := s.Get(name)
+		switch {
+		case strings.HasSuffix(name, "/post_to_scan/sum"):
+			d.PostToScan += v
+		case strings.HasSuffix(name, "/service/sum"):
+			d.Service += v
+		case strings.HasSuffix(name, "/service/count"):
+			d.Count += v
+		case strings.HasSuffix(name, "/observe/sum"):
+			d.CompleteToObserve += v
+		case strings.HasSuffix(name, "/observe/count"):
+			d.ObserveCount += v
+		}
+	}
+	return d
+}
+
 // PubList is one partition's publication list.
 type PubList struct {
 	m     *machine.Machine
@@ -155,8 +189,11 @@ type PubList struct {
 	// its completion poll as usual).
 	waiters []*engine.Actor
 
-	// Delays holds Table 2 instrumentation (virtual-cycle sums).
-	Delays Delays
+	// Table 2 instrumentation: per-partition delay histograms registered
+	// in the machine's metrics registry (virtual-cycle samples).
+	hPostToScan *metrics.Histogram
+	hService    *metrics.Histogram
+	hObserve    *metrics.Histogram
 }
 
 // NewPubList lays out a publication list with the given slot count in
@@ -171,6 +208,10 @@ func NewPubList(m *machine.Machine, part, slots int) *PubList {
 	if need := memsys.Addr(slots*SlotBytes) + 4; need > m.Cfg.Mem.ScratchSize {
 		panic(fmt.Sprintf("fc: %d slots (%d B) exceed scratchpad (%d B)", slots, need, m.Cfg.Mem.ScratchSize))
 	}
+	reg := m.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &PubList{
 		m:           m,
 		part:        part,
@@ -180,6 +221,21 @@ func NewPubList(m *machine.Machine, part, slots int) *PubList {
 		scannedAt:   make([]uint64, slots),
 		completedAt: make([]uint64, slots),
 		waiters:     make([]*engine.Actor, slots),
+		hPostToScan: reg.Histogram(delayMetricName(part, "post_to_scan")),
+		hService:    reg.Histogram(delayMetricName(part, "service")),
+		hObserve:    reg.Histogram(delayMetricName(part, "observe")),
+	}
+}
+
+// Delays returns this list's accumulated Table 2 delay decomposition as a
+// struct view over the registry histograms.
+func (p *PubList) Delays() Delays {
+	return Delays{
+		PostToScan:        p.hPostToScan.Sum(),
+		Service:           p.hService.Sum(),
+		Count:             p.hService.Count(),
+		CompleteToObserve: p.hObserve.Sum(),
+		ObserveCount:      p.hObserve.Count(),
 	}
 }
 
@@ -233,8 +289,7 @@ func (p *PubList) Done(c *machine.Ctx, slot int) bool {
 	v := c.MMIOReadBurst(p.slotAddr(slot), 1)
 	done := v[0]&validBit == 0
 	if done && p.completedAt[slot] != 0 {
-		p.Delays.CompleteToObserve += c.Now() - p.completedAt[slot]
-		p.Delays.ObserveCount++
+		p.hObserve.Observe(c.Now() - p.completedAt[slot])
 		p.completedAt[slot] = 0
 	}
 	return done
@@ -273,7 +328,7 @@ func (p *PubList) Pending(c *machine.Ctx, slot int) (Request, bool) {
 		return Request{}, false
 	}
 	p.scannedAt[slot] = c.Now()
-	p.Delays.PostToScan += c.Now() - p.postedAt[slot]
+	p.hPostToScan.Observe(c.Now() - p.postedAt[slot])
 	req := Request{
 		Op:      OpType(c.Read32(a + wOp*4)),
 		Key:     c.Read32(a + wKey*4),
@@ -303,8 +358,7 @@ func (p *PubList) Complete(c *machine.Ctx, slot int, resp Response) {
 	c.Write32(a+wRespPtr*4, resp.Ptr)
 	c.Write32(a, 0) // clear valid last
 	p.completedAt[slot] = c.Now()
-	p.Delays.Service += c.Now() - p.scannedAt[slot]
-	p.Delays.Count++
+	p.hService.Observe(c.Now() - p.scannedAt[slot])
 	if w := p.waiters[slot]; w != nil {
 		p.waiters[slot] = nil
 		c.Unblock(w, 0)

@@ -62,8 +62,8 @@ func TestConcurrentBlockingCallsAllServed(t *testing.T) {
 			}
 		}
 	}
-	if p.Delays.Count != 4*perThread {
-		t.Fatalf("served count = %d", p.Delays.Count)
+	if p.Delays().Count != 4*perThread {
+		t.Fatalf("served count = %d", p.Delays().Count)
 	}
 }
 
@@ -124,7 +124,7 @@ func TestDelaysInstrumentation(t *testing.T) {
 		}
 	})
 	m.Run()
-	d := p.Delays
+	d := p.Delays()
 	if d.Count != 5 || d.ObserveCount != 5 {
 		t.Fatalf("counts = %d/%d", d.Count, d.ObserveCount)
 	}
@@ -133,90 +133,6 @@ func TestDelaysInstrumentation(t *testing.T) {
 	}
 	if d.CompleteToObserve == 0 || d.PostToScan == 0 {
 		t.Fatalf("delay sums zero: %+v", d)
-	}
-}
-
-func TestWindowNonBlockingCompletesAll(t *testing.T) {
-	m := testMachine()
-	const parts = 4
-	lists := make([]*PubList, parts)
-	for i := range lists {
-		lists[i] = NewPubList(m, i, 8)
-		pl := lists[i]
-		m.SpawnNMP(i, func(c *machine.Ctx) { Serve(c, pl, echoHandler) })
-	}
-	const total = 40
-	var done int
-	sum := uint32(0)
-	m.SpawnHost(0, "h", func(c *machine.Ctx) {
-		w := NewWindow(0, 4, lists)
-		issued := 0
-		for done < total {
-			if issued < total && !w.Full() {
-				w.Post(c, issued%parts, Request{Op: OpRead, Key: uint32(issued)}, issued)
-				issued++
-				continue
-			}
-			_, resp, _ := w.Harvest(c)
-			sum += resp.Value
-			done++
-		}
-	})
-	m.Run()
-	if done != total {
-		t.Fatalf("completed %d/%d", done, total)
-	}
-	want := uint32(total * (total - 1) / 2)
-	if sum != want {
-		t.Fatalf("sum = %d, want %d", sum, want)
-	}
-}
-
-func TestWindowTagsMatchResponses(t *testing.T) {
-	m := testMachine()
-	p := NewPubList(m, 0, 8)
-	m.SpawnNMP(0, func(c *machine.Ctx) { Serve(c, p, echoHandler) })
-	m.SpawnHost(0, "h", func(c *machine.Ctx) {
-		w := NewWindow(0, 2, []*PubList{p})
-		w.Post(c, 0, Request{Op: OpRead, Key: 100}, "a")
-		w.Post(c, 0, Request{Op: OpRead, Key: 200}, "b")
-		for !w.Empty() {
-			tag, resp, _ := w.Harvest(c)
-			switch tag {
-			case "a":
-				if resp.Value != 100 {
-					t.Errorf("tag a value %d", resp.Value)
-				}
-			case "b":
-				if resp.Value != 200 {
-					t.Errorf("tag b value %d", resp.Value)
-				}
-			default:
-				t.Errorf("unknown tag %v", tag)
-			}
-		}
-	})
-	m.Run()
-}
-
-func TestWindowPostFullPanics(t *testing.T) {
-	m := testMachine()
-	p := NewPubList(m, 0, 8)
-	m.SpawnNMP(0, func(c *machine.Ctx) {
-		for !c.Stopping() {
-			c.Step(16)
-		}
-	})
-	var recovered bool
-	m.SpawnHost(0, "h", func(c *machine.Ctx) {
-		defer func() { recovered = recover() != nil }()
-		w := NewWindow(0, 1, []*PubList{p})
-		w.Post(c, 0, Request{Op: OpRead}, nil)
-		w.Post(c, 0, Request{Op: OpRead}, nil)
-	})
-	m.Run()
-	if !recovered {
-		t.Fatal("posting to full window did not panic")
 	}
 }
 

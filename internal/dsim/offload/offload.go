@@ -1,0 +1,289 @@
+// Package offload is the structure-agnostic NMP offload runtime shared by
+// every hybrid data structure. It owns the machinery of §3.2–§3.5 that is
+// identical across structures — publication-list setup and combiner
+// spawning, blocking calls, the non-blocking in-flight window, the
+// retry/restart loop and offload instrumentation — while each structure
+// contributes only an Adapter: the host-side pre-work that routes an
+// operation and encodes its request, and the host-side post-work that
+// interprets the response. Apply and ApplyBatch therefore exist in exactly
+// one place; the hybrid skiplist (§3.3) and hybrid B+ tree (§3.4) are
+// small adapters over this runtime.
+package offload
+
+import (
+	"hybrids/internal/dsim/fc"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/metrics"
+	"hybrids/internal/sim/machine"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Window is the number of in-flight NMP calls per host thread used by
+	// ApplyBatch (1 = blocking behaviour). Each thread owns Window
+	// publication slots per partition: blocking calls use the first,
+	// window position i maps to slot thread*Window+i.
+	Window int
+	// SlotsPerPartition overrides the publication-list size (default
+	// HostCores*Window). It must cover (thread+1)*Window for every
+	// calling thread.
+	SlotsPerPartition int
+}
+
+// Runtime owns the per-partition publication lists and the offload
+// protocol loops for one data structure instance.
+type Runtime struct {
+	m      *machine.Machine
+	pubs   []*fc.PubList
+	window int
+
+	cPosted    *metrics.Counter
+	cRetries   *metrics.Counter
+	cLocal     *metrics.Counter
+	cFollowUps *metrics.Counter
+}
+
+// New lays out one publication list per NMP partition and returns the
+// runtime. Offload counters (offload/posted, offload/retries,
+// offload/local, offload/followups) register in the machine's metrics
+// registry.
+func New(m *machine.Machine, cfg Config) *Runtime {
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	slots := cfg.SlotsPerPartition
+	if slots <= 0 {
+		slots = m.Cfg.Mem.HostCores * cfg.Window
+	}
+	rt := &Runtime{m: m, window: cfg.Window}
+	for p := 0; p < m.Cfg.Mem.NMPVaults; p++ {
+		rt.pubs = append(rt.pubs, fc.NewPubList(m, p, slots))
+	}
+	reg := m.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rt.cPosted = reg.Counter("offload/posted")
+	rt.cRetries = reg.Counter("offload/retries")
+	rt.cLocal = reg.Counter("offload/local")
+	rt.cFollowUps = reg.Counter("offload/followups")
+	return rt
+}
+
+// Window returns the per-thread in-flight call budget.
+func (rt *Runtime) Window() int { return rt.window }
+
+// Partitions returns the number of NMP partitions served.
+func (rt *Runtime) Partitions() int { return len(rt.pubs) }
+
+// Pub returns partition p's publication list (for white-box tests and
+// structure-specific instrumentation).
+func (rt *Runtime) Pub(p int) *fc.PubList { return rt.pubs[p] }
+
+// Start spawns partition p's flat-combining combiner daemon serving
+// handle. Call once per partition before Machine.Run.
+func (rt *Runtime) Start(p int, handle fc.Handler) {
+	pub := rt.pubs[p]
+	rt.m.SpawnNMP(p, func(c *machine.Ctx) { fc.Serve(c, pub, handle) })
+}
+
+// Delays aggregates Table 2 offload delay instrumentation across
+// partitions.
+func (rt *Runtime) Delays() fc.Delays {
+	var d fc.Delays
+	for _, p := range rt.pubs {
+		d.Add(p.Delays())
+	}
+	return d
+}
+
+// PrepareCtl is an Adapter.Prepare directive.
+type PrepareCtl uint8
+
+const (
+	// PrepareOffload posts the returned request to the returned partition.
+	PrepareOffload PrepareCtl = iota
+	// PrepareLocal reports the operation completed host-side without an
+	// NMP call (e.g. a remove that lost its host-side race); the ok result
+	// is the operation's outcome.
+	PrepareLocal
+	// PrepareRestart asks the runtime to call Prepare again with the next
+	// attempt number (a failed optimistic host traversal).
+	PrepareRestart
+)
+
+// VerdictKind classifies an Adapter.Finish outcome.
+type VerdictKind uint8
+
+const (
+	// OpDone: the operation completed with Verdict.Value/OK.
+	OpDone VerdictKind = iota
+	// OpRetry: restart the whole operation from Prepare (the adapter has
+	// already done any cleanup, e.g. unlinking a stale shortcut).
+	OpRetry
+	// OpFollowUp: post Verdict.Next on the same publication slot — a
+	// multi-phase exchange like the B+ tree's LOCK_PATH / RESUME_INSERT
+	// conversation, which the combiner keys by slot.
+	OpFollowUp
+)
+
+// Gate adjusts the runtime's deferral gate. While the gate is held
+// (acquires exceed releases), ApplyBatch stops issuing new traversals:
+// a host descend could otherwise spin on the calling thread's own
+// host-side locks, deadlocking the single actor.
+type Gate uint8
+
+const (
+	GateNone Gate = iota
+	GateAcquire
+	GateRelease
+)
+
+// Verdict is Adapter.Finish's decision for one response.
+type Verdict struct {
+	Kind  VerdictKind
+	OK    bool
+	Value uint32
+	// Next is the follow-up request when Kind is OpFollowUp.
+	Next fc.Request
+	// Gate adjusts the deferral gate (B+ tree path locks).
+	Gate Gate
+}
+
+// Adapter supplies the structure-specific hooks of the offload protocol.
+// S carries one operation's host-side state (pre-allocated nodes, the
+// locked path, protocol phase) across the runtime's retry loop.
+type Adapter[S any] interface {
+	// Begin performs once-per-operation host pre-work (e.g. drawing an
+	// insert height and pre-allocating the host node) and returns the
+	// operation's initial state.
+	Begin(c *machine.Ctx, op kv.Op) S
+	// Prepare performs the host-side traversal for one attempt: it routes
+	// op to a partition and encodes the request, charging any host-side
+	// work (including per-attempt backoff) on c. attempt counts Prepare
+	// calls for this operation since the last successful Finish; batch
+	// reports whether the caller is the non-blocking path.
+	Prepare(c *machine.Ctx, op kv.Op, st *S, attempt int, batch bool) (req fc.Request, part int, ctl PrepareCtl, ok bool)
+	// Finish interprets a response, performing host-side post-work (e.g.
+	// linking host levels, locking the path), and decides what happens
+	// next.
+	Finish(c *machine.Ctx, op kv.Op, st *S, resp fc.Response) Verdict
+}
+
+// Apply runs one operation with blocking NMP calls (§3.2): host pre-work,
+// post, monitored wait, host post-work, restarting on RETRY. It is the
+// kv.Store implementation shared by every hybrid structure.
+func Apply[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	st := ad.Begin(c, op)
+	slot := thread * rt.window
+	for attempt := 0; ; attempt++ {
+		req, part, ctl, ok := ad.Prepare(c, op, &st, attempt, false)
+		switch ctl {
+		case PrepareLocal:
+			rt.cLocal.Inc()
+			return 0, ok
+		case PrepareRestart:
+			continue
+		}
+		rt.cPosted.Inc()
+		resp := rt.pubs[part].Call(c, slot, req)
+	finish:
+		v := ad.Finish(c, op, &st, resp)
+		switch v.Kind {
+		case OpDone:
+			return v.Value, v.OK
+		case OpFollowUp:
+			rt.cFollowUps.Inc()
+			resp = rt.pubs[part].Call(c, slot, v.Next)
+			goto finish
+		}
+		rt.cRetries.Inc()
+	}
+}
+
+// inflight carries one non-blocking operation through the window.
+type inflight[S any] struct {
+	op   kv.Op
+	part int
+	st   S
+}
+
+// ApplyBatch runs ops with non-blocking NMP calls (§3.5), keeping up to
+// the runtime's window of operations in flight and harvesting completions
+// out of order. It returns the number of operations that succeeded. It is
+// the kv.AsyncStore implementation shared by every hybrid structure.
+func ApplyBatch[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, ops []kv.Op) int {
+	w := NewWindow(thread, rt.window, rt.pubs)
+	succeeded := 0
+	gate := 0
+	var deferred []*inflight[S]
+
+	issue := func(a *inflight[S]) {
+		for attempt := 0; ; attempt++ {
+			req, part, ctl, ok := ad.Prepare(c, a.op, &a.st, attempt, true)
+			switch ctl {
+			case PrepareLocal:
+				rt.cLocal.Inc()
+				if ok {
+					succeeded++
+				}
+				return
+			case PrepareRestart:
+				continue
+			}
+			a.part = part
+			rt.cPosted.Inc()
+			w.Post(c, part, req, a)
+			return
+		}
+	}
+	reissue := func(a *inflight[S]) {
+		rt.cRetries.Inc()
+		if gate > 0 {
+			deferred = append(deferred, a)
+		} else {
+			issue(a)
+		}
+	}
+	harvest := func() {
+		tag, resp, pos := w.Harvest(c)
+		a := tag.(*inflight[S])
+		v := ad.Finish(c, a.op, &a.st, resp)
+		switch v.Gate {
+		case GateAcquire:
+			gate++
+		case GateRelease:
+			gate--
+		}
+		switch v.Kind {
+		case OpDone:
+			if v.OK {
+				succeeded++
+			}
+		case OpRetry:
+			reissue(a)
+		case OpFollowUp:
+			rt.cFollowUps.Inc()
+			w.PostAt(c, pos, a.part, v.Next, a)
+		}
+	}
+
+	next := 0
+	for next < len(ops) || !w.Empty() || len(deferred) > 0 {
+		if gate == 0 && len(deferred) > 0 && !w.Full() {
+			a := deferred[0]
+			deferred = deferred[1:]
+			issue(a)
+			continue
+		}
+		if gate == 0 && next < len(ops) && !w.Full() {
+			a := &inflight[S]{op: ops[next]}
+			next++
+			a.st = ad.Begin(c, a.op)
+			issue(a)
+			continue
+		}
+		harvest()
+	}
+	return succeeded
+}

@@ -1,0 +1,371 @@
+package offload
+
+import (
+	"testing"
+
+	"hybrids/internal/dsim/fc"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/sim/machine"
+)
+
+func testMachine() *machine.Machine {
+	cfg := machine.Default()
+	cfg.Mem.HostMemSize = 16 << 20
+	cfg.Mem.NMPMemSize = 16 << 20
+	cfg.Mem.L2.Size = 64 << 10
+	cfg.Mem.L1.Size = 8 << 10
+	cfg.Mem.TLB.Entries = 0 // exact-latency tests assume perfect translation
+	return machine.New(cfg)
+}
+
+// echoHandler returns key+value as the response value.
+func echoHandler(c *machine.Ctx, slot int, req fc.Request) fc.Response {
+	c.Step(20) // pretend to do some work
+	return fc.Response{Success: true, Value: req.Key + req.Value, Ptr: req.NMPPtr}
+}
+
+// --- Window ---------------------------------------------------------------
+
+func TestWindowNonBlockingCompletesAll(t *testing.T) {
+	m := testMachine()
+	const parts = 4
+	lists := make([]*fc.PubList, parts)
+	for i := range lists {
+		lists[i] = fc.NewPubList(m, i, 8)
+		pl := lists[i]
+		m.SpawnNMP(i, func(c *machine.Ctx) { fc.Serve(c, pl, echoHandler) })
+	}
+	const total = 40
+	var done int
+	sum := uint32(0)
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		w := NewWindow(0, 4, lists)
+		issued := 0
+		for done < total {
+			if issued < total && !w.Full() {
+				w.Post(c, issued%parts, fc.Request{Op: fc.OpRead, Key: uint32(issued)}, issued)
+				issued++
+				continue
+			}
+			_, resp, _ := w.Harvest(c)
+			sum += resp.Value
+			done++
+		}
+	})
+	m.Run()
+	if done != total {
+		t.Fatalf("completed %d/%d", done, total)
+	}
+	want := uint32(total * (total - 1) / 2)
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestWindowTagsMatchResponses(t *testing.T) {
+	m := testMachine()
+	p := fc.NewPubList(m, 0, 8)
+	m.SpawnNMP(0, func(c *machine.Ctx) { fc.Serve(c, p, echoHandler) })
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		w := NewWindow(0, 2, []*fc.PubList{p})
+		w.Post(c, 0, fc.Request{Op: fc.OpRead, Key: 100}, "a")
+		w.Post(c, 0, fc.Request{Op: fc.OpRead, Key: 200}, "b")
+		for !w.Empty() {
+			tag, resp, _ := w.Harvest(c)
+			switch tag {
+			case "a":
+				if resp.Value != 100 {
+					t.Errorf("tag a value %d", resp.Value)
+				}
+			case "b":
+				if resp.Value != 200 {
+					t.Errorf("tag b value %d", resp.Value)
+				}
+			default:
+				t.Errorf("unknown tag %v", tag)
+			}
+		}
+	})
+	m.Run()
+}
+
+func TestWindowPostFullPanics(t *testing.T) {
+	m := testMachine()
+	p := fc.NewPubList(m, 0, 8)
+	m.SpawnNMP(0, func(c *machine.Ctx) {
+		for !c.Stopping() {
+			c.Step(16)
+		}
+	})
+	var recovered bool
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		defer func() { recovered = recover() != nil }()
+		w := NewWindow(0, 1, []*fc.PubList{p})
+		w.Post(c, 0, fc.Request{Op: fc.OpRead}, nil)
+		w.Post(c, 0, fc.Request{Op: fc.OpRead}, nil)
+	})
+	m.Run()
+	if !recovered {
+		t.Fatal("posting to full window did not panic")
+	}
+}
+
+// TestWindowHarvestOrderingRoundRobin fills the window against one
+// combiner: the combiner serves slots in scan order, and the harvest
+// cursor advances round-robin, so completions must come back in posting
+// order.
+func TestWindowHarvestOrderingRoundRobin(t *testing.T) {
+	m := testMachine()
+	p := fc.NewPubList(m, 0, 8)
+	m.SpawnNMP(0, func(c *machine.Ctx) { fc.Serve(c, p, echoHandler) })
+	var order []int
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		w := NewWindow(0, 4, []*fc.PubList{p})
+		for i := 0; i < 4; i++ {
+			w.Post(c, 0, fc.Request{Op: fc.OpRead, Key: uint32(i)}, i)
+		}
+		if !w.Full() {
+			t.Error("window not full after 4 posts")
+		}
+		for !w.Empty() {
+			tag, _, _ := w.Harvest(c)
+			order = append(order, tag.(int))
+		}
+	})
+	m.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("harvest order = %v, want 0..3 in order", order)
+		}
+	}
+}
+
+// --- Runtime --------------------------------------------------------------
+
+// testAdapter offloads every operation unchanged and treats responses as
+// final unless the combiner asked for a retry.
+type testAdapter struct{ parts int }
+
+func (testAdapter) Begin(c *machine.Ctx, op kv.Op) int { return 0 }
+
+func (a testAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, PrepareCtl, bool) {
+	return fc.Request{Op: fc.OpRead, Key: op.Key, Value: op.Value}, int(op.Key) % a.parts, PrepareOffload, false
+}
+
+func (a testAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) Verdict {
+	if resp.Retry {
+		return Verdict{Kind: OpRetry}
+	}
+	return Verdict{Kind: OpDone, OK: resp.Success, Value: resp.Value}
+}
+
+// retryOnceRuntime starts combiners that answer RETRY to the first request
+// for each key and succeed afterwards with value key+1.
+func retryOnceRuntime(m *machine.Machine, window int) *Runtime {
+	rt := New(m, Config{Window: window})
+	for p := 0; p < rt.Partitions(); p++ {
+		seen := map[uint32]bool{}
+		rt.Start(p, func(c *machine.Ctx, slot int, req fc.Request) fc.Response {
+			c.Step(10)
+			if !seen[req.Key] {
+				seen[req.Key] = true
+				return fc.Response{Retry: true}
+			}
+			return fc.Response{Success: true, Value: req.Key + 1}
+		})
+	}
+	return rt
+}
+
+func TestRuntimeApplyRetriesUntilSuccess(t *testing.T) {
+	m := testMachine()
+	rt := retryOnceRuntime(m, 1)
+	ad := testAdapter{parts: rt.Partitions()}
+	const n = 12
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		for i := 0; i < n; i++ {
+			key := uint32(i * 37)
+			v, ok := Apply(rt, ad, c, 0, kv.Op{Kind: kv.Read, Key: key})
+			if !ok || v != key+1 {
+				t.Errorf("key %d: got (%d,%v), want (%d,true)", key, v, ok, key+1)
+			}
+		}
+	})
+	m.Run()
+	if got := rt.cRetries.Value(); got != n {
+		t.Errorf("retries = %d, want %d", got, n)
+	}
+	if got := rt.cPosted.Value(); got != 2*n {
+		t.Errorf("posted = %d, want %d", got, 2*n)
+	}
+}
+
+func TestRuntimeApplyBatchRetriesCompleteAll(t *testing.T) {
+	m := testMachine()
+	rt := retryOnceRuntime(m, 4)
+	ad := testAdapter{parts: rt.Partitions()}
+	const n = 40
+	ops := make([]kv.Op, n)
+	for i := range ops {
+		ops[i] = kv.Op{Kind: kv.Read, Key: uint32(i * 13)}
+	}
+	var succeeded int
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		succeeded = ApplyBatch(rt, ad, c, 0, ops)
+	})
+	m.Run()
+	if succeeded != n {
+		t.Fatalf("succeeded = %d, want %d", succeeded, n)
+	}
+	if got := rt.cRetries.Value(); got != n {
+		t.Errorf("retries = %d, want %d", got, n)
+	}
+	if got := rt.cPosted.Value(); got != 2*n {
+		t.Errorf("posted = %d, want %d", got, 2*n)
+	}
+}
+
+// depthAdapter records the deepest in-flight count ApplyBatch reaches.
+type depthAdapter struct {
+	testAdapter
+	inflight *int
+	max      *int
+}
+
+func (a depthAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, PrepareCtl, bool) {
+	*a.inflight++
+	if *a.inflight > *a.max {
+		*a.max = *a.inflight
+	}
+	return a.testAdapter.Prepare(c, op, st, attempt, batch)
+}
+
+func (a depthAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) Verdict {
+	*a.inflight--
+	return a.testAdapter.Finish(c, op, st, resp)
+}
+
+// TestRuntimeApplyBatchExhaustsWindow checks that with a slow combiner the
+// non-blocking path actually fills its window (issue until Full, then
+// harvest) and never exceeds it.
+func TestRuntimeApplyBatchExhaustsWindow(t *testing.T) {
+	m := testMachine()
+	const window = 3
+	rt := New(m, Config{Window: window})
+	for p := 0; p < rt.Partitions(); p++ {
+		rt.Start(p, func(c *machine.Ctx, slot int, req fc.Request) fc.Response {
+			c.Step(200) // slow service so the issue side runs ahead
+			return fc.Response{Success: true, Value: req.Key}
+		})
+	}
+	inflight, maxDepth := 0, 0
+	ad := depthAdapter{testAdapter: testAdapter{parts: rt.Partitions()}, inflight: &inflight, max: &maxDepth}
+	ops := make([]kv.Op, 30)
+	for i := range ops {
+		ops[i] = kv.Op{Kind: kv.Read, Key: uint32(i)}
+	}
+	var succeeded int
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		succeeded = ApplyBatch(rt, ad, c, 0, ops)
+	})
+	m.Run()
+	if succeeded != len(ops) {
+		t.Fatalf("succeeded = %d, want %d", succeeded, len(ops))
+	}
+	if maxDepth != window {
+		t.Errorf("max in-flight depth = %d, want %d (window exhaustion)", maxDepth, window)
+	}
+}
+
+// followUpAdapter asks for one follow-up exchange per operation before
+// accepting the response.
+type followUpAdapter struct {
+	testAdapter
+	followed map[uint32]bool
+}
+
+func (a followUpAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) Verdict {
+	if !a.followed[op.Key] {
+		a.followed[op.Key] = true
+		return Verdict{Kind: OpFollowUp, Next: fc.Request{Op: fc.OpUpdate, Key: op.Key, Value: 1}}
+	}
+	return Verdict{Kind: OpDone, OK: resp.Success, Value: resp.Value}
+}
+
+func TestRuntimeFollowUpStaysOnSlot(t *testing.T) {
+	m := testMachine()
+	rt := New(m, Config{Window: 2})
+	slotsByKey := map[uint32][]int{}
+	for p := 0; p < rt.Partitions(); p++ {
+		rt.Start(p, func(c *machine.Ctx, slot int, req fc.Request) fc.Response {
+			c.Step(10)
+			slotsByKey[req.Key] = append(slotsByKey[req.Key], slot)
+			return fc.Response{Success: true, Value: req.Key + req.Value}
+		})
+	}
+	ad := followUpAdapter{testAdapter: testAdapter{parts: rt.Partitions()}, followed: map[uint32]bool{}}
+	const n = 10
+	ops := make([]kv.Op, n)
+	for i := range ops {
+		ops[i] = kv.Op{Kind: kv.Read, Key: uint32(i * 11)}
+	}
+	var succeeded int
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		succeeded = ApplyBatch(rt, ad, c, 0, ops)
+	})
+	m.Run()
+	if succeeded != n {
+		t.Fatalf("succeeded = %d, want %d", succeeded, n)
+	}
+	if got := rt.cFollowUps.Value(); got != n {
+		t.Errorf("followups = %d, want %d", got, n)
+	}
+	// A multi-phase exchange must stay on one publication slot: the
+	// combiner keys pending state by slot.
+	for key, slots := range slotsByKey {
+		if len(slots) != 2 {
+			t.Fatalf("key %d served %d times, want 2", key, len(slots))
+		}
+		if slots[0] != slots[1] {
+			t.Errorf("key %d follow-up moved slot %d -> %d", key, slots[0], slots[1])
+		}
+	}
+}
+
+// localAdapter completes odd keys host-side without an NMP call.
+type localAdapter struct{ testAdapter }
+
+func (a localAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, PrepareCtl, bool) {
+	if op.Key%2 == 1 {
+		return fc.Request{}, 0, PrepareLocal, true
+	}
+	return a.testAdapter.Prepare(c, op, st, attempt, batch)
+}
+
+func TestRuntimeLocalCompletionSkipsOffload(t *testing.T) {
+	m := testMachine()
+	rt := New(m, Config{Window: 2})
+	for p := 0; p < rt.Partitions(); p++ {
+		rt.Start(p, echoHandler)
+	}
+	ad := localAdapter{testAdapter{parts: rt.Partitions()}}
+	const n = 20
+	ops := make([]kv.Op, n)
+	for i := range ops {
+		ops[i] = kv.Op{Kind: kv.Read, Key: uint32(i)}
+	}
+	var succeeded int
+	m.SpawnHost(0, "h", func(c *machine.Ctx) {
+		succeeded = ApplyBatch(rt, ad, c, 0, ops)
+	})
+	m.Run()
+	if succeeded != n {
+		t.Fatalf("succeeded = %d, want %d", succeeded, n)
+	}
+	if got := rt.cLocal.Value(); got != n/2 {
+		t.Errorf("local completions = %d, want %d", got, n/2)
+	}
+	if got := rt.cPosted.Value(); got != n/2 {
+		t.Errorf("posted = %d, want %d", got, n/2)
+	}
+}

@@ -1,8 +1,9 @@
-package fc
+package offload
 
 import (
 	"fmt"
 
+	"hybrids/internal/dsim/fc"
 	"hybrids/internal/sim/machine"
 )
 
@@ -16,7 +17,7 @@ import (
 type Window struct {
 	thread int
 	k      int
-	lists  []*PubList
+	lists  []*fc.PubList
 
 	inflight []inflightOp
 	used     []bool
@@ -31,13 +32,13 @@ type inflightOp struct {
 
 // NewWindow creates a window of k in-flight operations for thread over the
 // per-partition publication lists.
-func NewWindow(thread, k int, lists []*PubList) *Window {
+func NewWindow(thread, k int, lists []*fc.PubList) *Window {
 	if k <= 0 {
-		panic("fc: window size must be positive")
+		panic("offload: window size must be positive")
 	}
 	for _, p := range lists {
 		if (thread+1)*k > p.Slots() {
-			panic(fmt.Sprintf("fc: thread %d window %d exceeds %d slots", thread, k, p.Slots()))
+			panic(fmt.Sprintf("offload: thread %d window %d exceeds %d slots", thread, k, p.Slots()))
 		}
 	}
 	return &Window{
@@ -61,9 +62,9 @@ func (w *Window) Len() int { return w.count }
 // Post publishes req to partition part without blocking, associating tag
 // with the operation for completion handling. The window must not be full.
 // It returns the window position used (for PostAt follow-ups).
-func (w *Window) Post(c *machine.Ctx, part int, req Request, tag any) int {
+func (w *Window) Post(c *machine.Ctx, part int, req fc.Request, tag any) int {
 	if w.Full() {
-		panic("fc: Post on full window")
+		panic("offload: Post on full window")
 	}
 	pos := -1
 	for i, u := range w.used {
@@ -80,9 +81,9 @@ func (w *Window) Post(c *machine.Ctx, part int, req Request, tag any) int {
 // protocols (the hybrid B+ tree's LOCK_PATH / RESUME_INSERT exchange) use
 // it to keep a conversation on one publication slot, since the combiner
 // keys its pending state by slot.
-func (w *Window) PostAt(c *machine.Ctx, pos, part int, req Request, tag any) {
+func (w *Window) PostAt(c *machine.Ctx, pos, part int, req fc.Request, tag any) {
 	if w.used[pos] {
-		panic("fc: PostAt on occupied position")
+		panic("offload: PostAt on occupied position")
 	}
 	w.used[pos] = true
 	w.inflight[pos] = inflightOp{part: part, tag: tag}
@@ -97,9 +98,9 @@ func (w *Window) SlotFor(pos int) int { return w.thread*w.k + pos }
 // if complete, removes it from the window and returns its tag, response
 // and window position. A single call makes at most one MMIO poll, keeping
 // the polling cost of deep windows proportional to progress.
-func (w *Window) TryHarvest(c *machine.Ctx) (tag any, resp Response, pos int, ok bool) {
+func (w *Window) TryHarvest(c *machine.Ctx) (tag any, resp fc.Response, pos int, ok bool) {
 	if w.count == 0 {
-		return nil, Response{}, -1, false
+		return nil, fc.Response{}, -1, false
 	}
 	for probe := 0; probe < w.k; probe++ {
 		pos := (w.next + probe) % w.k
@@ -112,7 +113,7 @@ func (w *Window) TryHarvest(c *machine.Ctx) (tag any, resp Response, pos int, ok
 		if !p.Done(c, slot) {
 			// Cursor already advanced: the next call probes the
 			// next in-flight operation.
-			return nil, Response{}, -1, false
+			return nil, fc.Response{}, -1, false
 		}
 		resp = p.ReadResponse(c, slot)
 		tag = w.inflight[pos].tag
@@ -121,7 +122,7 @@ func (w *Window) TryHarvest(c *machine.Ctx) (tag any, resp Response, pos int, ok
 		w.count--
 		return tag, resp, pos, true
 	}
-	return nil, Response{}, -1, false
+	return nil, fc.Response{}, -1, false
 }
 
 // Harvest blocks (in virtual time) until some in-flight operation
@@ -129,9 +130,9 @@ func (w *Window) TryHarvest(c *machine.Ctx) (tag any, resp Response, pos int, ok
 // window must not be empty. The wait registers completion watchers on
 // every in-flight slot and parks between poll rounds, so a completion
 // always wakes the thread.
-func (w *Window) Harvest(c *machine.Ctx) (tag any, resp Response, pos int) {
+func (w *Window) Harvest(c *machine.Ctx) (tag any, resp fc.Response, pos int) {
 	if w.count == 0 {
-		panic("fc: Harvest on empty window")
+		panic("offload: Harvest on empty window")
 	}
 	for {
 		// Register watchers first so a completion landing during the

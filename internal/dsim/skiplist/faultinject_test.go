@@ -153,3 +153,60 @@ func TestHybridStaleShortcutCleanupUnlinksHostNode(t *testing.T) {
 		t.Fatalf("stale shortcuts not cleaned: %d -> %d", before, after)
 	}
 }
+
+// TestHybridStaleShortcutCleanupNonBlocking drives the same poisoned-
+// shortcut race through ApplyBatch: the offload runtime's reissue path
+// must run the adapter's cleanup before retrying, and every windowed
+// operation must still complete correctly.
+func TestHybridStaleShortcutCleanupNonBlocking(t *testing.T) {
+	pairs := initialPairs(testN)
+	m := testMachine()
+	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 4, Seed: 7})
+	s.Build(pairs, 99)
+	s.Start()
+
+	talls := tallKeys(m, s)
+	if len(talls) < 2 {
+		t.Skip("not enough tall nodes")
+	}
+	victim := talls[len(talls)/3]
+	if host, _ := markNMPCounterpart(m, s, victim); host == 0 {
+		t.Fatal("victim host node not found")
+	}
+	before := s.StaleShortcuts()
+	if before == 0 {
+		t.Fatal("poisoning did not create a stale shortcut")
+	}
+
+	var probe uint32
+	var wantVal uint32
+	for _, p := range pairs {
+		if p.Key > victim && (probe == 0 || p.Key < probe) {
+			probe, wantVal = p.Key, p.Value
+		}
+	}
+	ops := []kv.Op{
+		{Kind: kv.Read, Key: probe},
+		{Kind: kv.Read, Key: victim}, // logically deleted: must miss, not hang
+		{Kind: kv.Read, Key: probe},
+		{Kind: kv.Read, Key: probe},
+	}
+	var succeeded int
+	var checkVal uint32
+	var checkOK bool
+	m.SpawnHost(0, "driver", func(c *machine.Ctx) {
+		succeeded = s.ApplyBatch(c, 0, ops)
+		// Post-cleanup blocking read verifies the probe key is intact.
+		checkVal, checkOK = s.Apply(c, 0, kv.Op{Kind: kv.Read, Key: probe})
+	})
+	m.Run()
+	if succeeded != len(ops)-1 {
+		t.Fatalf("succeeded = %d, want %d (deleted key must miss)", succeeded, len(ops)-1)
+	}
+	if after := s.StaleShortcuts(); after >= before {
+		t.Fatalf("stale shortcuts not cleaned via batch path: %d -> %d", before, after)
+	}
+	if !checkOK || checkVal != wantVal {
+		t.Fatalf("probe key after cleanup = (%d,%v), want (%d,true)", checkVal, checkOK, wantVal)
+	}
+}

@@ -5,6 +5,8 @@ import (
 
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
+	"hybrids/internal/dsim/offload"
+	"hybrids/internal/metrics"
 	"hybrids/internal/prng"
 	"hybrids/internal/sim/machine"
 )
@@ -32,12 +34,11 @@ type Hybrid struct {
 	host  *lfCore
 	part  kv.RangePartitioner
 	lists []*seqList
-	pubs  []*fc.PubList
+	rt    *offload.Runtime
 
 	totalLevels int
 	hostLevels  int
 	nmpLevels   int
-	window      int
 	rngs        []*prng.Source
 }
 
@@ -63,23 +64,18 @@ func NewHybrid(m *machine.Machine, cfg HybridConfig) *Hybrid {
 	if cfg.NMPLevels <= 0 || cfg.NMPLevels >= cfg.TotalLevels {
 		panic("skiplist: NMPLevels must split the structure")
 	}
-	if cfg.Window <= 0 {
-		cfg.Window = 1
-	}
 	parts := m.Cfg.Mem.NMPVaults
 	s := &Hybrid{
 		m:           m,
 		host:        newLFCore(m.Mem.RAM, m.Mem.HostAlloc, cfg.TotalLevels-cfg.NMPLevels),
 		part:        kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: parts},
+		rt:          offload.New(m, offload.Config{Window: cfg.Window}),
 		totalLevels: cfg.TotalLevels,
 		hostLevels:  cfg.TotalLevels - cfg.NMPLevels,
 		nmpLevels:   cfg.NMPLevels,
-		window:      cfg.Window,
 	}
-	slots := m.Cfg.Mem.HostCores * cfg.Window
 	for p := 0; p < parts; p++ {
 		s.lists = append(s.lists, newSeqList(m.Mem.RAM, m.Mem.NMPAlloc[p], cfg.NMPLevels))
-		s.pubs = append(s.pubs, fc.NewPubList(m, p, slots))
 	}
 	for i := 0; i < m.Cfg.Mem.HostCores; i++ {
 		s.rngs = append(s.rngs, prng.New(cfg.Seed^prng.Mix64(uint64(i)+211)))
@@ -90,9 +86,7 @@ func NewHybrid(m *machine.Machine, cfg HybridConfig) *Hybrid {
 // Start spawns the NMP combiner daemons. Call once before Machine.Run.
 func (s *Hybrid) Start() {
 	for p := range s.lists {
-		list := s.lists[p]
-		pub := s.pubs[p]
-		s.m.SpawnNMP(p, func(c *machine.Ctx) { fc.Serve(c, pub, list.handler()) })
+		s.rt.Start(p, s.lists[p].handler())
 	}
 }
 
@@ -181,21 +175,17 @@ func (s *Hybrid) request(c *machine.Ctx, op kv.Op, hostNode uint32, height int) 
 	return req, pred, false, false
 }
 
-// finish performs the host-side post-work for a completed NMP response.
-// retry=true means the whole operation must restart from the host
-// traversal (after cleaning up the stale shortcut).
-func (s *Hybrid) finish(c *machine.Ctx, op kv.Op, hostNode uint32, resp fc.Response) (value uint32, ok, retry bool) {
-	if resp.Retry {
-		return 0, false, true
-	}
+// finish performs the host-side post-work for a completed NMP response
+// (the caller has already routed RETRY responses back through Prepare).
+func (s *Hybrid) finish(c *machine.Ctx, op kv.Op, hostNode uint32, resp fc.Response) (value uint32, ok bool) {
 	switch op.Kind {
 	case kv.Read:
-		return resp.Value, resp.Success, false
+		return resp.Value, resp.Success
 	case kv.Update, kv.Remove:
-		return 0, resp.Success, false
+		return 0, resp.Success
 	case kv.Insert:
 		if !resp.Success {
-			return 0, false, false // key already present
+			return 0, false // key already present
 		}
 		if hostNode != 0 {
 			// §3.3: link the host levels after the NMP link (the
@@ -204,7 +194,7 @@ func (s *Hybrid) finish(c *machine.Ctx, op kv.Op, hostNode uint32, resp fc.Respo
 			hh := int(c.Read32(heightAddr(hostNode)))
 			s.host.linkNode(c, hostNode, op.Key, hh)
 		}
-		return 0, true, false
+		return 0, true
 	default:
 		panic("skiplist: unknown op kind")
 	}
@@ -230,81 +220,54 @@ func (s *Hybrid) prepareInsert(c *machine.Ctx, op kv.Op) (hostNode uint32, heigh
 	return hostNode, height
 }
 
-// Apply implements kv.Store with blocking NMP calls.
-func (s *Hybrid) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
-	var hostNode uint32
-	var height int
-	if op.Kind == kv.Insert {
-		hostNode, height = s.prepareInsert(c, op)
-	}
-	for {
-		req, pred, done, ok := s.request(c, op, hostNode, height)
-		if done {
-			return 0, ok
-		}
-		p := s.part.Part(op.Key)
-		resp := s.pubs[p].Call(c, thread*s.window, req)
-		value, ok, retry := s.finish(c, op, hostNode, resp)
-		if !retry {
-			return value, ok
-		}
-		s.cleanupStaleShortcut(c, pred)
-	}
-}
-
-// asyncOp carries one in-flight operation's host-side state.
-type asyncOp struct {
-	op       kv.Op
+// slState carries one operation's host-side state across the offload
+// runtime's retry loop: the pre-allocated host node for tall inserts and
+// the predecessor whose shortcut a RETRY response proves stale.
+type slState struct {
 	hostNode uint32
 	height   int
 	pred     uint32
 }
 
+// slAdapter plugs the hybrid skiplist protocol (§3.3) into the shared
+// offload runtime.
+type slAdapter struct{ s *Hybrid }
+
+func (ad slAdapter) Begin(c *machine.Ctx, op kv.Op) slState {
+	var st slState
+	if op.Kind == kv.Insert {
+		st.hostNode, st.height = ad.s.prepareInsert(c, op)
+	}
+	return st
+}
+
+func (ad slAdapter) Prepare(c *machine.Ctx, op kv.Op, st *slState, attempt int, batch bool) (fc.Request, int, offload.PrepareCtl, bool) {
+	req, pred, done, ok := ad.s.request(c, op, st.hostNode, st.height)
+	st.pred = pred
+	if done {
+		return fc.Request{}, 0, offload.PrepareLocal, ok
+	}
+	return req, ad.s.part.Part(op.Key), offload.PrepareOffload, false
+}
+
+func (ad slAdapter) Finish(c *machine.Ctx, op kv.Op, st *slState, resp fc.Response) offload.Verdict {
+	if resp.Retry {
+		ad.s.cleanupStaleShortcut(c, st.pred)
+		return offload.Verdict{Kind: offload.OpRetry}
+	}
+	value, ok := ad.s.finish(c, op, st.hostNode, resp)
+	return offload.Verdict{Kind: offload.OpDone, OK: ok, Value: value}
+}
+
+// Apply implements kv.Store with blocking NMP calls.
+func (s *Hybrid) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	return offload.Apply(s.rt, slAdapter{s}, c, thread, op)
+}
+
 // ApplyBatch implements kv.AsyncStore: non-blocking NMP calls (§3.5) with
 // up to the configured window of operations in flight per thread.
 func (s *Hybrid) ApplyBatch(c *machine.Ctx, thread int, ops []kv.Op) int {
-	w := fc.NewWindow(thread, s.window, s.pubs)
-	succeeded := 0
-	issue := func(a *asyncOp) bool {
-		// Returns false if the op completed host-side without offload.
-		req, pred, done, ok := s.request(c, a.op, a.hostNode, a.height)
-		if done {
-			if ok {
-				succeeded++
-			}
-			return false
-		}
-		a.pred = pred
-		w.Post(c, s.part.Part(a.op.Key), req, a)
-		return true
-	}
-	harvest := func() {
-		tag, resp, _ := w.Harvest(c)
-		a := tag.(*asyncOp)
-		_, ok, retry := s.finish(c, a.op, a.hostNode, resp)
-		if retry {
-			s.cleanupStaleShortcut(c, a.pred)
-			issue(a) // reissue; a host-side completion is already counted
-			return
-		}
-		if ok {
-			succeeded++
-		}
-	}
-	next := 0
-	for next < len(ops) || !w.Empty() {
-		if next < len(ops) && !w.Full() {
-			a := &asyncOp{op: ops[next]}
-			next++
-			if a.op.Kind == kv.Insert {
-				a.hostNode, a.height = s.prepareInsert(c, a.op)
-			}
-			issue(a)
-			continue
-		}
-		harvest()
-	}
-	return succeeded
+	return offload.ApplyBatch(s.rt, slAdapter{s}, c, thread, ops)
 }
 
 // Dump returns live pairs across all NMP partitions — the authoritative
@@ -378,13 +341,10 @@ func (s *Hybrid) StaleShortcuts() int {
 }
 
 // Delays aggregates offload delay instrumentation across partitions.
-func (s *Hybrid) Delays() fc.Delays {
-	var d fc.Delays
-	for _, p := range s.pubs {
-		d.Add(p.Delays)
-	}
-	return d
-}
+func (s *Hybrid) Delays() fc.Delays { return s.rt.Delays() }
+
+// Metrics returns the owning machine's unified instrumentation registry.
+func (s *Hybrid) Metrics() *metrics.Registry { return s.m.Metrics }
 
 var (
 	_ kv.Store      = (*Hybrid)(nil)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybrids/internal/dsim/kv"
+	"hybrids/internal/metrics"
 	"hybrids/internal/prng"
 	"hybrids/internal/radix"
 	"hybrids/internal/sim/machine"
@@ -106,3 +107,6 @@ func (s *LockFree) Dump() []KV { return s.core.dump(s.m.Mem.RAM) }
 func (s *LockFree) CheckInvariants() error { return s.core.checkInvariants(s.m.Mem.RAM) }
 
 var _ kv.Store = (*LockFree)(nil)
+
+// Metrics returns the owning machine's unified instrumentation registry.
+func (s *LockFree) Metrics() *metrics.Registry { return s.m.Metrics }

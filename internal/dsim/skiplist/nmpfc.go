@@ -5,6 +5,8 @@ import (
 
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
+	"hybrids/internal/dsim/offload"
+	"hybrids/internal/metrics"
 	"hybrids/internal/prng"
 	"hybrids/internal/radix"
 	"hybrids/internal/sim/machine"
@@ -18,7 +20,7 @@ type NMPFC struct {
 	m      *machine.Machine
 	part   kv.RangePartitioner
 	lists  []*seqList
-	pubs   []*fc.PubList
+	rt     *offload.Runtime
 	levels int
 	rngs   []*prng.Source
 }
@@ -41,11 +43,11 @@ func NewNMPFC(m *machine.Machine, cfg NMPFCConfig) *NMPFC {
 	s := &NMPFC{
 		m:      m,
 		part:   kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: parts},
+		rt:     offload.New(m, offload.Config{Window: 1, SlotsPerPartition: cfg.SlotsPerPartition}),
 		levels: cfg.Levels,
 	}
 	for p := 0; p < parts; p++ {
 		s.lists = append(s.lists, newSeqList(m.Mem.RAM, m.Mem.NMPAlloc[p], cfg.Levels))
-		s.pubs = append(s.pubs, fc.NewPubList(m, p, cfg.SlotsPerPartition))
 	}
 	for i := 0; i < m.Cfg.Mem.HostCores; i++ {
 		s.rngs = append(s.rngs, prng.New(cfg.Seed^prng.Mix64(uint64(i)+101)))
@@ -56,9 +58,7 @@ func NewNMPFC(m *machine.Machine, cfg NMPFCConfig) *NMPFC {
 // Start spawns the NMP combiner daemons. Call once before Machine.Run.
 func (s *NMPFC) Start() {
 	for p := range s.lists {
-		list := s.lists[p]
-		pub := s.pubs[p]
-		s.m.SpawnNMP(p, func(c *machine.Ctx) { fc.Serve(c, pub, list.handler()) })
+		s.rt.Start(p, s.lists[p].handler())
 	}
 }
 
@@ -67,9 +67,15 @@ func (s *NMPFC) Build(pairs []KV, seed uint64) {
 	buildPartitioned(s.m, s.part, s.lists, s.levels, pairs, seed, nil)
 }
 
-// Apply implements kv.Store: the whole operation is offloaded.
-func (s *NMPFC) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
-	p := s.part.Part(op.Key)
+// nmpfcAdapter plugs whole-operation offload into the shared runtime:
+// no host-side pre- or post-work, and combiner responses are final (every
+// traversal starts at the partition sentinel, so RETRY never occurs).
+type nmpfcAdapter struct{ s *NMPFC }
+
+func (ad nmpfcAdapter) Begin(c *machine.Ctx, op kv.Op) struct{} { return struct{}{} }
+
+func (ad nmpfcAdapter) Prepare(c *machine.Ctx, op kv.Op, st *struct{}, attempt int, batch bool) (fc.Request, int, offload.PrepareCtl, bool) {
+	s := ad.s
 	req := fc.Request{Key: op.Key, Value: op.Value}
 	switch op.Kind {
 	case kv.Read:
@@ -82,8 +88,16 @@ func (s *NMPFC) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
 	case kv.Remove:
 		req.Op = fc.OpRemove
 	}
-	resp := s.pubs[p].Call(c, thread, req)
-	return resp.Value, resp.Success
+	return req, s.part.Part(op.Key), offload.PrepareOffload, false
+}
+
+func (ad nmpfcAdapter) Finish(c *machine.Ctx, op kv.Op, st *struct{}, resp fc.Response) offload.Verdict {
+	return offload.Verdict{Kind: offload.OpDone, OK: resp.Success, Value: resp.Value}
+}
+
+// Apply implements kv.Store: the whole operation is offloaded.
+func (s *NMPFC) Apply(c *machine.Ctx, thread int, op kv.Op) (uint32, bool) {
+	return offload.Apply(s.rt, nmpfcAdapter{s}, c, thread, op)
 }
 
 // Dump returns live pairs across all partitions in key order (untimed).
@@ -114,13 +128,10 @@ func (s *NMPFC) CheckInvariants() error {
 }
 
 // Delays aggregates offload delay instrumentation across partitions.
-func (s *NMPFC) Delays() fc.Delays {
-	var d fc.Delays
-	for _, p := range s.pubs {
-		d.Add(p.Delays)
-	}
-	return d
-}
+func (s *NMPFC) Delays() fc.Delays { return s.rt.Delays() }
+
+// Metrics returns the owning machine's unified instrumentation registry.
+func (s *NMPFC) Metrics() *metrics.Registry { return s.m.Metrics }
 
 // buildPartitioned splits pairs by partition, bulk-loads each partition's
 // list, and optionally reports each created node through onNode (used by

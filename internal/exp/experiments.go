@@ -8,13 +8,16 @@ import (
 	"hybrids/internal/ycsb"
 )
 
-// Result is one reproduced table or figure.
+// Result is one reproduced table or figure. Cells carries the measured
+// grid points in deterministic (row) order for machine-readable emission;
+// table-style experiments with no measured cells leave it empty.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"-"`
+	Rows   [][]string `json:"-"`
+	Notes  []string   `json:"notes,omitempty"`
+	Cells  []Cell     `json:"cells,omitempty"`
 }
 
 // Experiment is a runnable reproduction target.
@@ -110,6 +113,7 @@ func runFig5a(sc Scale, progress io.Writer) Result {
 			c := grid[v.name][th]
 			rel := c.MOpsPerSec / grid["lock-free"][th].MOpsPerSec
 			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), f2(rel) + "x"})
+			res.Cells = append(res.Cells, c)
 		}
 	}
 	top := sc.ThreadCounts[len(sc.ThreadCounts)-1]
@@ -134,6 +138,7 @@ func runFig5b(sc Scale, progress io.Writer) Result {
 	for _, v := range skiplistVariants(sc) {
 		c := grid[v.name][sc.MaxThreads]
 		res.Rows = append(res.Rows, []string{v.name, f2(c.ReadsPerOp), f2(c.ReadsPerOp / lf)})
+		res.Cells = append(res.Cells, c)
 	}
 	res.Notes = append(res.Notes, "paper: lock-free 36, hybrid 24 (2/3 of lock-free), NMP-based ~60 (hybrid = 40% of it)")
 	return res
@@ -170,6 +175,7 @@ func runFig6a(sc Scale, progress io.Writer) Result {
 			c := grid[v.name][th]
 			rel := c.MOpsPerSec / grid["host-only"][th].MOpsPerSec
 			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), f2(rel) + "x"})
+			res.Cells = append(res.Cells, c)
 		}
 	}
 	top := sc.ThreadCounts[len(sc.ThreadCounts)-1]
@@ -193,6 +199,7 @@ func runFig6b(sc Scale, progress io.Writer) Result {
 	for _, v := range btreeVariants(sc) {
 		c := grid[v.name][sc.MaxThreads]
 		res.Rows = append(res.Rows, []string{v.name, f2(c.ReadsPerOp), f2(c.ReadsPerOp / ho)})
+		res.Cells = append(res.Cells, c)
 	}
 	res.Notes = append(res.Notes, "paper: host-only ~9 reads/op, hybrid ~3 (the NMP levels)")
 	return res
@@ -229,6 +236,7 @@ func runTable2(sc Scale, progress io.Writer) Result {
 		ID: "table2", Title: "Table 2 (offload delays in cycles, scale " + sc.Name + ")",
 		Header: []string{"delay component", "cycles (mean)"},
 		Rows:   rows,
+		Cells:  []Cell{cell},
 		Notes: []string{
 			"paper: communication delays to and from the NMP core sum to ~1-2 LLC miss delays",
 			fmt.Sprintf("measured: request+observe+response = %d cycles vs LLC miss %d cycles (%.2fx)",
@@ -279,6 +287,8 @@ func runFig7(sc Scale, progress io.Writer) Result {
 				base = c.MOpsPerSec
 			}
 			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(c.MOpsPerSec), f2(c.MOpsPerSec / base)})
+			c.Label = mx.label
+			res.Cells = append(res.Cells, c)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -341,6 +351,8 @@ func runFig8(sc Scale, progress io.Writer) Result {
 		for _, v := range btreeVariants(sc) {
 			c := grid[mx.label][v.name]
 			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(c.MOpsPerSec), f2(c.MOpsPerSec / base)})
+			c.Label = mx.label
+			res.Cells = append(res.Cells, c)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -357,7 +369,10 @@ func runFig9(sc Scale, progress io.Writer) Result {
 	}
 	for _, mx := range btreeSensitivityMixes() {
 		for _, v := range btreeVariants(sc) {
-			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(grid[mx.label][v.name].ReadsPerOp)})
+			c := grid[mx.label][v.name]
+			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(c.ReadsPerOp)})
+			c.Label = mx.label
+			res.Cells = append(res.Cells, c)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -383,8 +398,12 @@ func runAblateWindow(sc Scale, progress io.Writer) Result {
 		progressf(progress, "  window=%d...\n", w)
 		c := runCell(sc, skiplistHybrid(sc, w, true), skLoad, skStreams)
 		res.Rows = append(res.Rows, []string{"hybrid skiplist", fmt.Sprint(w), f2(c.MOpsPerSec)})
+		c.Label = "skiplist"
+		res.Cells = append(res.Cells, c)
 		c = runCell(sc, btreeHybrid(sc, w, true), btLoad, btStreams)
 		res.Rows = append(res.Rows, []string{"hybrid B+ tree", fmt.Sprint(w), f2(c.MOpsPerSec)})
+		c.Label = "btree"
+		res.Cells = append(res.Cells, c)
 	}
 	res.Notes = append(res.Notes, "deeper windows hide offload latency until NMP cores or the host issue path saturate (§3.5)")
 	sortRows(res.Rows)
@@ -421,6 +440,8 @@ func runAblateSkew(sc Scale, progress io.Writer) Result {
 			d.label, f2(lf.MOpsPerSec), f2(hy.MOpsPerSec),
 			f2(hy.MOpsPerSec / lf.MOpsPerSec), f2(lf.ReadsPerOp), f2(hy.ReadsPerOp),
 		})
+		lf.Label, hy.Label = d.label, d.label
+		res.Cells = append(res.Cells, lf, hy)
 	}
 	res.Notes = append(res.Notes,
 		"§7: under high skew the conventional structure keeps hot low-level nodes cached,",
@@ -445,6 +466,8 @@ func runAblateSplit(sc Scale, progress io.Writer) Result {
 		scv.SkiplistNMPLevels = nl
 		c := runCell(scv, skiplistHybrid(scv, 1, false), load, streams)
 		res.Rows = append(res.Rows, []string{fmt.Sprint(nl), fmt.Sprint(sc.SkiplistLevels - nl), f2(c.MOpsPerSec), f2(c.ReadsPerOp)})
+		c.Label = fmt.Sprintf("nmp-levels=%d", nl)
+		res.Cells = append(res.Cells, c)
 	}
 	res.Notes = append(res.Notes,
 		"too few NMP levels -> host portion outgrows the LLC (misses);",
@@ -468,6 +491,9 @@ func runAblateMMIO(sc Scale, progress io.Writer) Result {
 		b := runCell(scv, skiplistHybrid(scv, 1, false), load, streams)
 		nb := runCell(scv, skiplistHybrid(scv, scv.Window, true), load, streams)
 		res.Rows = append(res.Rows, []string{fmt.Sprintf("%.1fx", f), f2(b.MOpsPerSec), f2(nb.MOpsPerSec)})
+		b.Label = fmt.Sprintf("mmio=%.1fx", f)
+		nb.Label = b.Label
+		res.Cells = append(res.Cells, b, nb)
 	}
 	res.Notes = append(res.Notes, "non-blocking calls should damp the offload-cost slope (the paper's §3.5 motivation)")
 	return res
@@ -487,6 +513,8 @@ func runAblatePartitions(sc Scale, progress io.Writer) Result {
 		streams := gen.Streams(scv.MaxThreads, scv.WarmupPerThread+scv.OpsPerThread)
 		c := runCell(scv, skiplistHybrid(scv, scv.Window, true), load, streams)
 		res.Rows = append(res.Rows, []string{fmt.Sprint(parts), f2(c.MOpsPerSec)})
+		c.Label = fmt.Sprintf("partitions=%d", parts)
+		res.Cells = append(res.Cells, c)
 	}
 	res.Notes = append(res.Notes, "combiner parallelism scales with partitions until host issue rate dominates")
 	return res

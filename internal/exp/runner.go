@@ -7,49 +7,56 @@ import (
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/skiplist"
+	"hybrids/internal/metrics"
 	"hybrids/internal/sim/machine"
 	"hybrids/internal/sim/memsys"
 	"hybrids/internal/ycsb"
 )
 
-// runner executes one host thread's operation stream against a structure.
-type runner interface {
-	RunThread(c *machine.Ctx, thread int, ops []kv.Op)
+// Store is the typed interface every evaluated structure implements: the
+// operation entry point plus access to the machine-wide metrics registry
+// the harness measures phases against.
+type Store interface {
+	kv.Store
+	Metrics() *metrics.Registry
 }
 
-type syncRunner struct{ s kv.Store }
+// Runner executes one host thread's operation stream against a structure:
+// blocking one-at-a-time calls through Store, or the non-blocking window
+// path when Batch is set.
+type Runner struct {
+	Store Store
+	Batch kv.AsyncStore // non-nil selects the non-blocking path
+}
 
-func (r syncRunner) RunThread(c *machine.Ctx, thread int, ops []kv.Op) {
+// RunThread applies ops on the calling thread's context.
+func (r Runner) RunThread(c *machine.Ctx, thread int, ops []kv.Op) {
+	if r.Batch != nil {
+		r.Batch.ApplyBatch(c, thread, ops)
+		return
+	}
 	for _, op := range ops {
-		r.s.Apply(c, thread, op)
+		r.Store.Apply(c, thread, op)
 	}
 }
-
-type asyncRunner struct{ s kv.AsyncStore }
-
-func (r asyncRunner) RunThread(c *machine.Ctx, thread int, ops []kv.Op) {
-	r.s.ApplyBatch(c, thread, ops)
-}
-
-// delayer is implemented by structures exposing Table 2 instrumentation.
-type delayer interface{ Delays() fc.Delays }
 
 // variant names one evaluated implementation and how to build it on a
 // fresh machine.
 type variant struct {
 	name  string
-	build func(m *machine.Machine, load []ycsb.Pair) runner
+	build func(m *machine.Machine, load []ycsb.Pair) Runner
 }
 
 // Cell is one measured grid point.
 type Cell struct {
-	Variant    string
-	Threads    int
-	Cycles     uint64  // measured-phase virtual cycles
-	Ops        int     // measured operations
-	MOpsPerSec float64 // at the 2 GHz core clock
-	ReadsPerOp float64 // DRAM block reads per operation
-	Delays     fc.Delays
+	Variant    string    `json:"variant"`
+	Label      string    `json:"label,omitempty"` // experiment-specific axis (mix, window, ...)
+	Threads    int       `json:"threads"`
+	Cycles     uint64    `json:"cycles"` // measured-phase virtual cycles
+	Ops        int       `json:"ops"`    // measured operations
+	MOpsPerSec float64   `json:"throughput_mops"`
+	ReadsPerOp float64   `json:"reads_per_op"` // DRAM block reads per operation
+	Delays     fc.Delays `json:"-"`
 }
 
 // Throughput returns operations per kilocycle (clock-independent).
@@ -60,17 +67,19 @@ func (c Cell) Throughput() float64 { return float64(c.Ops) / float64(c.Cycles) *
 // slice, all threads rendezvous, and the measured slices run to
 // completion. Reported cycles span rendezvous to last completion. The same
 // load set and streams must be passed for every variant of a grid point so
-// variants see identical work.
+// variants see identical work. The measured phase is a snapshot/delta over
+// the machine-wide metrics registry, so memory-system counts and offload
+// delay histograms come from one namespace.
 func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
 	threads := len(streams)
 	m := machine.New(sc.Machine)
 	r := v.build(m, load)
+	reg := r.Store.Metrics()
 
 	arrived := 0
 	finished := 0
 	var startCycle uint64
-	var startStats, endStats memsys.Stats
-	var startDelays, endDelays fc.Delays
+	var start, end metrics.Snapshot
 	endCycle := uint64(0)
 	for th := 0; th < threads; th++ {
 		th := th
@@ -79,10 +88,7 @@ func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
 			arrived++
 			if arrived == threads {
 				startCycle = c.Now()
-				startStats = m.Mem.Stats
-				if d, ok := rStore(r).(delayer); ok {
-					startDelays = d.Delays()
-				}
+				start = reg.Snapshot()
 			}
 			for arrived < threads {
 				c.Step(64)
@@ -93,10 +99,7 @@ func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
 				endCycle = c.Now()
 			}
 			if finished == threads {
-				endStats = m.Mem.Stats
-				if d, ok := rStore(r).(delayer); ok {
-					endDelays = d.Delays()
-				}
+				end = reg.Snapshot()
 			}
 		})
 	}
@@ -104,33 +107,16 @@ func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
 
 	ops := threads * sc.OpsPerThread
 	cycles := endCycle - startCycle
-	stats := endStats.Sub(startStats)
-	cell := Cell{
+	delta := end.Sub(start)
+	stats := memsys.StatsFrom(delta)
+	return Cell{
 		Variant:    v.name,
 		Threads:    threads,
 		Cycles:     cycles,
 		Ops:        ops,
 		MOpsPerSec: float64(ops) / float64(cycles) * 2e9 / 1e6, // 2 GHz clock
 		ReadsPerOp: float64(stats.DRAMReads()) / float64(ops),
-	}
-	cell.Delays = endDelays
-	cell.Delays.PostToScan -= startDelays.PostToScan
-	cell.Delays.Service -= startDelays.Service
-	cell.Delays.Count -= startDelays.Count
-	cell.Delays.CompleteToObserve -= startDelays.CompleteToObserve
-	cell.Delays.ObserveCount -= startDelays.ObserveCount
-	return cell
-}
-
-// rStore unwraps the underlying store from a runner for instrumentation.
-func rStore(r runner) any {
-	switch rr := r.(type) {
-	case syncRunner:
-		return rr.s
-	case asyncRunner:
-		return rr.s
-	default:
-		return r
+		Delays:     fc.DelaysFrom(delta),
 	}
 }
 
@@ -155,22 +141,22 @@ func btreePairs(load []ycsb.Pair) []btree.KV {
 // Skiplist variants evaluated in §5 (Figure 5, Figure 7).
 
 func skiplistLockFree(sc Scale) variant {
-	return variant{name: "lock-free", build: func(m *machine.Machine, load []ycsb.Pair) runner {
+	return variant{name: "lock-free", build: func(m *machine.Machine, load []ycsb.Pair) Runner {
 		s := skiplist.NewLockFree(m, sc.SkiplistLevels, sc.Seed)
 		s.Build(skiplistPairs(load), sc.Seed+1)
-		return syncRunner{s}
+		return Runner{Store: s}
 	}}
 }
 
 func skiplistNMPBased(sc Scale) variant {
-	return variant{name: "NMP-based", build: func(m *machine.Machine, load []ycsb.Pair) runner {
+	return variant{name: "NMP-based", build: func(m *machine.Machine, load []ycsb.Pair) Runner {
 		s := skiplist.NewNMPFC(m, skiplist.NMPFCConfig{
 			Levels: sc.SkiplistLevels, KeyMax: sc.KeyMax,
 			SlotsPerPartition: m.Cfg.Mem.HostCores, Seed: sc.Seed,
 		})
 		s.Build(skiplistPairs(load), sc.Seed+1)
 		s.Start()
-		return syncRunner{s}
+		return Runner{Store: s}
 	}}
 }
 
@@ -179,7 +165,7 @@ func skiplistHybrid(sc Scale, window int, async bool) variant {
 	if async {
 		name = fmt.Sprintf("hybrid-nonblocking%d", window)
 	}
-	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) runner {
+	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) Runner {
 		s := skiplist.NewHybrid(m, skiplist.HybridConfig{
 			TotalLevels: sc.SkiplistLevels, NMPLevels: sc.SkiplistNMPLevels,
 			KeyMax: sc.KeyMax, Window: window, Seed: sc.Seed,
@@ -187,9 +173,9 @@ func skiplistHybrid(sc Scale, window int, async bool) variant {
 		s.Build(skiplistPairs(load), sc.Seed+1)
 		s.Start()
 		if async {
-			return asyncRunner{s}
+			return Runner{Store: s, Batch: s}
 		}
-		return syncRunner{s}
+		return Runner{Store: s}
 	}}
 }
 
@@ -205,10 +191,10 @@ func skiplistVariants(sc Scale) []variant {
 // B+ tree variants evaluated in §5 (Figure 6, Figure 8).
 
 func btreeHostOnly(sc Scale) variant {
-	return variant{name: "host-only", build: func(m *machine.Machine, load []ycsb.Pair) runner {
+	return variant{name: "host-only", build: func(m *machine.Machine, load []ycsb.Pair) Runner {
 		t := btree.NewHostOnly(m)
 		t.Build(btreePairs(load), sc.BTreeFill)
-		return syncRunner{t}
+		return Runner{Store: t}
 	}}
 }
 
@@ -217,14 +203,14 @@ func btreeHybrid(sc Scale, window int, async bool) variant {
 	if async {
 		name = fmt.Sprintf("hybrid-nonblocking%d", window)
 	}
-	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) runner {
+	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) Runner {
 		t := btree.NewHybrid(m, btree.HybridBTreeConfig{NMPLevels: sc.BTreeNMPLevels, Window: window})
 		t.Build(btreePairs(load), sc.BTreeFill)
 		t.Start()
 		if async {
-			return asyncRunner{t}
+			return Runner{Store: t, Batch: t}
 		}
-		return syncRunner{t}
+		return Runner{Store: t}
 	}}
 }
 

@@ -92,6 +92,18 @@ func PaperScale() Scale {
 	return sc
 }
 
+// QuickScale is a sub-tiny scale for CI smoke runs and determinism
+// regression tests: one short sweep, minimal measured phases.
+func QuickScale() Scale {
+	sc := TinyScale()
+	sc.Name = "quick"
+	sc.OpsPerThread = 100
+	sc.WarmupPerThread = 30
+	sc.ThreadCounts = []int{1, 2}
+	sc.MaxThreads = 2
+	return sc
+}
+
 // TinyScale is for harness self-tests only.
 func TinyScale() Scale {
 	sc := SmallScale()

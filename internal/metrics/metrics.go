@@ -1,0 +1,171 @@
+// Package metrics implements the unified instrumentation registry shared
+// by every layer of the simulator: the discrete-event engine, the memory
+// system, the NMP offload runtime and the data structures all register
+// named counters and histograms in one per-machine Registry, and the
+// experiment harness measures phases by snapshot/delta over that single
+// namespace instead of ad-hoc per-subsystem stat structs.
+//
+// Instrumentation is pure Go-side bookkeeping: it never advances virtual
+// time, so adding or reading metrics cannot perturb simulated behaviour.
+// A Registry is intended for single-goroutine use (the engine runs exactly
+// one actor at a time); it is not synchronized.
+package metrics
+
+import "sort"
+
+// Counter is a monotonically increasing named event count.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Histogram accumulates a distribution of uint64 samples: total sum and
+// count (registered in the owning Registry as "<name>/sum" and
+// "<name>/count", so snapshots carry them) plus power-of-two buckets for
+// shape. Sum/count is exactly the representation the paper's Table 2
+// delay decomposition needs (mean = sum/count over a measured phase).
+type Histogram struct {
+	name    string
+	sum     *Counter
+	count   *Counter
+	buckets [65]uint64 // buckets[i] counts samples of bit-length i
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.sum.Add(v)
+	h.count.Inc()
+	h.buckets[bitLen(v)]++
+}
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Value() }
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count.Value() }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(h.Count())
+}
+
+// Bucket returns the count of samples with bit-length i (i.e. in
+// [2^(i-1), 2^i) for i>0; bucket 0 counts zero samples).
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Registry is a flat namespace of counters and histograms. Registration is
+// idempotent: asking for an existing name returns the same instrument, so
+// independent subsystems can share partition- or core-scoped metrics
+// without coordination.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it (and
+// its backing <name>/sum and <name>/count counters) on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		name:  name,
+		sum:   r.Counter(name + "/sum"),
+		count: r.Counter(name + "/count"),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Names returns every registered counter name in sorted order
+// (deterministic across runs).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot captures every counter's current value.
+func (r *Registry) Snapshot() Snapshot {
+	out := make(Snapshot, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.v
+	}
+	return out
+}
+
+// Snapshot is a point-in-time copy of a registry's counters, used for
+// phase measurement via Sub deltas.
+type Snapshot map[string]uint64
+
+// Get returns the snapshot value of name (0 when absent).
+func (s Snapshot) Get(name string) uint64 { return s[name] }
+
+// Sub returns s - prev element-wise. Counters absent from prev are taken
+// as 0 (registered mid-phase); counters absent from s are dropped.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for name, v := range s {
+		out[name] = v - prev[name]
+	}
+	return out
+}
+
+// Names returns the snapshot's counter names in sorted order.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s))
+	for name := range s {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

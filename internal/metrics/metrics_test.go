@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCounterRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x/y")
+	b := r.Counter("x/y")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("value = %d, want 3", a.Value())
+	}
+	if a.Name() != "x/y" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestSnapshotSubDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(10)
+	start := r.Snapshot()
+	c.Add(5)
+	d := r.Counter("late") // registered mid-phase
+	d.Inc()
+	delta := r.Snapshot().Sub(start)
+	if delta.Get("a") != 5 {
+		t.Fatalf("delta a = %d, want 5", delta.Get("a"))
+	}
+	if delta.Get("late") != 1 {
+		t.Fatalf("delta late = %d, want 1", delta.Get("late"))
+	}
+	if delta.Get("missing") != 0 {
+		t.Fatal("absent counter should read 0")
+	}
+}
+
+func TestNamesSortedDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z", "a", "m/1", "m/0"} {
+		r.Counter(n)
+	}
+	want := []string{"a", "m/0", "m/1", "z"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	snap := r.Snapshot()
+	if got := snap.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Snapshot().Names() = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramSumCountBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	if h != r.Histogram("lat") {
+		t.Fatal("histogram registration not idempotent")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); got != 106.0/5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// buckets: 0 -> bitlen 0; 1 -> 1; 2,3 -> 2; 100 -> 7
+	for i, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 7: 1} {
+		if h.Bucket(i) != want {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Bucket(i), want)
+		}
+	}
+	// The backing counters appear in snapshots.
+	snap := r.Snapshot()
+	if snap.Get("lat/sum") != 106 || snap.Get("lat/count") != 5 {
+		t.Fatalf("snapshot sum/count = %d/%d", snap.Get("lat/sum"), snap.Get("lat/count"))
+	}
+}
+
+func TestHistogramMeanEmpty(t *testing.T) {
+	if m := NewRegistry().Histogram("x").Mean(); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+}

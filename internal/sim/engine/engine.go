@@ -13,6 +13,8 @@ package engine
 import (
 	"fmt"
 	"sort"
+
+	"hybrids/internal/metrics"
 )
 
 // Actor is a simulated execution agent with its own virtual clock.
@@ -97,6 +99,7 @@ func (a *Actor) Block() {
 	if a.eng.stopping {
 		return
 	}
+	a.eng.stBlocks.Inc()
 	a.blocked = true
 	a.park()
 }
@@ -105,6 +108,7 @@ func (a *Actor) Block() {
 // caller's current time. If b is running, a wake permit is recorded for
 // b's next Block instead. Must be called by the currently running actor.
 func (a *Actor) Unblock(b *Actor, delay uint64) {
+	a.eng.stUnblocks.Inc()
 	if !b.blocked {
 		b.wakePending = true
 		return
@@ -135,11 +139,30 @@ type Engine struct {
 	liveAll  int // unfinished actors of any kind
 	stopping bool
 	running  bool
+
+	stDispatches *metrics.Counter
+	stSpawns     *metrics.Counter
+	stBlocks     *metrics.Counter
+	stUnblocks   *metrics.Counter
 }
 
-// New returns an empty engine at virtual time zero.
+// New returns an empty engine at virtual time zero, instrumented into a
+// private registry (replace it with AttachMetrics to share a machine-wide
+// one).
 func New() *Engine {
-	return &Engine{parked: make(chan struct{})}
+	e := &Engine{parked: make(chan struct{})}
+	e.AttachMetrics(metrics.NewRegistry())
+	return e
+}
+
+// AttachMetrics re-registers the engine's scheduler counters
+// (engine/dispatches, engine/spawns, engine/blocks, engine/unblocks) in
+// reg. Call before Run; counts recorded earlier stay in the old registry.
+func (e *Engine) AttachMetrics(reg *metrics.Registry) {
+	e.stDispatches = reg.Counter("engine/dispatches")
+	e.stSpawns = reg.Counter("engine/spawns")
+	e.stBlocks = reg.Counter("engine/blocks")
+	e.stUnblocks = reg.Counter("engine/unblocks")
 }
 
 // Now returns the engine's current virtual time (the dispatch time of the
@@ -166,6 +189,7 @@ func (e *Engine) Spawn(name string, daemon bool, body func(*Actor)) *Actor {
 		// Inherit the current virtual time so causality is preserved.
 		a.now = e.now
 	}
+	e.stSpawns.Inc()
 	e.actors = append(e.actors, a)
 	e.liveAll++
 	if !daemon {
@@ -223,6 +247,7 @@ func (e *Engine) Run() {
 			continue
 		}
 		e.now = ev.at
+		e.stDispatches.Inc()
 		ev.a.wake <- struct{}{}
 		<-e.parked
 	}

@@ -8,6 +8,7 @@ package machine
 import (
 	"fmt"
 
+	"hybrids/internal/metrics"
 	"hybrids/internal/sim/engine"
 	"hybrids/internal/sim/memsys"
 )
@@ -34,15 +35,29 @@ type Machine struct {
 	Eng *engine.Engine
 	Mem *memsys.MemSys
 
+	// Metrics is the machine-wide instrumentation registry. The engine,
+	// memory system, offload runtime and data structures all register
+	// their counters and histograms here, so one snapshot/delta covers
+	// every subsystem.
+	Metrics *metrics.Registry
+
 	// Ops counts completed data structure operations, incremented by
 	// workload drivers via Ctx.OpDone; the experiment harness divides by
 	// elapsed virtual cycles for throughput.
 	Ops uint64
 }
 
-// New builds a machine from cfg.
+// New builds a machine from cfg with a fresh machine-wide metrics registry.
 func New(cfg Config) *Machine {
-	return &Machine{Cfg: cfg, Eng: engine.New(), Mem: memsys.New(cfg.Mem)}
+	reg := metrics.NewRegistry()
+	eng := engine.New()
+	eng.AttachMetrics(reg)
+	return &Machine{
+		Cfg:     cfg,
+		Eng:     eng,
+		Mem:     memsys.NewWithMetrics(cfg.Mem, reg),
+		Metrics: reg,
+	}
 }
 
 // coreKind distinguishes the two access paths.

@@ -144,7 +144,7 @@ func TestDeterministicRuns(t *testing.T) {
 			})
 		}
 		cycles := m.Run()
-		return cycles, m.Mem.Stats
+		return cycles, m.Mem.Stats()
 	}
 	c1, s1 := run()
 	c2, s2 := run()

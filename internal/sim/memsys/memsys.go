@@ -1,6 +1,10 @@
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"hybrids/internal/metrics"
+)
 
 // Config describes the whole memory system. DefaultConfig mirrors Table 1.
 type Config struct {
@@ -94,6 +98,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// Registered metric names for every memory-system event counter. The
+// backing counts live in the machine's unified metrics.Registry; Stats is
+// the struct view assembled from them.
+const (
+	MetricL1Hits        = "mem/l1_hits"
+	MetricL2Hits        = "mem/l2_hits"
+	MetricHostDRAMReads = "mem/host_dram_reads"
+	MetricDRAMWrites    = "mem/dram_writes"
+	MetricNMPBufHits    = "mem/nmp_buf_hits"
+	MetricNMPDRAMReads  = "mem/nmp_dram_reads"
+	MetricMMIOReads     = "mem/mmio_reads"
+	MetricMMIOWrites    = "mem/mmio_writes"
+	MetricInvalidations = "mem/invalidations"
+	MetricAtomics       = "mem/atomics"
+	MetricScratchOps    = "mem/scratch_ops"
+	MetricTLBMisses     = "mem/tlb_misses"
+)
+
 // Stats counts memory-system events. DRAM read counts are the quantity the
 // paper reports in Figures 5b, 6b and 9.
 type Stats struct {
@@ -132,6 +154,58 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
+// StatsFrom assembles the Stats view from a registry snapshot (or a
+// snapshot delta).
+func StatsFrom(s metrics.Snapshot) Stats {
+	return Stats{
+		L1Hits:        s.Get(MetricL1Hits),
+		L2Hits:        s.Get(MetricL2Hits),
+		HostDRAMReads: s.Get(MetricHostDRAMReads),
+		DRAMWrites:    s.Get(MetricDRAMWrites),
+		NMPBufHits:    s.Get(MetricNMPBufHits),
+		NMPDRAMReads:  s.Get(MetricNMPDRAMReads),
+		MMIOReads:     s.Get(MetricMMIOReads),
+		MMIOWrites:    s.Get(MetricMMIOWrites),
+		Invalidations: s.Get(MetricInvalidations),
+		Atomics:       s.Get(MetricAtomics),
+		ScratchOps:    s.Get(MetricScratchOps),
+		TLBMisses:     s.Get(MetricTLBMisses),
+	}
+}
+
+// statCounters holds the registry counter handles on the access hot path.
+type statCounters struct {
+	l1Hits        *metrics.Counter
+	l2Hits        *metrics.Counter
+	hostDRAMReads *metrics.Counter
+	dramWrites    *metrics.Counter
+	nmpBufHits    *metrics.Counter
+	nmpDRAMReads  *metrics.Counter
+	mmioReads     *metrics.Counter
+	mmioWrites    *metrics.Counter
+	invalidations *metrics.Counter
+	atomics       *metrics.Counter
+	scratchOps    *metrics.Counter
+	tlbMisses     *metrics.Counter
+}
+
+func newStatCounters(reg *metrics.Registry) statCounters {
+	return statCounters{
+		l1Hits:        reg.Counter(MetricL1Hits),
+		l2Hits:        reg.Counter(MetricL2Hits),
+		hostDRAMReads: reg.Counter(MetricHostDRAMReads),
+		dramWrites:    reg.Counter(MetricDRAMWrites),
+		nmpBufHits:    reg.Counter(MetricNMPBufHits),
+		nmpDRAMReads:  reg.Counter(MetricNMPDRAMReads),
+		mmioReads:     reg.Counter(MetricMMIOReads),
+		mmioWrites:    reg.Counter(MetricMMIOWrites),
+		invalidations: reg.Counter(MetricInvalidations),
+		atomics:       reg.Counter(MetricAtomics),
+		scratchOps:    reg.Counter(MetricScratchOps),
+		tlbMisses:     reg.Counter(MetricTLBMisses),
+	}
+}
+
 // nmpBuf is the node-size (one cache block) buffer register each NMP core
 // holds, per the baseline architecture of §2 and prior work [16].
 type nmpBuf struct {
@@ -165,11 +239,20 @@ type MemSys struct {
 
 	scratchBase Addr
 
-	Stats Stats
+	// Metrics is the registry holding every memory-system event counter
+	// (and, machine-wide, every other subsystem's instruments).
+	Metrics *metrics.Registry
+	st      statCounters
 }
 
-// New assembles a memory system from cfg.
+// New assembles a memory system from cfg with a private metrics registry.
 func New(cfg Config) *MemSys {
+	return NewWithMetrics(cfg, metrics.NewRegistry())
+}
+
+// NewWithMetrics assembles a memory system from cfg, registering its event
+// counters in reg.
+func NewWithMetrics(cfg Config, reg *metrics.Registry) *MemSys {
 	if cfg.HostCores <= 0 || cfg.HostVaults <= 0 || cfg.NMPVaults <= 0 {
 		panic("memsys: config must have positive core and vault counts")
 	}
@@ -189,6 +272,8 @@ func New(cfg Config) *MemSys {
 		dir:         newDirectory(),
 		blockShift:  shift,
 		scratchBase: cfg.HostMemSize + cfg.NMPMemSize,
+		Metrics:     reg,
+		st:          newStatCounters(reg),
 	}
 	for i := 0; i < cfg.HostCores; i++ {
 		m.l1 = append(m.l1, NewCache(fmt.Sprintf("L1.%d", i), cfg.L1))
@@ -221,6 +306,25 @@ func New(cfg Config) *MemSys {
 		m.ptL1Base = m.HostAlloc.Alloc((pages>>10+1)*4, bs)
 	}
 	return m
+}
+
+// Stats returns the current memory-system event counts as a struct view
+// over the registry counters.
+func (m *MemSys) Stats() Stats {
+	return Stats{
+		L1Hits:        m.st.l1Hits.Value(),
+		L2Hits:        m.st.l2Hits.Value(),
+		HostDRAMReads: m.st.hostDRAMReads.Value(),
+		DRAMWrites:    m.st.dramWrites.Value(),
+		NMPBufHits:    m.st.nmpBufHits.Value(),
+		NMPDRAMReads:  m.st.nmpDRAMReads.Value(),
+		MMIOReads:     m.st.mmioReads.Value(),
+		MMIOWrites:    m.st.mmioWrites.Value(),
+		Invalidations: m.st.invalidations.Value(),
+		Atomics:       m.st.atomics.Value(),
+		ScratchOps:    m.st.scratchOps.Value(),
+		TLBMisses:     m.st.tlbMisses.Value(),
+	}
 }
 
 // BlockSize returns the cache block size in bytes.
@@ -268,10 +372,10 @@ func (m *MemSys) IsScratch(a Addr) (part int, ok bool) {
 func (m *MemSys) HostAccess(core int, a Addr, write bool, now uint64) uint64 {
 	if _, ok := m.IsScratch(a); ok {
 		if write {
-			m.Stats.MMIOWrites++
+			m.st.mmioWrites.Inc()
 			return m.Cfg.MMIOWriteLatency
 		}
-		m.Stats.MMIOReads++
+		m.st.mmioReads.Inc()
 		return m.Cfg.MMIOReadLatency
 	}
 	if part, ok := m.IsNMPMem(a); ok {
@@ -292,10 +396,10 @@ func (m *MemSys) MMIOBurst(a Addr, nwords int, write bool) uint64 {
 	}
 	var lat uint64
 	if write {
-		m.Stats.MMIOWrites++
+		m.st.mmioWrites.Inc()
 		lat = m.Cfg.MMIOWriteLatency
 	} else {
-		m.Stats.MMIOReads++
+		m.st.mmioReads.Inc()
 		lat = m.Cfg.MMIOReadLatency
 	}
 	return lat + uint64(nwords-1)*m.Cfg.MMIOWordExtra
@@ -306,7 +410,7 @@ func (m *MemSys) HostAtomic(core int, a Addr, now uint64) uint64 {
 	if !m.IsHostMem(a) {
 		panic(fmt.Sprintf("memsys: host atomic outside host memory at %#x", a))
 	}
-	m.Stats.Atomics++
+	m.st.atomics.Inc()
 	return m.hostCached(core, a, true, true, now)
 }
 
@@ -319,7 +423,7 @@ func (m *MemSys) hostCached(core int, a Addr, write, atomic bool, now uint64) ui
 		vpage := uint32(a) >> m.Cfg.TLB.PageBits
 		tlb := m.tlbs[core]
 		if !tlb.Lookup(vpage, false) {
-			m.Stats.TLBMisses++
+			m.st.tlbMisses.Inc()
 			lat += m.Cfg.TLB.WalkExtra
 			l1e := m.ptL1Base + Addr(vpage>>10)*4
 			l2e := m.ptL2Base + Addr(vpage)*4
@@ -346,14 +450,14 @@ func (m *MemSys) cachedAccess(core int, a Addr, write, atomic bool, now uint64) 
 				if others&(1<<uint(c)) != 0 {
 					m.l1[c].Invalidate(blk)
 					m.dir.drop(blk, c)
-					m.Stats.Invalidations++
+					m.st.invalidations.Inc()
 				}
 			}
 			lat += m.Cfg.InvalidateLatency
 		}
 	}
 	if l1.Lookup(blk, write) {
-		m.Stats.L1Hits++
+		m.st.l1Hits.Inc()
 		return lat
 	}
 	// L1 miss: probe L2.
@@ -363,14 +467,14 @@ func (m *MemSys) cachedAccess(core int, a Addr, write, atomic bool, now uint64) 
 		// off-chip link.
 		done := m.hostVault(a).Access(a, m.blockShift, now+lat+m.Cfg.HostDRAMExtra/2)
 		lat = done - now + m.Cfg.HostDRAMExtra/2
-		m.Stats.HostDRAMReads++
+		m.st.hostDRAMReads.Inc()
 		if ev, dirty, ok := m.l2.Fill(blk, false); ok && dirty {
 			// Dirty LLC victim writes back off the critical path;
 			// it only occupies its bank.
 			m.writebackToDRAM(ev, now+lat)
 		}
 	} else {
-		m.Stats.L2Hits++
+		m.st.l2Hits.Inc()
 	}
 	// Fill L1 (write-allocate).
 	if ev, dirty, ok := l1.Fill(blk, write); ok {
@@ -392,7 +496,7 @@ func (m *MemSys) writebackToDRAM(block uint32, now uint64) {
 	a := Addr(block) << m.blockShift
 	if m.IsHostMem(a) {
 		m.hostVault(a).Access(a, m.blockShift, now)
-		m.Stats.DRAMWrites++
+		m.st.dramWrites.Inc()
 	}
 }
 
@@ -408,7 +512,7 @@ func (m *MemSys) NMPAccess(p int, a Addr, write bool, now uint64) uint64 {
 		if sp != p {
 			panic(fmt.Sprintf("memsys: NMP core %d touched scratchpad %d", p, sp))
 		}
-		m.Stats.ScratchOps++
+		m.st.scratchOps.Inc()
 		return m.Cfg.NMPScratchLatency
 	}
 	part, ok := m.IsNMPMem(a)
@@ -421,18 +525,18 @@ func (m *MemSys) NMPAccess(p int, a Addr, write bool, now uint64) uint64 {
 		// Write-through to the vault; refresh the buffer if it holds
 		// this block so subsequent reads stay local.
 		done := m.nmpVaults[p].Access(a, m.blockShift, now)
-		m.Stats.DRAMWrites++
+		m.st.dramWrites.Inc()
 		if buf.valid && buf.block == blk {
 			return m.Cfg.NMPBufLatency
 		}
 		return done - now
 	}
 	if buf.valid && buf.block == blk {
-		m.Stats.NMPBufHits++
+		m.st.nmpBufHits.Inc()
 		return m.Cfg.NMPBufLatency
 	}
 	done := m.nmpVaults[p].Access(a, m.blockShift, now)
-	m.Stats.NMPDRAMReads++
+	m.st.nmpDRAMReads.Inc()
 	buf.block, buf.valid = blk, true
 	return done - now
 }

@@ -218,15 +218,15 @@ func TestMemSysHostHitMissPath(t *testing.T) {
 	m := New(testConfig())
 	a := m.HostAlloc.Alloc(64, 64)
 	lat1 := m.HostAccess(0, a, false, 0)
-	if m.Stats.HostDRAMReads != 1 {
-		t.Fatalf("cold read DRAMReads = %d", m.Stats.HostDRAMReads)
+	if m.Stats().HostDRAMReads != 1 {
+		t.Fatalf("cold read DRAMReads = %d", m.Stats().HostDRAMReads)
 	}
 	lat2 := m.HostAccess(0, a, false, lat1)
 	if lat2 != m.Cfg.L1.Latency {
 		t.Fatalf("warm read latency = %d, want L1 %d", lat2, m.Cfg.L1.Latency)
 	}
-	if m.Stats.L1Hits != 1 {
-		t.Fatalf("L1Hits = %d", m.Stats.L1Hits)
+	if m.Stats().L1Hits != 1 {
+		t.Fatalf("L1Hits = %d", m.Stats().L1Hits)
 	}
 	if lat1 <= lat2 {
 		t.Fatalf("miss (%d) not slower than hit (%d)", lat1, lat2)
@@ -237,9 +237,9 @@ func TestMemSysL2SharedAcrossCores(t *testing.T) {
 	m := New(testConfig())
 	a := m.HostAlloc.Alloc(64, 64)
 	m.HostAccess(0, a, false, 0)
-	base := m.Stats
+	base := m.Stats()
 	m.HostAccess(1, a, false, 1000)
-	d := m.Stats.Sub(base)
+	d := m.Stats().Sub(base)
 	if d.HostDRAMReads != 0 || d.L2Hits != 1 {
 		t.Fatalf("core 1 after core 0: dram=%d l2hits=%d, want 0/1", d.HostDRAMReads, d.L2Hits)
 	}
@@ -250,14 +250,14 @@ func TestMemSysWriteInvalidatesRemoteL1(t *testing.T) {
 	a := m.HostAlloc.Alloc(64, 64)
 	m.HostAccess(0, a, false, 0) // core 0 caches it
 	m.HostAccess(1, a, false, 0) // core 1 caches it
-	base := m.Stats
+	base := m.Stats()
 	m.HostAccess(1, a, true, 100) // core 1 writes: must invalidate core 0
-	if m.Stats.Sub(base).Invalidations != 1 {
-		t.Fatalf("invalidations = %d, want 1", m.Stats.Sub(base).Invalidations)
+	if m.Stats().Sub(base).Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", m.Stats().Sub(base).Invalidations)
 	}
-	base = m.Stats
+	base = m.Stats()
 	m.HostAccess(0, a, false, 200) // core 0 re-reads: L1 miss, L2 hit
-	d := m.Stats.Sub(base)
+	d := m.Stats().Sub(base)
 	if d.L1Hits != 0 || d.L2Hits != 1 {
 		t.Fatalf("after invalidation: l1=%d l2=%d, want 0/1", d.L1Hits, d.L2Hits)
 	}
@@ -267,9 +267,9 @@ func TestMemSysAtomicCountsAndCosts(t *testing.T) {
 	m := New(testConfig())
 	a := m.HostAlloc.Alloc(64, 64)
 	m.HostAccess(0, a, false, 0)
-	base := m.Stats
+	base := m.Stats()
 	lat := m.HostAtomic(0, a, 10)
-	if m.Stats.Sub(base).Atomics != 1 {
+	if m.Stats().Sub(base).Atomics != 1 {
 		t.Fatal("atomic not counted")
 	}
 	if lat < m.Cfg.L1.Latency+m.Cfg.AtomicExtra {
@@ -303,17 +303,17 @@ func TestMemSysNMPBufferActsAsSingleBlockCache(t *testing.T) {
 	m := New(testConfig())
 	a := m.NMPAlloc[0].Alloc(256, 128)
 	lat1 := m.NMPAccess(0, a, false, 0)
-	if m.Stats.NMPDRAMReads != 1 {
-		t.Fatalf("cold NMP read: dram=%d", m.Stats.NMPDRAMReads)
+	if m.Stats().NMPDRAMReads != 1 {
+		t.Fatalf("cold NMP read: dram=%d", m.Stats().NMPDRAMReads)
 	}
 	lat2 := m.NMPAccess(0, a+64, false, lat1) // same block
-	if lat2 != m.Cfg.NMPBufLatency || m.Stats.NMPBufHits != 1 {
-		t.Fatalf("buffered read lat=%d hits=%d", lat2, m.Stats.NMPBufHits)
+	if lat2 != m.Cfg.NMPBufLatency || m.Stats().NMPBufHits != 1 {
+		t.Fatalf("buffered read lat=%d hits=%d", lat2, m.Stats().NMPBufHits)
 	}
 	m.NMPAccess(0, a+128, false, lat1+lat2) // next block evicts buffer
-	base := m.Stats
+	base := m.Stats()
 	m.NMPAccess(0, a, false, 1000)
-	if m.Stats.Sub(base).NMPDRAMReads != 1 {
+	if m.Stats().Sub(base).NMPDRAMReads != 1 {
 		t.Fatal("buffer retained stale block")
 	}
 }
@@ -330,8 +330,8 @@ func TestMemSysScratchpadMMIO(t *testing.T) {
 	if lat := m.NMPAccess(3, sp, false, 0); lat != m.Cfg.NMPScratchLatency {
 		t.Fatalf("NMP scratch latency = %d", lat)
 	}
-	if m.Stats.MMIOWrites != 1 || m.Stats.MMIOReads != 1 || m.Stats.ScratchOps != 1 {
-		t.Fatalf("MMIO stats %+v", m.Stats)
+	if m.Stats().MMIOWrites != 1 || m.Stats().MMIOReads != 1 || m.Stats().ScratchOps != 1 {
+		t.Fatalf("MMIO stats %+v", m.Stats())
 	}
 }
 
@@ -363,9 +363,9 @@ func TestMemSysFlushCaches(t *testing.T) {
 	a := m.HostAlloc.Alloc(64, 64)
 	m.HostAccess(0, a, false, 0)
 	m.FlushCaches()
-	base := m.Stats
+	base := m.Stats()
 	m.HostAccess(0, a, false, 0)
-	if m.Stats.Sub(base).HostDRAMReads != 1 {
+	if m.Stats().Sub(base).HostDRAMReads != 1 {
 		t.Fatal("flush did not clear caches")
 	}
 }
@@ -384,11 +384,11 @@ func TestMemSysLLCCapacityPressure(t *testing.T) {
 	for _, a := range addrs {
 		now += m.HostAccess(0, a, false, now)
 	}
-	base := m.Stats
+	base := m.Stats()
 	for _, a := range addrs[:16] {
 		now += m.HostAccess(0, a, false, now)
 	}
-	if got := m.Stats.Sub(base).HostDRAMReads; got != 16 {
+	if got := m.Stats().Sub(base).HostDRAMReads; got != 16 {
 		t.Fatalf("re-touch after pollution: dram=%d, want 16", got)
 	}
 }
@@ -418,9 +418,9 @@ func TestTLBMissTriggersPageWalk(t *testing.T) {
 	m := New(cfg)
 	m.HostAlloc.Alloc(4096, 4096) // spacer: keep the test block away from the page tables
 	a := m.HostAlloc.Alloc(64, 64)
-	base := m.Stats
+	base := m.Stats()
 	latCold := m.HostAccess(0, a, false, 0)
-	d := m.Stats.Sub(base)
+	d := m.Stats().Sub(base)
 	if d.TLBMisses != 1 {
 		t.Fatalf("TLB misses = %d, want 1", d.TLBMisses)
 	}
@@ -428,9 +428,9 @@ func TestTLBMissTriggersPageWalk(t *testing.T) {
 	if d.HostDRAMReads != 3 {
 		t.Fatalf("cold translated read DRAM = %d, want 3 (2 PTE + data)", d.HostDRAMReads)
 	}
-	base = m.Stats
+	base = m.Stats()
 	latWarm := m.HostAccess(0, a, false, latCold)
-	if m.Stats.Sub(base).TLBMisses != 0 {
+	if m.Stats().Sub(base).TLBMisses != 0 {
 		t.Fatal("second access to same page missed TLB")
 	}
 	if latWarm >= latCold {
@@ -442,9 +442,9 @@ func TestTLBMissTriggersPageWalk(t *testing.T) {
 		p := m.HostAlloc.Alloc(4096, 4096)
 		now += m.HostAccess(0, p, false, now)
 	}
-	base = m.Stats
+	base = m.Stats()
 	m.HostAccess(0, a, false, now)
-	if m.Stats.Sub(base).TLBMisses != 1 {
+	if m.Stats().Sub(base).TLBMisses != 1 {
 		t.Fatal("TLB capacity eviction not modelled")
 	}
 }
@@ -453,8 +453,8 @@ func TestTLBDisabledHasNoWalks(t *testing.T) {
 	m := New(testConfig()) // Entries = 0
 	a := m.HostAlloc.Alloc(64, 64)
 	m.HostAccess(0, a, false, 0)
-	if m.Stats.TLBMisses != 0 || m.Stats.HostDRAMReads != 1 {
-		t.Fatalf("disabled TLB produced walks: %+v", m.Stats)
+	if m.Stats().TLBMisses != 0 || m.Stats().HostDRAMReads != 1 {
+		t.Fatalf("disabled TLB produced walks: %+v", m.Stats())
 	}
 }
 
@@ -493,9 +493,9 @@ func TestDirectoryMultipleSharers(t *testing.T) {
 	for core := 0; core < 4; core++ {
 		m.HostAccess(core, a, false, uint64(core)*1000)
 	}
-	base := m.Stats
+	base := m.Stats()
 	m.HostAccess(0, a, true, 5000) // writer invalidates the other three
-	if got := m.Stats.Sub(base).Invalidations; got != 3 {
+	if got := m.Stats().Sub(base).Invalidations; got != 3 {
 		t.Fatalf("invalidations = %d, want 3", got)
 	}
 }
