@@ -13,6 +13,7 @@ package hybrids_test
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -38,6 +39,10 @@ func benchScale() exp.Scale {
 		sc.SkiplistNMPLevels = 8
 		sc.BTreeRecords = 1 << 21
 	}
+	// Grid cells are independent simulations; measure them concurrently.
+	// Results are bit-identical at any Parallel setting (see exp.Scale), so
+	// this changes only the wall clock, never the reported metrics.
+	sc.Parallel = runtime.GOMAXPROCS(0)
 	return sc
 }
 

@@ -4,8 +4,12 @@
 // Usage:
 //
 //	hybrids -list
-//	hybrids -exp fig5a [-scale quick|small|paper|tiny] [-ops N] [-markdown|-json]
+//	hybrids -exp fig5a [-scale quick|small|paper|tiny] [-parallel N] [-ops N] [-markdown|-json]
 //	hybrids -exp all
+//
+// -parallel N measures up to N grid cells of an experiment concurrently
+// (default GOMAXPROCS). Every cell simulates on a private machine, so the
+// results are bit-identical at any setting; only wall-clock time changes.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"hybrids/internal/exp"
 )
@@ -27,6 +32,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics)")
 		ops      = flag.Int("ops", 0, "override measured ops per thread")
 		warmup   = flag.Int("warmup", -1, "override warmup ops per thread")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "grid cells to measure concurrently (results are identical at any setting)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -61,6 +67,9 @@ func main() {
 	}
 	if *warmup >= 0 {
 		sc.WarmupPerThread = *warmup
+	}
+	if *parallel > 0 {
+		sc.Parallel = *parallel
 	}
 
 	var progress io.Writer = os.Stderr

@@ -87,17 +87,29 @@ func runTable1(sc Scale, _ io.Writer) Result {
 func skiplistYCSBCGrid(sc Scale, threadCounts []int, progress io.Writer) map[string]map[int]Cell {
 	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
 	load := gen.Load()
-	out := map[string]map[int]Cell{}
+	type point struct {
+		name string
+		th   int
+	}
+	var jobs []cellJob
+	var points []point
 	for _, th := range threadCounts {
 		streams := gen.Streams(th, sc.WarmupPerThread+sc.OpsPerThread)
 		for _, v := range skiplistVariants(sc) {
-			progressf(progress, "  fig5 %s threads=%d...\n", v.name, th)
-			cell := runCell(sc, v, load, streams)
-			if out[v.name] == nil {
-				out[v.name] = map[int]Cell{}
-			}
-			out[v.name][th] = cell
+			jobs = append(jobs, cellJob{
+				sc: sc, v: v, load: load, streams: streams,
+				progress: fmt.Sprintf("fig5 %s threads=%d", v.name, th),
+			})
+			points = append(points, point{v.name, th})
 		}
+	}
+	cells := runCells(sc, progress, jobs)
+	out := map[string]map[int]Cell{}
+	for i, p := range points {
+		if out[p.name] == nil {
+			out[p.name] = map[int]Cell{}
+		}
+		out[p.name][p.th] = cells[i]
 	}
 	return out
 }
@@ -149,17 +161,29 @@ func runFig5b(sc Scale, progress io.Writer) Result {
 func btreeYCSBCGrid(sc Scale, threadCounts []int, progress io.Writer) map[string]map[int]Cell {
 	gen := ycsb.New(ycsb.YCSBC(sc.BTreeRecords, sc.KeyMax, sc.Seed))
 	load := gen.Load()
-	out := map[string]map[int]Cell{}
+	type point struct {
+		name string
+		th   int
+	}
+	var jobs []cellJob
+	var points []point
 	for _, th := range threadCounts {
 		streams := gen.Streams(th, sc.WarmupPerThread+sc.OpsPerThread)
 		for _, v := range btreeVariants(sc) {
-			progressf(progress, "  fig6 %s threads=%d...\n", v.name, th)
-			cell := runCell(sc, v, load, streams)
-			if out[v.name] == nil {
-				out[v.name] = map[int]Cell{}
-			}
-			out[v.name][th] = cell
+			jobs = append(jobs, cellJob{
+				sc: sc, v: v, load: load, streams: streams,
+				progress: fmt.Sprintf("fig6 %s threads=%d", v.name, th),
+			})
+			points = append(points, point{v.name, th})
 		}
+	}
+	cells := runCells(sc, progress, jobs)
+	out := map[string]map[int]Cell{}
+	for i, p := range points {
+		if out[p.name] == nil {
+			out[p.name] = map[int]Cell{}
+		}
+		out[p.name][p.th] = cells[i]
 	}
 	return out
 }
@@ -211,11 +235,13 @@ func runTable2(sc Scale, progress io.Writer) Result {
 	// Single-threaded blocking hybrid B+ tree, read-only: isolates the
 	// offload path exactly as the paper measures it (same initial tree,
 	// same host levels, one offload at a time).
-	progressf(progress, "  table2 single-offload measurement...\n")
 	gen := ycsb.New(ycsb.YCSBC(sc.BTreeRecords, sc.KeyMax, sc.Seed))
 	load := gen.Load()
 	streams := gen.Streams(1, sc.WarmupPerThread+sc.OpsPerThread)
-	cell := runCell(sc, btreeHybrid(sc, 1, false), load, streams)
+	cell := runCells(sc, progress, []cellJob{{
+		sc: sc, v: btreeHybrid(sc, 1, false), load: load, streams: streams,
+		progress: "table2 single-offload measurement",
+	}})[0]
 
 	mc := sc.Machine.Mem
 	reqWrite := mc.MMIOWriteLatency + 6*mc.MMIOWordExtra
@@ -275,21 +301,33 @@ func runFig7(sc Scale, progress io.Writer) Result {
 		ID: "fig7", Title: "Figure 7 (skiplist sensitivity, 8 threads, normalized to lock-free 100-0-0, scale " + sc.Name + ")",
 		Header: []string{"workload", "implementation", "Mops/s", "normalized"},
 	}
-	var base float64
+	type point struct {
+		mix, name string
+	}
+	var jobs []cellJob
+	var points []point
 	for _, mx := range sensitivityMixes() {
 		gen := ycsb.New(ycsb.Mix(sc.SkiplistRecords, sc.KeyMax, mx.read, mx.insert, mx.remove, sc.Seed))
 		load := gen.Load()
 		streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
 		for _, v := range skiplistVariants(sc) {
-			progressf(progress, "  fig7 %s %s...\n", mx.label, v.name)
-			c := runCell(sc, v, load, streams)
-			if mx.label == "100-0-0" && v.name == "lock-free" {
-				base = c.MOpsPerSec
-			}
-			res.Rows = append(res.Rows, []string{mx.label, v.name, f2(c.MOpsPerSec), f2(c.MOpsPerSec / base)})
-			c.Label = mx.label
-			res.Cells = append(res.Cells, c)
+			jobs = append(jobs, cellJob{
+				sc: sc, v: v, load: load, streams: streams,
+				progress: fmt.Sprintf("fig7 %s %s", mx.label, v.name),
+				label:    mx.label,
+			})
+			points = append(points, point{mx.label, v.name})
 		}
+	}
+	cells := runCells(sc, progress, jobs)
+	var base float64
+	for i, p := range points {
+		c := cells[i]
+		if p.mix == "100-0-0" && p.name == "lock-free" {
+			base = c.MOpsPerSec
+		}
+		res.Rows = append(res.Rows, []string{p.mix, p.name, f2(c.MOpsPerSec), f2(c.MOpsPerSec / base)})
+		res.Cells = append(res.Cells, c)
 	}
 	res.Notes = append(res.Notes,
 		"paper: at 50-25-25, hybrid-blocking = 1.61x and hybrid-nonblocking4 = 3.12x lock-free;",
@@ -322,19 +360,30 @@ func runBTreeSensitivity(sc Scale, progress io.Writer) map[string]map[string]Cel
 	if grid, ok := btreeSensitivityMemo[memoKey]; ok {
 		return grid
 	}
-	out := map[string]map[string]Cell{}
+	type point struct {
+		mix, name string
+	}
+	var jobs []cellJob
+	var points []point
 	for _, mx := range btreeSensitivityMixes() {
 		gen := ycsb.New(btreeMixConfig(sc, mx))
 		load := gen.Load()
 		streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
 		for _, v := range btreeVariants(sc) {
-			progressf(progress, "  fig8/9 %s %s...\n", mx.label, v.name)
-			c := runCell(sc, v, load, streams)
-			if out[mx.label] == nil {
-				out[mx.label] = map[string]Cell{}
-			}
-			out[mx.label][v.name] = c
+			jobs = append(jobs, cellJob{
+				sc: sc, v: v, load: load, streams: streams,
+				progress: fmt.Sprintf("fig8/9 %s %s", mx.label, v.name),
+			})
+			points = append(points, point{mx.label, v.name})
 		}
+	}
+	cells := runCells(sc, progress, jobs)
+	out := map[string]map[string]Cell{}
+	for i, p := range points {
+		if out[p.mix] == nil {
+			out[p.mix] = map[string]Cell{}
+		}
+		out[p.mix][p.name] = cells[i]
 	}
 	btreeSensitivityMemo[memoKey] = out
 	return out
@@ -394,17 +443,25 @@ func runAblateWindow(sc Scale, progress io.Writer) Result {
 	btGen := ycsb.New(ycsb.YCSBC(sc.BTreeRecords, sc.KeyMax, sc.Seed))
 	btLoad := btGen.Load()
 	btStreams := btGen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
-	for _, w := range []int{1, 2, 4} {
-		progressf(progress, "  window=%d...\n", w)
-		c := runCell(sc, skiplistHybrid(sc, w, true), skLoad, skStreams)
-		res.Rows = append(res.Rows, []string{"hybrid skiplist", fmt.Sprint(w), f2(c.MOpsPerSec)})
-		c.Label = "skiplist"
-		res.Cells = append(res.Cells, c)
-		c = runCell(sc, btreeHybrid(sc, w, true), btLoad, btStreams)
-		res.Rows = append(res.Rows, []string{"hybrid B+ tree", fmt.Sprint(w), f2(c.MOpsPerSec)})
-		c.Label = "btree"
-		res.Cells = append(res.Cells, c)
+	windows := []int{1, 2, 4}
+	var jobs []cellJob
+	for _, w := range windows {
+		jobs = append(jobs,
+			cellJob{
+				sc: sc, v: skiplistHybrid(sc, w, true), load: skLoad, streams: skStreams,
+				progress: fmt.Sprintf("window=%d skiplist", w), label: "skiplist",
+			},
+			cellJob{
+				sc: sc, v: btreeHybrid(sc, w, true), load: btLoad, streams: btStreams,
+				progress: fmt.Sprintf("window=%d btree", w), label: "btree",
+			})
 	}
+	cells := runCells(sc, progress, jobs)
+	for i, w := range windows {
+		res.Rows = append(res.Rows, []string{"hybrid skiplist", fmt.Sprint(w), f2(cells[2*i].MOpsPerSec)})
+		res.Rows = append(res.Rows, []string{"hybrid B+ tree", fmt.Sprint(w), f2(cells[2*i+1].MOpsPerSec)})
+	}
+	res.Cells = append(res.Cells, cells...)
 	res.Notes = append(res.Notes, "deeper windows hide offload latency until NMP cores or the host issue path saturate (§3.5)")
 	sortRows(res.Rows)
 	return res
@@ -415,7 +472,7 @@ func runAblateSkew(sc Scale, progress io.Writer) Result {
 		ID: "ablate-skew", Title: "Ablation: read-only skew sweep (skiplist, 8 threads, scale " + sc.Name + ")",
 		Header: []string{"distribution", "lock-free Mops/s", "hybrid-blocking Mops/s", "hybrid/lock-free", "LF reads/op", "hybrid reads/op"},
 	}
-	for _, d := range []struct {
+	dists := []struct {
 		label string
 		dist  ycsb.Dist
 		theta float64
@@ -424,8 +481,9 @@ func runAblateSkew(sc Scale, progress io.Writer) Result {
 		{"zipf-0.50", ycsb.Zipfian, 0.50},
 		{"zipf-0.80", ycsb.Zipfian, 0.80},
 		{"zipf-0.99", ycsb.Zipfian, 0.99},
-	} {
-		progressf(progress, "  skew %s...\n", d.label)
+	}
+	var jobs []cellJob
+	for _, d := range dists {
 		cfg := ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed)
 		cfg.Dist = d.dist
 		if d.theta != 0 {
@@ -434,13 +492,23 @@ func runAblateSkew(sc Scale, progress io.Writer) Result {
 		gen := ycsb.New(cfg)
 		load := gen.Load()
 		streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
-		lf := runCell(sc, skiplistLockFree(sc), load, streams)
-		hy := runCell(sc, skiplistHybrid(sc, 1, false), load, streams)
+		jobs = append(jobs,
+			cellJob{
+				sc: sc, v: skiplistLockFree(sc), load: load, streams: streams,
+				progress: fmt.Sprintf("skew %s lock-free", d.label), label: d.label,
+			},
+			cellJob{
+				sc: sc, v: skiplistHybrid(sc, 1, false), load: load, streams: streams,
+				progress: fmt.Sprintf("skew %s hybrid-blocking", d.label), label: d.label,
+			})
+	}
+	cells := runCells(sc, progress, jobs)
+	for i, d := range dists {
+		lf, hy := cells[2*i], cells[2*i+1]
 		res.Rows = append(res.Rows, []string{
 			d.label, f2(lf.MOpsPerSec), f2(hy.MOpsPerSec),
 			f2(hy.MOpsPerSec / lf.MOpsPerSec), f2(lf.ReadsPerOp), f2(hy.ReadsPerOp),
 		})
-		lf.Label, hy.Label = d.label, d.label
 		res.Cells = append(res.Cells, lf, hy)
 	}
 	res.Notes = append(res.Notes,
@@ -457,18 +525,27 @@ func runAblateSplit(sc Scale, progress io.Writer) Result {
 	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
 	load := gen.Load()
 	streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
+	var (
+		jobs   []cellJob
+		levels []int
+	)
 	for _, nl := range []int{sc.SkiplistNMPLevels - 2, sc.SkiplistNMPLevels, sc.SkiplistNMPLevels + 2, sc.SkiplistNMPLevels + 4} {
 		if nl <= 0 || nl >= sc.SkiplistLevels {
 			continue
 		}
-		progressf(progress, "  split nmp=%d...\n", nl)
 		scv := sc
 		scv.SkiplistNMPLevels = nl
-		c := runCell(scv, skiplistHybrid(scv, 1, false), load, streams)
-		res.Rows = append(res.Rows, []string{fmt.Sprint(nl), fmt.Sprint(sc.SkiplistLevels - nl), f2(c.MOpsPerSec), f2(c.ReadsPerOp)})
-		c.Label = fmt.Sprintf("nmp-levels=%d", nl)
-		res.Cells = append(res.Cells, c)
+		levels = append(levels, nl)
+		jobs = append(jobs, cellJob{
+			sc: scv, v: skiplistHybrid(scv, 1, false), load: load, streams: streams,
+			progress: fmt.Sprintf("split nmp=%d", nl), label: fmt.Sprintf("nmp-levels=%d", nl),
+		})
 	}
+	cells := runCells(sc, progress, jobs)
+	for i, nl := range levels {
+		res.Rows = append(res.Rows, []string{fmt.Sprint(nl), fmt.Sprint(sc.SkiplistLevels - nl), f2(cells[i].MOpsPerSec), f2(cells[i].ReadsPerOp)})
+	}
+	res.Cells = append(res.Cells, cells...)
 	res.Notes = append(res.Notes,
 		"too few NMP levels -> host portion outgrows the LLC (misses);",
 		"too many -> long serialized NMP traversals (the paper's LLC-sizing rule picks the knee)")
@@ -483,16 +560,27 @@ func runAblateMMIO(sc Scale, progress io.Writer) Result {
 	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
 	load := gen.Load()
 	streams := gen.Streams(sc.MaxThreads, sc.WarmupPerThread+sc.OpsPerThread)
-	for _, f := range []float64{0.5, 1, 2, 4} {
-		progressf(progress, "  mmio x%.1f...\n", f)
+	factors := []float64{0.5, 1, 2, 4}
+	var jobs []cellJob
+	for _, f := range factors {
 		scv := sc
 		scv.Machine.Mem.MMIOWriteLatency = uint64(float64(sc.Machine.Mem.MMIOWriteLatency) * f)
 		scv.Machine.Mem.MMIOReadLatency = uint64(float64(sc.Machine.Mem.MMIOReadLatency) * f)
-		b := runCell(scv, skiplistHybrid(scv, 1, false), load, streams)
-		nb := runCell(scv, skiplistHybrid(scv, scv.Window, true), load, streams)
+		label := fmt.Sprintf("mmio=%.1fx", f)
+		jobs = append(jobs,
+			cellJob{
+				sc: scv, v: skiplistHybrid(scv, 1, false), load: load, streams: streams,
+				progress: fmt.Sprintf("mmio x%.1f blocking", f), label: label,
+			},
+			cellJob{
+				sc: scv, v: skiplistHybrid(scv, scv.Window, true), load: load, streams: streams,
+				progress: fmt.Sprintf("mmio x%.1f non-blocking", f), label: label,
+			})
+	}
+	cells := runCells(sc, progress, jobs)
+	for i, f := range factors {
+		b, nb := cells[2*i], cells[2*i+1]
 		res.Rows = append(res.Rows, []string{fmt.Sprintf("%.1fx", f), f2(b.MOpsPerSec), f2(nb.MOpsPerSec)})
-		b.Label = fmt.Sprintf("mmio=%.1fx", f)
-		nb.Label = b.Label
 		res.Cells = append(res.Cells, b, nb)
 	}
 	res.Notes = append(res.Notes, "non-blocking calls should damp the offload-cost slope (the paper's §3.5 motivation)")
@@ -504,18 +592,24 @@ func runAblatePartitions(sc Scale, progress io.Writer) Result {
 		ID: "ablate-partitions", Title: "Ablation: NMP partition count (skiplist YCSB-C, 8 threads, non-blocking, scale " + sc.Name + ")",
 		Header: []string{"partitions", "Mops/s"},
 	}
-	for _, parts := range []int{1, 2, 4, 8} {
-		progressf(progress, "  partitions=%d...\n", parts)
+	partCounts := []int{1, 2, 4, 8}
+	var jobs []cellJob
+	for _, parts := range partCounts {
 		scv := sc
 		scv.Machine.Mem.NMPVaults = parts
 		gen := ycsb.New(ycsb.YCSBC(scv.SkiplistRecords, scv.KeyMax, scv.Seed))
 		load := gen.Load()
 		streams := gen.Streams(scv.MaxThreads, scv.WarmupPerThread+scv.OpsPerThread)
-		c := runCell(scv, skiplistHybrid(scv, scv.Window, true), load, streams)
-		res.Rows = append(res.Rows, []string{fmt.Sprint(parts), f2(c.MOpsPerSec)})
-		c.Label = fmt.Sprintf("partitions=%d", parts)
-		res.Cells = append(res.Cells, c)
+		jobs = append(jobs, cellJob{
+			sc: scv, v: skiplistHybrid(scv, scv.Window, true), load: load, streams: streams,
+			progress: fmt.Sprintf("partitions=%d", parts), label: fmt.Sprintf("partitions=%d", parts),
+		})
 	}
+	cells := runCells(sc, progress, jobs)
+	for i, parts := range partCounts {
+		res.Rows = append(res.Rows, []string{fmt.Sprint(parts), f2(cells[i].MOpsPerSec)})
+	}
+	res.Cells = append(res.Cells, cells...)
 	res.Notes = append(res.Notes, "combiner parallelism scales with partitions until host issue rate dominates")
 	return res
 }

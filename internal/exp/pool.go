@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/ycsb"
+)
+
+// cellJob declares one grid point before anything runs: the scale and
+// variant to build, plus the exact preloaded keys and per-thread operation
+// streams the cell's machine will see. Experiments declare their whole
+// grid as a job list up front, which is what lets the harness execute
+// cells in any order — or concurrently — and still assemble rows in a
+// fixed deterministic order afterwards.
+type cellJob struct {
+	sc      Scale
+	v       variant
+	load    []ycsb.Pair
+	streams [][]kv.Op
+	// progress is the cell's progress line (without indentation/ellipsis).
+	progress string
+	// label is assigned to the measured Cell.Label (experiments with a
+	// per-cell axis beyond variant and thread count).
+	label string
+}
+
+// runCells measures every declared grid cell and returns the cells in
+// declaration order. With sc.Parallel > 1, cells run concurrently on a
+// worker pool.
+//
+// Determinism: each cell builds a private machine (its own engine, memory
+// system and metrics registry) inside runCell, and jobs share only inputs
+// that no cell mutates (the load set and operation streams). A cell's
+// measurement therefore cannot depend on which worker runs it or on what
+// runs beside it, so parallel output is bit-identical to serial output;
+// only the interleaving of progress lines varies.
+func runCells(sc Scale, progress io.Writer, jobs []cellJob) []Cell {
+	out := make([]Cell, len(jobs))
+	workers := sc.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			progressf(progress, "  %s...\n", jobs[i].progress)
+			out[i] = runJob(jobs[i])
+		}
+		return out
+	}
+	var (
+		next int64 = -1
+		mu   sync.Mutex // serializes progress lines
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				if progress != nil {
+					mu.Lock()
+					progressf(progress, "  %s...\n", jobs[i].progress)
+					mu.Unlock()
+				}
+				out[i] = runJob(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func runJob(j cellJob) Cell {
+	c := runCell(j.sc, j.v, j.load, j.streams)
+	c.Label = j.label
+	return c
+}

@@ -54,6 +54,12 @@ type Scale struct {
 	Window int
 
 	Seed uint64
+
+	// Parallel is the number of grid cells an experiment measures
+	// concurrently (0 or 1: serial). Every cell simulates on a private
+	// machine/engine/registry and cells share only immutable inputs, so
+	// results are bit-identical at any setting; see runCells.
+	Parallel int
 }
 
 // SmallScale is the default. Cycle-level simulation cost scales with the

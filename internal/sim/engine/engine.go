@@ -3,11 +3,18 @@
 //
 // Simulated hardware agents (host threads, near-memory cores) are Actors:
 // goroutines that run ordinary Go code but advance a virtual cycle clock
-// through explicit Advance calls. The engine runs exactly one actor at any
-// real-time instant and dispatches actors in virtual-time order with
+// through explicit Advance calls. Exactly one actor makes progress at any
+// real-time instant and actors are dispatched in virtual-time order with
 // deterministic FIFO tie-breaking, so a simulation with fixed inputs always
 // produces identical interleavings and identical results — host garbage
 // collection or OS scheduling can never perturb simulated time.
+//
+// Control transfers between actors by a single resume-permit handoff: the
+// actor that parks (or finishes) pops the next event itself and posts the
+// permit directly to that actor's buffered wake channel. There is no
+// scheduler goroutine in the dispatch loop, so a context switch costs one
+// goroutine handoff rather than the two (actor -> scheduler -> actor) of a
+// centralized design.
 package engine
 
 import (
@@ -30,8 +37,10 @@ type Actor struct {
 	// are expected to return from their body promptly.
 	Daemon bool
 
-	eng         *Engine
-	now         uint64
+	eng *Engine
+	now uint64
+	// wake carries this actor's resume permit (capacity 1: a parked actor
+	// has at most one pending event, hence at most one outstanding permit).
 	wake        chan struct{}
 	finished    bool
 	blocked     bool
@@ -51,20 +60,35 @@ func (a *Actor) Engine() *Engine { return a.eng }
 // Advance moves the actor's virtual clock forward by c cycles, yielding to
 // any other actor whose next event is earlier. Advance(0) is a pure yield:
 // it lets same-cycle actors queued earlier run first.
+//
+// Fast path: if this actor would still be dispatched first — strictly
+// earlier than every pending event (ties go to the earlier-queued event,
+// so equality must park) — the park/handoff round trip is skipped
+// entirely. The body below is kept small enough to inline into the
+// machine layer's Step and memory-access call sites, so the common
+// uncontended case (single runnable actor: build phases, 1-thread cells,
+// an unblocker racing ahead of the actor it just woke) costs a heap-top
+// comparison and no channel operations. Dispatch order is identical to
+// the slow path.
 func (a *Actor) Advance(c uint64) {
 	a.now += c
 	a.Cycles += c
 	e := a.eng
-	// Fast path: if this actor would still be dispatched first — strictly
-	// earlier than every pending event (ties go to the earlier-queued
-	// event, so equality must park) — skip the park/wake round trip.
-	// Dispatch order is identical to the slow path.
 	if len(e.pq) == 0 || a.now < e.pq[0].at {
 		e.now = a.now
 		return
 	}
+	a.repark()
+}
+
+// repark is Advance's slow path: queue the actor's continuation, hand the
+// resume permit to the next runnable actor, and wait for the permit to
+// come back. Split from Advance so the fast path stays inlinable.
+func (a *Actor) repark() {
+	e := a.eng
 	e.push(a)
-	a.park()
+	e.dispatchNext()
+	<-a.wake
 }
 
 // AdvanceTo moves the actor's clock to absolute virtual time t. It panics
@@ -88,25 +112,30 @@ func (a *Actor) Stopping() bool { return a.eng.stopping }
 // another actor calls Unblock on it (modelling a hardware monitor/mwait on
 // a doorbell) or when the engine enters the stopping state. Virtual time
 // does not advance while blocked beyond the unblocker's wake time.
-// A wake permit posted by Unblock while the target was still running is
-// consumed by the target's next Block, which then returns immediately —
-// so a wake racing with the waiter's final check is never lost.
+// A wake permit posted by Unblock while the target was not blocked —
+// still running, or parked inside Advance — is consumed by the target's
+// next Block, which then returns immediately without parking, so a wake
+// racing with the waiter's final check is never lost and costs no
+// dispatch.
 func (a *Actor) Block() {
 	if a.wakePending {
 		a.wakePending = false
 		return
 	}
-	if a.eng.stopping {
+	e := a.eng
+	if e.stopping {
 		return
 	}
-	a.eng.stBlocks.Inc()
+	e.stBlocks.Inc()
 	a.blocked = true
-	a.park()
+	e.dispatchNext()
+	<-a.wake
 }
 
 // Unblock schedules blocked actor b to resume delay cycles after the
-// caller's current time. If b is running, a wake permit is recorded for
-// b's next Block instead. Must be called by the currently running actor.
+// caller's current time. If b is not blocked (running, or parked inside
+// Advance), a wake permit is recorded for b's next Block instead. Must be
+// called by the currently running actor.
 func (a *Actor) Unblock(b *Actor, delay uint64) {
 	a.eng.stUnblocks.Inc()
 	if !b.blocked {
@@ -122,19 +151,16 @@ func (a *Actor) Unblock(b *Actor, delay uint64) {
 	a.eng.push(b)
 }
 
-func (a *Actor) park() {
-	a.eng.parked <- struct{}{}
-	<-a.wake
-}
-
 // Engine schedules actors in virtual-time order.
 // The zero value is not usable; call New.
 type Engine struct {
-	now      uint64
-	seq      uint64
-	pq       eventHeap
-	actors   []*Actor
-	parked   chan struct{}
+	now    uint64
+	seq    uint64
+	pq     eventHeap
+	actors []*Actor
+	// done receives one token when the last actor finishes (capacity 1:
+	// the final handoff must not block the finishing actor's goroutine).
+	done     chan struct{}
 	live     int // unfinished non-daemon actors
 	liveAll  int // unfinished actors of any kind
 	stopping bool
@@ -150,7 +176,7 @@ type Engine struct {
 // private registry (replace it with AttachMetrics to share a machine-wide
 // one).
 func New() *Engine {
-	e := &Engine{parked: make(chan struct{})}
+	e := &Engine{done: make(chan struct{}, 1)}
 	e.AttachMetrics(metrics.NewRegistry())
 	return e
 }
@@ -182,7 +208,7 @@ func (e *Engine) Spawn(name string, daemon bool, body func(*Actor)) *Actor {
 		Name:   name,
 		Daemon: daemon,
 		eng:    e,
-		wake:   make(chan struct{}),
+		wake:   make(chan struct{}, 1),
 		body:   body,
 	}
 	if e.running {
@@ -223,22 +249,20 @@ func (a *Actor) run() {
 			}
 		}
 	}
-	e.parked <- struct{}{}
+	e.dispatchNext()
 }
 
-// Run dispatches events until every actor (daemons included) has finished.
-// It panics on deadlock: a state where unfinished actors exist but no
-// events remain, which indicates an actor waiting on a condition no other
-// actor can ever satisfy.
-func (e *Engine) Run() {
-	if e.running {
-		panic("engine: Run called twice")
-	}
-	e.running = true
-	if e.live == 0 {
-		e.stopping = true
-	}
-	for e.liveAll > 0 {
+// dispatchNext pops the next runnable event and hands its actor the
+// resume permit, or signals completion when no actors remain. It runs on
+// the goroutine of the actor that is parking or finishing (and once in
+// Run, to start the simulation), so a deadlock panics on that actor's
+// goroutine with its stack in view.
+func (e *Engine) dispatchNext() {
+	for {
+		if e.liveAll == 0 {
+			e.done <- struct{}{}
+			return
+		}
 		if len(e.pq) == 0 {
 			panic("engine: deadlock: live actors but no pending events: " + e.liveNames())
 		}
@@ -249,8 +273,28 @@ func (e *Engine) Run() {
 		e.now = ev.at
 		e.stDispatches.Inc()
 		ev.a.wake <- struct{}{}
-		<-e.parked
+		return
 	}
+}
+
+// Run dispatches the first event and waits until every actor (daemons
+// included) has finished; thereafter actors hand control to each other
+// directly. A deadlock — unfinished actors but no pending events, meaning
+// an actor waits on a condition no other actor can ever satisfy — panics
+// on the goroutine of the last parking actor.
+func (e *Engine) Run() {
+	if e.running {
+		panic("engine: Run called twice")
+	}
+	e.running = true
+	if e.live == 0 {
+		e.stopping = true
+	}
+	if e.liveAll == 0 {
+		return
+	}
+	e.dispatchNext()
+	<-e.done
 }
 
 func (e *Engine) liveNames() string {
@@ -308,6 +352,10 @@ func (h *eventHeap) pop() event {
 	top := s[0]
 	n := len(s) - 1
 	s[0] = s[n]
+	// Zero the vacated slot so the heap's backing array does not pin the
+	// moved event's *Actor (and its closed-over state) for the rest of
+	// the run.
+	s[n] = event{}
 	s = s[:n]
 	*h = s
 	i := 0

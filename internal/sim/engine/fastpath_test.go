@@ -1,0 +1,99 @@
+package engine
+
+import "testing"
+
+// TestUnblockWhileParkedInAdvance pins the permit semantics for the race
+// the fast path introduced: an Unblock aimed at an actor that is parked
+// inside Advance (not Block) must be recorded as a pending permit, and the
+// target's next Block must consume it and return immediately at the
+// target's own time, without parking.
+func TestUnblockWhileParkedInAdvance(t *testing.T) {
+	e := New()
+	var waiter *Actor
+	var wokeAt uint64
+	waiter = e.Spawn("waiter", false, func(a *Actor) {
+		a.Advance(100) // parks: the waker's event at t=0 is earlier
+		a.Block()      // must consume the permit posted at t=10
+		wokeAt = a.Now()
+	})
+	e.Spawn("waker", false, func(a *Actor) {
+		a.Advance(10)        // fast path: waiter's event (t=100) is later
+		a.Unblock(waiter, 0) // waiter not blocked -> permit recorded
+	})
+	blocksBefore := e.stBlocks.Value()
+	e.Run()
+	if wokeAt != 100 {
+		t.Fatalf("waiter woke at %d, want 100 (own time, not the waker's)", wokeAt)
+	}
+	if got := e.stBlocks.Value() - blocksBefore; got != 0 {
+		t.Fatalf("Block parked %d times, want 0 (permit must short-circuit it)", got)
+	}
+}
+
+// TestAdvanceFastPathSoloActor: a lone runnable actor must be dispatched
+// exactly once (the initial handoff from Run) no matter how many times it
+// advances — every Advance takes the heap-top fast path.
+func TestAdvanceFastPathSoloActor(t *testing.T) {
+	e := New()
+	e.Spawn("solo", false, func(a *Actor) {
+		for i := 0; i < 1000; i++ {
+			a.Advance(3)
+		}
+	})
+	e.Run()
+	if got := e.stDispatches.Value(); got != 1 {
+		t.Fatalf("dispatches = %d, want 1", got)
+	}
+	if e.Now() != 3000 {
+		t.Fatalf("engine Now = %d, want 3000", e.Now())
+	}
+}
+
+// TestAdvanceFastPathAfterPeerFinishes: once a competing actor finishes,
+// the survivor's remaining advances must all take the fast path. The exact
+// dispatch count doubles as a regression check that widening the fast path
+// did not change the dispatch sequence.
+func TestAdvanceFastPathAfterPeerFinishes(t *testing.T) {
+	e := New()
+	e.Spawn("short", false, func(a *Actor) {
+		a.Advance(5)
+	})
+	e.Spawn("long", false, func(a *Actor) {
+		for i := 0; i < 100; i++ {
+			a.Advance(10)
+		}
+	})
+	e.Run()
+	// 1: short at t=0; its Advance(5) parks (long's t=0 event is earlier).
+	// 2: long at t=0; its Advance(10) parks (short's t=5 event is earlier).
+	// 3: short at t=5, finishes. 4: long at t=10; the remaining 99
+	// advances see an empty heap and never park again.
+	if got := e.stDispatches.Value(); got != 4 {
+		t.Fatalf("dispatches = %d, want 4", got)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("engine Now = %d, want 1000", e.Now())
+	}
+}
+
+// TestHeapPopClearsSlot: pop must zero the vacated tail slot so the heap's
+// backing array does not pin finished actors for the rest of the run.
+func TestHeapPopClearsSlot(t *testing.T) {
+	h := make(eventHeap, 0, 8)
+	actors := make([]*Actor, 8)
+	for i := range actors {
+		actors[i] = &Actor{ID: i}
+		h.push(event{at: uint64(8 - i), seq: uint64(i), a: actors[i]})
+	}
+	for i := 0; i < 8; i++ {
+		if ev := h.pop(); ev.a == nil {
+			t.Fatalf("pop %d returned zero event", i)
+		}
+	}
+	backing := h[:cap(h)]
+	for i := range backing {
+		if backing[i].a != nil {
+			t.Fatalf("backing slot %d still pins actor %q after pop", i, backing[i].a.Name)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package memsys
+
+import "testing"
+
+// BenchmarkMemsysAccess drives the host access path (TLB, L1, directory,
+// LLC, vault timing) with a reproducible pseudo-random mix of reads and
+// writes from all host cores, the same shape the simulated data-structure
+// traversals generate. Reports sustained model throughput (accesses/s).
+func BenchmarkMemsysAccess(b *testing.B) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	const span = 32 << 20 // 32 MiB working set: misses in L1/LLC, hits pages
+	cores := cfg.HostCores
+	var x uint32 = 12345
+	var now uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*1664525 + 1013904223 // LCG: fixed address sequence
+		a := Addr(x%span) &^ 3     // 4-byte aligned, within host memory
+		write := x&7 == 0          // ~1/8 stores, like a read-mostly workload
+		now += m.HostAccess(i%cores, a, write, now)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "accesses/s")
+	}
+}
+
+// BenchmarkMemsysSameBlock isolates the one-entry way-predictor fast path:
+// consecutive accesses to one block, the pattern of field-by-field node
+// reads.
+func BenchmarkMemsysSameBlock(b *testing.B) {
+	m := New(DefaultConfig())
+	var now uint64
+	now += m.HostAccess(0, 0x1000, false, now) // warm the block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += m.HostAccess(0, 0x1000+Addr(i%16)*8, false, now)
+	}
+}

@@ -38,6 +38,14 @@ type Cache struct {
 	sets    [][]line
 	setMask uint32
 	stamp   uint64
+	// mru points at the line of the most recent hit or fill: a one-entry
+	// way predictor that short-circuits the set scan when consecutive
+	// accesses land in the same block — the common case both for
+	// field-by-field node reads and for TLB lookups, where successive
+	// accesses stay on one page. The fast path performs exactly the
+	// recency/dirty updates of the scanning path, so hit/miss outcomes,
+	// eviction choices and therefore simulated timing are identical.
+	mru *line
 }
 
 // NewCache builds a cache from cfg.
@@ -61,6 +69,15 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // Lookup probes for block, updating recency on a hit and setting the dirty
 // bit when write is true. It reports whether the block was resident.
 func (c *Cache) Lookup(block uint32, write bool) bool {
+	// Same-block fast path via the one-entry way predictor.
+	if l := c.mru; l != nil && l.valid && l.tag == block {
+		c.stamp++
+		l.lru = c.stamp
+		if write {
+			l.dirty = true
+		}
+		return true
+	}
 	set := c.sets[block&c.setMask]
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
@@ -69,6 +86,7 @@ func (c *Cache) Lookup(block uint32, write bool) bool {
 			if write {
 				set[i].dirty = true
 			}
+			c.mru = &set[i]
 			return true
 		}
 	}
@@ -107,6 +125,7 @@ func (c *Cache) Fill(block uint32, dirty bool) (evicted uint32, evictedDirty, ok
 	}
 	c.stamp++
 	*v = line{tag: block, valid: true, dirty: dirty, lru: c.stamp}
+	c.mru = v
 	return evicted, evictedDirty, ok
 }
 
@@ -131,28 +150,35 @@ func (c *Cache) Flush() {
 			set[i] = line{}
 		}
 	}
+	c.mru = nil
 }
 
 // directory tracks, per block, which host cores hold the block in their
 // private L1, so stores can invalidate remote copies (MESI-style ownership
 // without modelling the full protocol state machine).
+//
+// The sharer masks live in a dense slice indexed by block number within
+// the host-memory range: host cores can only cache host main memory, that
+// range is fixed at configuration time, and the map this replaces was the
+// hottest allocating lookup in experiment profiles. Untouched entries cost
+// only zero pages, so the slice's resident footprint tracks the touched
+// working set just as the map's did.
 type directory struct {
-	sharers map[uint32]uint32 // block -> bitmask of core IDs
+	sharers []uint32 // block -> bitmask of core IDs
 }
 
-func newDirectory() directory { return directory{sharers: make(map[uint32]uint32)} }
-
-func (d *directory) add(block uint32, core int) { d.sharers[block] |= 1 << uint(core) }
-func (d *directory) drop(block uint32, core int) {
-	if m, ok := d.sharers[block]; ok {
-		m &^= 1 << uint(core)
-		if m == 0 {
-			delete(d.sharers, block)
-		} else {
-			d.sharers[block] = m
-		}
-	}
+// newDirectory sizes the sharer table for the given number of cacheable
+// host-memory blocks.
+func newDirectory(blocks uint32) directory {
+	return directory{sharers: make([]uint32, blocks)}
 }
+
+// reset drops all sharer state (a fresh zero-page allocation is cheaper
+// than clearing a mostly-untouched table in place).
+func (d *directory) reset() { d.sharers = make([]uint32, len(d.sharers)) }
+
+func (d *directory) add(block uint32, core int)  { d.sharers[block] |= 1 << uint(core) }
+func (d *directory) drop(block uint32, core int) { d.sharers[block] &^= 1 << uint(core) }
 
 // others returns the sharer bitmask excluding core.
 func (d *directory) others(block uint32, core int) uint32 {

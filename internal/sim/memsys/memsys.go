@@ -269,7 +269,7 @@ func NewWithMetrics(cfg Config, reg *metrics.Registry) *MemSys {
 		Cfg:         cfg,
 		RAM:         NewRAM(total),
 		l2:          NewCache("L2", cfg.L2),
-		dir:         newDirectory(),
+		dir:         newDirectory(uint32(cfg.HostMemSize >> shift)),
 		blockShift:  shift,
 		scratchBase: cfg.HostMemSize + cfg.NMPMemSize,
 		Metrics:     reg,
@@ -549,7 +549,7 @@ func (m *MemSys) FlushCaches() {
 		c.Flush()
 	}
 	m.l2.Flush()
-	m.dir = newDirectory()
+	m.dir.reset()
 	for i := range m.nmpBufs {
 		m.nmpBufs[i] = nmpBuf{}
 	}
