@@ -5,11 +5,21 @@
 //
 //	hybrids -list
 //	hybrids -exp fig5a [-scale quick|small|paper|tiny] [-parallel N] [-ops N] [-markdown|-json]
+//	hybrids -exp fig5a -attr -trace trace.json
 //	hybrids -exp all
 //
 // -parallel N measures up to N grid cells of an experiment concurrently
 // (default GOMAXPROCS). Every cell simulates on a private machine, so the
 // results are bit-identical at any setting; only wall-clock time changes.
+//
+// -attr prints a per-operation latency-attribution table next to each
+// throughput table (cycles split into host-cache / coherence / DRAM /
+// offload-wait / NMP-serialization / host-compute buckets; the sums also
+// appear in -json cells). -trace FILE captures a cycle-level event trace
+// of the first measured cell as Chrome trace_event JSON, viewable in
+// Perfetto (https://ui.perfetto.dev). Both are observationally
+// transparent: they never change measured results. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -34,6 +44,9 @@ func main() {
 		warmup   = flag.Int("warmup", -1, "override warmup ops per thread")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "grid cells to measure concurrently (results are identical at any setting)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		attr     = flag.Bool("attr", false, "print per-operation latency attribution tables (buckets also land in -json cells)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON capture of the first measured cell to this file (open in Perfetto)")
+		traceCap = flag.Int("trace-events", 0, "per-track trace ring capacity (default 65536; older events fall off first)")
 	)
 	flag.Parse()
 
@@ -71,6 +84,10 @@ func main() {
 	if *parallel > 0 {
 		sc.Parallel = *parallel
 	}
+	sc.Attr = *attr
+	if *traceOut != "" {
+		sc.Trace = &exp.TraceSpec{Path: *traceOut, Events: *traceCap}
+	}
 
 	var progress io.Writer = os.Stderr
 	if *quiet {
@@ -102,6 +119,13 @@ func main() {
 			os.Exit(2)
 		}
 		run(e)
+	}
+
+	if err := sc.Trace.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	} else if sc.Trace != nil {
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
 
 	if *jsonOut {

@@ -1,0 +1,94 @@
+// Command tracecheck validates a Chrome trace_event JSON capture produced
+// by `hybrids -trace` against the minimal schema Perfetto requires: a
+// traceEvents array whose records each carry a known phase, complete
+// events ("X") carry a name and duration, instants ("i") are
+// thread-scoped, and at least one thread_name metadata record names a
+// track. CI runs it on a quick-scale capture; it exits non-zero with a
+// diagnostic on the first violation.
+//
+// Usage: tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event is the subset of a trace_event record the schema check inspects.
+type event struct {
+	Ph   string         `json:"ph"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	TS   *uint64        `json:"ts"`
+	Dur  uint64         `json:"dur"`
+	Name string         `json:"name"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("read: %v", err)
+	}
+	var capture struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &capture); err != nil {
+		fail("not valid JSON: %v", err)
+	}
+	if len(capture.TraceEvents) == 0 {
+		fail("traceEvents is empty")
+	}
+
+	tracks := map[int]string{}
+	var spans, instants int
+	for i, ev := range capture.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil {
+			fail("event %d (%s %q): missing pid/tid", i, ev.Ph, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				name, _ := ev.Args["name"].(string)
+				if name == "" {
+					fail("event %d: thread_name metadata without a name", i)
+				}
+				tracks[*ev.Tid] = name
+			}
+		case "X":
+			spans++
+			if ev.Name == "" {
+				fail("event %d: complete event without a name", i)
+			}
+			if ev.TS == nil {
+				fail("event %d (%q): complete event without ts", i, ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.Name == "" || ev.TS == nil {
+				fail("event %d: instant without name/ts", i)
+			}
+			if ev.S != "t" {
+				fail("event %d (%q): instant scope %q, want thread scope \"t\"", i, ev.Name, ev.S)
+			}
+		default:
+			fail("event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	if len(tracks) == 0 {
+		fail("no thread_name metadata: tracks would be anonymous in Perfetto")
+	}
+	fmt.Printf("ok: %d events (%d spans, %d instants) on %d named tracks\n",
+		len(capture.TraceEvents), spans, instants, len(tracks))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,10 +1,14 @@
 package hybrids_test
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"hybrids/internal/exp"
+	"hybrids/internal/sim/trace"
 )
 
 // TestExperimentDeterminism is the top-level determinism regression: the
@@ -35,5 +39,92 @@ func TestExperimentDeterminism(t *testing.T) {
 	}
 	if first.Format() != second.Format() {
 		t.Fatal("fig5a formatted output is not byte-identical")
+	}
+}
+
+// TestObservabilityTransparency is the observability regression referenced
+// by package trace: enabling tracing and attribution must not change a
+// single measured value — the instrumented run's rows and per-cell
+// measurements are identical to the baseline's, the capture is valid Chrome
+// trace_event JSON, and every cell's attribution buckets sum exactly to its
+// attributed total.
+func TestObservabilityTransparency(t *testing.T) {
+	e, ok := exp.Find("fig5a")
+	if !ok {
+		t.Fatal("fig5a not registered")
+	}
+	base := e.Run(exp.QuickScale(), nil)
+
+	sc := exp.QuickScale()
+	sc.Attr = true
+	path := filepath.Join(t.TempDir(), "trace.json")
+	sc.Trace = &exp.TraceSpec{Path: path}
+	obs := e.Run(sc, nil)
+
+	if err := sc.Trace.Err(); err != nil {
+		t.Fatalf("trace capture failed: %v", err)
+	}
+	if !reflect.DeepEqual(base.Rows, obs.Rows) {
+		t.Fatal("tracing+attribution changed emitted rows")
+	}
+	if len(base.Cells) != len(obs.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(base.Cells), len(obs.Cells))
+	}
+	for i := range base.Cells {
+		b, o := base.Cells[i], obs.Cells[i]
+		if b.Cycles != o.Cycles || b.Ops != o.Ops ||
+			b.MOpsPerSec != o.MOpsPerSec || b.ReadsPerOp != o.ReadsPerOp {
+			t.Errorf("cell %d (%s/%d threads) measurements changed under observation:\nbase %+v\nobs  %+v",
+				i, b.Variant, b.Threads, b, o)
+		}
+		if o.Attr == nil {
+			t.Errorf("cell %d has no attribution summary", i)
+			continue
+		}
+		var sum uint64
+		for bk := trace.Bucket(0); bk < trace.NumBuckets; bk++ {
+			sum += o.Attr.BucketSum(bk)
+		}
+		if sum != o.Attr.Total {
+			t.Errorf("cell %d attribution buckets sum to %d, want total %d", i, sum, o.Attr.Total)
+		}
+		if o.Attr.Samples == 0 {
+			t.Errorf("cell %d recorded no attribution samples", i)
+		}
+	}
+
+	// The capture must be Perfetto-loadable Chrome trace_event JSON: a
+	// traceEvents array of records that each carry a phase, and at least one
+	// thread_name metadata record naming a track.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read capture: %v", err)
+	}
+	var capture struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &capture); err != nil {
+		t.Fatalf("capture is not valid JSON: %v", err)
+	}
+	if len(capture.TraceEvents) == 0 {
+		t.Fatal("capture holds no events")
+	}
+	named := false
+	for _, ev := range capture.TraceEvents {
+		switch ev.Ph {
+		case "X", "i", "M":
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatal("capture has no thread_name metadata")
 	}
 }

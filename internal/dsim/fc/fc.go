@@ -19,6 +19,7 @@ import (
 	"hybrids/internal/sim/engine"
 	"hybrids/internal/sim/machine"
 	"hybrids/internal/sim/memsys"
+	"hybrids/internal/sim/trace"
 )
 
 // OpType encodes the operation field of a publication slot (§3.2 item 4).
@@ -36,6 +37,7 @@ const (
 	OpResumeInsert
 )
 
+// String returns the operation's short name for logs and test failures.
 func (o OpType) String() string {
 	switch o {
 	case OpRead:
@@ -275,6 +277,7 @@ func (p *PubList) Post(c *machine.Ctx, slot int, req Request) {
 	ram.Store32(p.doorbellAddr(), ram.Load32(p.doorbellAddr())|1<<uint(slot))
 	p.postedAt[slot] = c.Now()
 	p.pendingCount++
+	c.TraceInstant(trace.KindOffloadPost, c.Now(), uint32(slot))
 	if p.combiner != nil {
 		c.Unblock(p.combiner, doorbellWake)
 	}
@@ -284,13 +287,20 @@ func (p *PubList) Post(c *machine.Ctx, slot int, req Request) {
 const doorbellWake = 4
 
 // Done polls slot's valid flag once (host side) and reports whether the
-// combiner has completed the request.
+// combiner has completed the request. The first poll that observes a
+// completion also closes the observability books for the round trip: it
+// records the host-side offload span (post to observe) on the caller's
+// trace track and reclassifies the request's publication-queue delay
+// (post to combiner pickup) from the offload-wait attribution bucket into
+// NMP-serialization.
 func (p *PubList) Done(c *machine.Ctx, slot int) bool {
 	v := c.MMIOReadBurst(p.slotAddr(slot), 1)
 	done := v[0]&validBit == 0
 	if done && p.completedAt[slot] != 0 {
 		p.hObserve.Observe(c.Now() - p.completedAt[slot])
 		p.completedAt[slot] = 0
+		c.TraceSpan(trace.KindOffloadCall, p.postedAt[slot], c.Now()-p.postedAt[slot], uint32(slot))
+		c.AttrMove(trace.BucketOffloadWait, trace.BucketNMPSerial, p.scannedAt[slot]-p.postedAt[slot])
 	}
 	return done
 }
@@ -315,7 +325,12 @@ func (p *PubList) Call(c *machine.Ctx, slot int, req Request) Response {
 	p.Post(c, slot, req)
 	p.Watch(c, slot)
 	for !p.Done(c, slot) {
+		// Cycles parked waiting for the combiner's completion signal are
+		// offload wait (the serialization share is carved out when Done
+		// observes the completion).
+		parked := c.Now()
 		c.Block()
+		c.AttrAdd(trace.BucketOffloadWait, c.Now()-parked)
 	}
 	return p.ReadResponse(c, slot)
 }
@@ -359,6 +374,7 @@ func (p *PubList) Complete(c *machine.Ctx, slot int, resp Response) {
 	c.Write32(a, 0) // clear valid last
 	p.completedAt[slot] = c.Now()
 	p.hService.Observe(c.Now() - p.scannedAt[slot])
+	c.TraceSpan(trace.KindOffloadServe, p.scannedAt[slot], c.Now()-p.scannedAt[slot], uint32(slot))
 	if w := p.waiters[slot]; w != nil {
 		p.waiters[slot] = nil
 		c.Unblock(w, 0)
@@ -396,6 +412,8 @@ func Serve(c *machine.Ctx, p *PubList, handle Handler) {
 			c.Step(8) // signalled but burst not yet visible; re-poll
 			continue
 		}
+		winStart := c.Now()
+		var served uint32
 		for slot := 0; slot < p.slots; slot++ {
 			if bits&(1<<uint(slot)) == 0 {
 				continue
@@ -408,7 +426,11 @@ func Serve(c *machine.Ctx, p *PubList, handle Handler) {
 				resp := handle(c, slot, req)
 				p.Complete(c, slot, resp)
 				p.pendingCount--
+				served++
 			}
+		}
+		if served > 0 {
+			c.TraceSpan(trace.KindCombine, winStart, c.Now()-winStart, served)
 		}
 	}
 }

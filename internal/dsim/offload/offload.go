@@ -133,10 +133,11 @@ const (
 // host-side locks, deadlocking the single actor.
 type Gate uint8
 
+// Gate adjustments a Verdict can request.
 const (
-	GateNone Gate = iota
-	GateAcquire
-	GateRelease
+	GateNone    Gate = iota // leave the gate unchanged
+	GateAcquire             // hold the gate: defer new traversals
+	GateRelease             // release one hold
 )
 
 // Verdict is Adapter.Finish's decision for one response.
@@ -212,6 +213,14 @@ type inflight[S any] struct {
 // the runtime's window of operations in flight and harvesting completions
 // out of order. It returns the number of operations that succeeded. It is
 // the kv.AsyncStore implementation shared by every hybrid structure.
+//
+// Because the caller cannot see individual completions inside the batch,
+// ApplyBatch records Ctx.OpDone itself at every per-operation completion
+// point (local fallback or harvested OpDone verdict) — so with attribution
+// enabled, each sample covers the interval between two successive
+// completions on the thread, and a thread's samples still sum exactly to
+// its measured cycles. Blocking drivers (one Apply per op) record OpDone
+// themselves.
 func ApplyBatch[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, ops []kv.Op) int {
 	w := NewWindow(thread, rt.window, rt.pubs)
 	succeeded := 0
@@ -227,6 +236,7 @@ func ApplyBatch[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, o
 				if ok {
 					succeeded++
 				}
+				c.OpDone()
 				return
 			case PrepareRestart:
 				continue
@@ -260,6 +270,7 @@ func ApplyBatch[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, o
 			if v.OK {
 				succeeded++
 			}
+			c.OpDone()
 		case OpRetry:
 			reissue(a)
 		case OpFollowUp:

@@ -5,6 +5,7 @@ import (
 
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/sim/machine"
+	"hybrids/internal/sim/trace"
 )
 
 // Window manages a host thread's in-flight non-blocking NMP calls (§3.5).
@@ -147,6 +148,11 @@ func (w *Window) Harvest(c *machine.Ctx) (tag any, resp fc.Response, pos int) {
 				return tag, resp, pos
 			}
 		}
+		// Cycles parked waiting for any in-flight completion are offload
+		// wait; fc.Done carves out each request's serialization share when
+		// it observes the completion.
+		parked := c.Now()
 		c.Block()
+		c.AttrAdd(trace.BucketOffloadWait, c.Now()-parked)
 	}
 }

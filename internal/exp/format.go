@@ -3,40 +3,94 @@ package exp
 import (
 	"fmt"
 	"strings"
+
+	"hybrids/internal/sim/trace"
 )
 
-// Format renders the result as an aligned text table with notes.
-func (r Result) Format() string {
-	widths := make([]int, len(r.Header))
-	for i, h := range r.Header {
+// renderTable writes header and rows as an aligned text table.
+func renderTable(b *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
 		widths[i] = len(h)
 	}
-	for _, row := range r.Rows {
+	for _, row := range rows {
 		for i, cell := range row {
 			if i < len(widths) && len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s ==\n", r.Title)
 	line := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			fmt.Fprintf(b, "%-*s", widths[i], cell)
 		}
 		b.WriteByte('\n')
 	}
-	line(r.Header)
-	sep := make([]string, len(r.Header))
+	line(header)
+	sep := make([]string, len(header))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	line(sep)
-	for _, row := range r.Rows {
+	for _, row := range rows {
 		line(row)
+	}
+}
+
+// attrTable assembles the per-operation latency-attribution table from the
+// result's cells measured with attribution enabled: one row per cell, mean
+// cycles per operation in each attribution bucket plus the total. Rows is
+// empty when no cell carries attribution.
+func (r Result) attrTable() (header []string, rows [][]string) {
+	hasLabel := false
+	for _, c := range r.Cells {
+		if c.Attr != nil && c.Label != "" {
+			hasLabel = true
+		}
+	}
+	header = []string{"variant"}
+	if hasLabel {
+		header = append(header, "label")
+	}
+	header = append(header, "threads")
+	for b := trace.Bucket(0); b < trace.NumBuckets; b++ {
+		header = append(header, b.String())
+	}
+	header = append(header, "total/op")
+	for _, c := range r.Cells {
+		if c.Attr == nil {
+			continue
+		}
+		row := []string{c.Variant}
+		if hasLabel {
+			row = append(row, c.Label)
+		}
+		row = append(row, fmt.Sprint(c.Threads))
+		for b := trace.Bucket(0); b < trace.NumBuckets; b++ {
+			row = append(row, fmt.Sprintf("%.1f", c.Attr.PerOp(b)))
+		}
+		row = append(row, fmt.Sprintf("%.1f", c.Attr.TotalPerOp()))
+		rows = append(rows, row)
+	}
+	return header, rows
+}
+
+// attrCaption explains the attribution table's unit once per result.
+const attrCaption = "per-operation latency attribution (mean cycles between completions, per bucket)"
+
+// Format renders the result as an aligned text table with notes; cells
+// measured with attribution enabled add an attribution table after the
+// main one.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	renderTable(&b, r.Header, r.Rows)
+	if header, rows := r.attrTable(); len(rows) > 0 {
+		fmt.Fprintf(&b, "-- %s --\n", attrCaption)
+		renderTable(&b, header, rows)
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
@@ -45,14 +99,22 @@ func (r Result) Format() string {
 }
 
 // Markdown renders the result as a GitHub-flavoured markdown table
-// (used to generate EXPERIMENTS.md).
+// (used to generate EXPERIMENTS.md); attribution-measured cells add a
+// second table.
 func (r Result) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s\n\n", r.Title)
-	b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
-	b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
-	for _, row := range r.Rows {
-		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	table := func(header []string, rows [][]string) {
+		b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(header)) + "\n")
+		for _, row := range rows {
+			b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		}
+	}
+	table(r.Header, r.Rows)
+	if header, rows := r.attrTable(); len(rows) > 0 {
+		fmt.Fprintf(&b, "\n**%s**\n\n", attrCaption)
+		table(header, rows)
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "\n*%s*\n", n)

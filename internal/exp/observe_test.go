@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hybrids/internal/metrics"
+)
+
+func TestTraceSpecClaimsExactlyOnce(t *testing.T) {
+	var nilSpec *TraceSpec
+	if nilSpec.claim() {
+		t.Fatal("nil TraceSpec claimed")
+	}
+	if err := nilSpec.Err(); err != nil {
+		t.Fatalf("nil TraceSpec Err = %v", err)
+	}
+	spec := &TraceSpec{Path: filepath.Join(t.TempDir(), "t.json")}
+	if !spec.claim() {
+		t.Fatal("first claim refused")
+	}
+	if spec.claim() {
+		t.Fatal("second claim granted: a spec must capture exactly one cell")
+	}
+}
+
+func TestTraceSpecEventsDefault(t *testing.T) {
+	if got := (&TraceSpec{}).events(); got != DefaultTraceEvents {
+		t.Fatalf("events() = %d, want DefaultTraceEvents %d", got, DefaultTraceEvents)
+	}
+	if got := (&TraceSpec{Events: 64}).events(); got != 64 {
+		t.Fatalf("events() = %d, want explicit 64", got)
+	}
+}
+
+func TestTraceSpecWriteReportsError(t *testing.T) {
+	spec := &TraceSpec{Path: filepath.Join(t.TempDir(), "missing-dir", "t.json")}
+	spec.write(nil)
+	if spec.Err() == nil {
+		t.Fatal("write to an uncreatable path reported no error")
+	}
+}
+
+func TestAttrFromEmptySnapshotIsNil(t *testing.T) {
+	if got := attrFrom(metrics.Snapshot{}); got != nil {
+		t.Fatalf("attrFrom(empty) = %+v, want nil", got)
+	}
+}

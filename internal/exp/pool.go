@@ -39,6 +39,19 @@ type cellJob struct {
 // only the interleaving of progress lines varies.
 func runCells(sc Scale, progress io.Writer, jobs []cellJob) []Cell {
 	out := make([]Cell, len(jobs))
+	// A TraceSpec captures exactly one cell: the first declared job of the
+	// first grid to claim it, which is deterministic regardless of worker
+	// count or scheduling.
+	traced := -1
+	if len(jobs) > 0 && sc.Trace.claim() {
+		traced = 0
+	}
+	traceFor := func(i int) *TraceSpec {
+		if i == traced {
+			return sc.Trace
+		}
+		return nil
+	}
 	workers := sc.Parallel
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -46,12 +59,12 @@ func runCells(sc Scale, progress io.Writer, jobs []cellJob) []Cell {
 	if workers <= 1 {
 		for i := range jobs {
 			progressf(progress, "  %s...\n", jobs[i].progress)
-			out[i] = runJob(jobs[i])
+			out[i] = runJob(jobs[i], traceFor(i))
 		}
 		return out
 	}
 	var (
-		next int64 = -1
+		next int64      = -1
 		mu   sync.Mutex // serializes progress lines
 		wg   sync.WaitGroup
 	)
@@ -69,7 +82,7 @@ func runCells(sc Scale, progress io.Writer, jobs []cellJob) []Cell {
 					progressf(progress, "  %s...\n", jobs[i].progress)
 					mu.Unlock()
 				}
-				out[i] = runJob(jobs[i])
+				out[i] = runJob(jobs[i], traceFor(i))
 			}
 		}()
 	}
@@ -77,8 +90,8 @@ func runCells(sc Scale, progress io.Writer, jobs []cellJob) []Cell {
 	return out
 }
 
-func runJob(j cellJob) Cell {
-	c := runCell(j.sc, j.v, j.load, j.streams)
+func runJob(j cellJob, ts *TraceSpec) Cell {
+	c := runCell(j.sc, j.v, j.load, j.streams, ts)
 	c.Label = j.label
 	return c
 }

@@ -10,6 +10,7 @@ import (
 	"hybrids/internal/metrics"
 	"hybrids/internal/sim/machine"
 	"hybrids/internal/sim/memsys"
+	"hybrids/internal/sim/trace"
 	"hybrids/internal/ycsb"
 )
 
@@ -29,7 +30,11 @@ type Runner struct {
 	Batch kv.AsyncStore // non-nil selects the non-blocking path
 }
 
-// RunThread applies ops on the calling thread's context.
+// RunThread applies ops on the calling thread's context, recording one
+// Ctx.OpDone per completed operation (the non-blocking path records its
+// completions inside ApplyBatch, where they actually happen). OpDone is
+// what delimits the per-operation intervals of the latency-attribution
+// report; it consumes no virtual time.
 func (r Runner) RunThread(c *machine.Ctx, thread int, ops []kv.Op) {
 	if r.Batch != nil {
 		r.Batch.ApplyBatch(c, thread, ops)
@@ -37,6 +42,7 @@ func (r Runner) RunThread(c *machine.Ctx, thread int, ops []kv.Op) {
 	}
 	for _, op := range ops {
 		r.Store.Apply(c, thread, op)
+		c.OpDone()
 	}
 }
 
@@ -57,6 +63,9 @@ type Cell struct {
 	MOpsPerSec float64   `json:"throughput_mops"`
 	ReadsPerOp float64   `json:"reads_per_op"` // DRAM block reads per operation
 	Delays     fc.Delays `json:"-"`
+	// Attr is the cell's per-operation latency attribution (nil unless the
+	// cell was measured with Scale.Attr enabled).
+	Attr *AttrSummary `json:"attr,omitempty"`
 }
 
 // Throughput returns operations per kilocycle (clock-independent).
@@ -68,11 +77,25 @@ func (c Cell) Throughput() float64 { return float64(c.Ops) / float64(c.Cycles) *
 // completion. Reported cycles span rendezvous to last completion. The same
 // load set and streams must be passed for every variant of a grid point so
 // variants see identical work. The measured phase is a snapshot/delta over
-// the machine-wide metrics registry, so memory-system counts and offload
-// delay histograms come from one namespace.
-func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
+// the machine-wide metrics registry, so memory-system counts, offload
+// delay histograms and attribution histograms all come from one namespace.
+//
+// With sc.Attr, the cell's machine runs with attribution enabled and the
+// returned Cell carries the measured phase's AttrSummary. With ts non-nil
+// (the grid cell claimed by a TraceSpec), the machine runs with tracing
+// enabled and the capture is written after the run. Both are
+// observationally transparent, so enabling them cannot change Cycles, Ops
+// or any other measurement.
+func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op, ts *TraceSpec) Cell {
 	threads := len(streams)
 	m := machine.New(sc.Machine)
+	var tracer *trace.Tracer
+	if ts != nil {
+		tracer = m.EnableTracing(ts.events())
+	}
+	if sc.Attr {
+		m.EnableAttribution()
+	}
 	r := v.build(m, load)
 	reg := r.Store.Metrics()
 
@@ -93,6 +116,10 @@ func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
 			for arrived < threads {
 				c.Step(64)
 			}
+			// Restart the attribution interval at the measured-phase
+			// boundary so warmup and rendezvous cycles cannot leak into
+			// the first measured operation's sample.
+			c.AttrReset()
 			r.RunThread(c, th, streams[th][sc.WarmupPerThread:])
 			finished++
 			if c.Now() > endCycle {
@@ -104,6 +131,9 @@ func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
 		})
 	}
 	m.Run()
+	if ts != nil {
+		ts.write(tracer)
+	}
 
 	ops := threads * sc.OpsPerThread
 	cycles := endCycle - startCycle
@@ -117,6 +147,7 @@ func runCell(sc Scale, v variant, load []ycsb.Pair, streams [][]kv.Op) Cell {
 		MOpsPerSec: float64(ops) / float64(cycles) * 2e9 / 1e6, // 2 GHz clock
 		ReadsPerOp: float64(stats.DRAMReads()) / float64(ops),
 		Delays:     fc.DelaysFrom(delta),
+		Attr:       attrFrom(delta),
 	}
 }
 

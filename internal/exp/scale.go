@@ -60,6 +60,18 @@ type Scale struct {
 	// machine/engine/registry and cells share only immutable inputs, so
 	// results are bit-identical at any setting; see runCells.
 	Parallel int
+
+	// Attr enables per-operation latency attribution: every cell's host
+	// cores split their measured cycles into trace.Bucket categories, each
+	// Result gains an attribution table next to its throughput table, and
+	// Cell.Attr carries the sums for JSON emission. Attribution is pure
+	// bookkeeping and does not change measured timing.
+	Attr bool
+
+	// Trace, when non-nil, captures a Chrome trace_event JSON of the first
+	// measured cell (see TraceSpec). Tracing does not change measured
+	// timing either.
+	Trace *TraceSpec
 }
 
 // SmallScale is the default. Cycle-level simulation cost scales with the

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"hybrids/internal/metrics"
+	"hybrids/internal/sim/trace"
 )
 
 // Actor is a simulated execution agent with its own virtual clock.
@@ -46,6 +47,12 @@ type Actor struct {
 	blocked     bool
 	wakePending bool
 	body        func(*Actor)
+
+	// Tracing state (engine tracer only): the trace track carrying this
+	// actor's dispatch spans (-1 until first used) and the virtual time
+	// the actor last received the resume permit.
+	track        int
+	dispatchedAt uint64
 
 	// Cycles accumulates the total virtual cycles this actor advanced.
 	Cycles uint64
@@ -86,9 +93,23 @@ func (a *Actor) Advance(c uint64) {
 // come back. Split from Advance so the fast path stays inlinable.
 func (a *Actor) repark() {
 	e := a.eng
+	if e.tr != nil {
+		a.noteRun()
+	}
 	e.push(a)
 	e.dispatchNext()
 	<-a.wake
+}
+
+// noteRun records the dispatch span that ends now: the actor's continuous
+// run from its last resume permit to this park/finish. Called only when the
+// engine tracer is set, on the actor's own goroutine.
+func (a *Actor) noteRun() {
+	e := a.eng
+	if a.track < 0 {
+		a.track = e.tr.NewTrack("actor/" + a.Name)
+	}
+	e.tr.Span(a.track, trace.KindRun, a.dispatchedAt, a.now-a.dispatchedAt, uint32(a.ID))
 }
 
 // AdvanceTo moves the actor's clock to absolute virtual time t. It panics
@@ -127,6 +148,9 @@ func (a *Actor) Block() {
 		return
 	}
 	e.stBlocks.Inc()
+	if e.tr != nil {
+		a.noteRun()
+	}
 	a.blocked = true
 	e.dispatchNext()
 	<-a.wake
@@ -166,6 +190,10 @@ type Engine struct {
 	stopping bool
 	running  bool
 
+	// tr is the engine's event tracer; nil (the default) disables dispatch
+	// tracing at the cost of one pointer comparison per park.
+	tr *trace.Tracer
+
 	stDispatches *metrics.Counter
 	stSpawns     *metrics.Counter
 	stBlocks     *metrics.Counter
@@ -191,6 +219,12 @@ func (e *Engine) AttachMetrics(reg *metrics.Registry) {
 	e.stUnblocks = reg.Counter("engine/unblocks")
 }
 
+// SetTracer attaches t as the engine's event tracer: every actor records a
+// dispatch span (trace.KindRun) per continuous run on its own lazily
+// created "actor/<name>" track. A nil t (the default) disables dispatch
+// tracing. Call before Run.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tr = t }
+
 // Now returns the engine's current virtual time (the dispatch time of the
 // most recent event).
 func (e *Engine) Now() uint64 { return e.now }
@@ -210,6 +244,7 @@ func (e *Engine) Spawn(name string, daemon bool, body func(*Actor)) *Actor {
 		eng:    e,
 		wake:   make(chan struct{}, 1),
 		body:   body,
+		track:  -1,
 	}
 	if e.running {
 		// Inherit the current virtual time so causality is preserved.
@@ -231,6 +266,9 @@ func (a *Actor) run() {
 	a.body(a)
 	a.finished = true
 	e := a.eng
+	if e.tr != nil {
+		a.noteRun()
+	}
 	e.liveAll--
 	if !a.Daemon {
 		e.live--
@@ -272,6 +310,9 @@ func (e *Engine) dispatchNext() {
 		}
 		e.now = ev.at
 		e.stDispatches.Inc()
+		if e.tr != nil {
+			ev.a.dispatchedAt = ev.at
+		}
 		ev.a.wake <- struct{}{}
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"hybrids/internal/metrics"
 	"hybrids/internal/sim/engine"
 	"hybrids/internal/sim/memsys"
+	"hybrids/internal/sim/trace"
 )
 
 // Config parameterizes a simulated machine.
@@ -45,6 +46,11 @@ type Machine struct {
 	// workload drivers via Ctx.OpDone; the experiment harness divides by
 	// elapsed virtual cycles for throughput.
 	Ops uint64
+
+	// Attribution state (EnableAttribution): the registry histograms each
+	// per-operation bucket sample is observed into at OpDone.
+	attrHists [trace.NumBuckets]*metrics.Histogram
+	attrTotal *metrics.Histogram
 }
 
 // New builds a machine from cfg with a fresh machine-wide metrics registry.
@@ -58,6 +64,36 @@ func New(cfg Config) *Machine {
 		Mem:     memsys.NewWithMetrics(cfg.Mem, reg),
 		Metrics: reg,
 	}
+}
+
+// EnableTracing attaches a fresh event tracer retaining capPerTrack events
+// per track to the engine and memory system, and returns it for export
+// (trace.Tracer.WriteChromeJSON). Call before spawning actors so their
+// contexts bind to the per-core tracks. Tracing is observationally
+// transparent: it never advances virtual time.
+func (m *Machine) EnableTracing(capPerTrack int) *trace.Tracer {
+	t := trace.New(capPerTrack)
+	m.Eng.SetTracer(t)
+	m.Mem.SetTracer(t)
+	return t
+}
+
+// Tracer returns the machine's event tracer (nil when tracing is off).
+func (m *Machine) Tracer() *trace.Tracer { return m.Mem.Tracer() }
+
+// EnableAttribution switches on per-operation latency attribution: every
+// host core accumulates its charged cycles into trace.Bucket categories,
+// and each Ctx.OpDone flushes the interval since the previous completion
+// as one sample per bucket into the "attr/<bucket>" registry histograms
+// (plus "attr/op_total" for the interval's total). Buckets of one sample
+// sum exactly to the interval's elapsed cycles. Call before spawning
+// actors.
+func (m *Machine) EnableAttribution() {
+	m.Mem.EnableAttr()
+	for b := trace.Bucket(0); b < trace.NumBuckets; b++ {
+		m.attrHists[b] = m.Metrics.Histogram(b.MetricName())
+	}
+	m.attrTotal = m.Metrics.Histogram(trace.AttrTotalMetric)
 }
 
 // coreKind distinguishes the two access paths.
@@ -76,6 +112,15 @@ type Ctx struct {
 	A    *engine.Actor
 	kind coreKind
 	core int // host core index, or NMP partition index
+
+	// Observability bindings, fixed at spawn: the core's tracer and trace
+	// track (nil / -1 when tracing is off) and the core's attribution
+	// accumulator (nil unless this is a host core and attribution is on).
+	// All three are nil-safe in use, so disabled observability costs one
+	// pointer comparison per emission site.
+	tr    *trace.Tracer
+	track int
+	attr  *trace.CoreAttr
 }
 
 // SpawnHost starts a host hardware thread pinned to the given core running
@@ -85,7 +130,12 @@ func (m *Machine) SpawnHost(core int, name string, body func(*Ctx)) *engine.Acto
 		panic(fmt.Sprintf("machine: host core %d out of range", core))
 	}
 	return m.Eng.Spawn(name, false, func(a *engine.Actor) {
-		body(&Ctx{M: m, A: a, kind: hostCore, core: core})
+		body(&Ctx{
+			M: m, A: a, kind: hostCore, core: core,
+			tr:    m.Mem.Tracer(),
+			track: m.Mem.HostTrack(core),
+			attr:  m.Mem.Attr(core),
+		})
 	})
 }
 
@@ -96,7 +146,11 @@ func (m *Machine) SpawnNMP(p int, body func(*Ctx)) *engine.Actor {
 		panic(fmt.Sprintf("machine: NMP partition %d out of range", p))
 	}
 	return m.Eng.Spawn(fmt.Sprintf("nmp%d", p), true, func(a *engine.Actor) {
-		body(&Ctx{M: m, A: a, kind: nmpCore, core: p})
+		body(&Ctx{
+			M: m, A: a, kind: nmpCore, core: p,
+			tr:    m.Mem.Tracer(),
+			track: m.Mem.NMPTrack(p),
+		})
 	})
 }
 
@@ -125,8 +179,55 @@ func (c *Ctx) Step(n uint64) {
 	}
 }
 
-// OpDone records one completed data structure operation.
-func (c *Ctx) OpDone() { c.M.Ops++ }
+// OpDone records one completed data structure operation. With attribution
+// enabled (EnableAttribution), it also flushes the calling host core's
+// interval since its previous completion into the attribution histograms —
+// each operation's bucket samples sum exactly to its interval's elapsed
+// cycles — and, when tracing, marks the completion on the core's track.
+func (c *Ctx) OpDone() {
+	c.M.Ops++
+	if c.attr != nil {
+		sample, total := c.attr.Flush(c.A.Now())
+		for b := trace.Bucket(0); b < trace.NumBuckets; b++ {
+			c.M.attrHists[b].Observe(sample[b])
+		}
+		c.M.attrTotal.Observe(total)
+	}
+	c.tr.Instant(c.track, trace.KindOpDone, c.A.Now(), 0)
+}
+
+// AttrReset discards the calling core's partially accumulated attribution
+// interval and restarts it at the current time. Workload drivers call it at
+// a measured-phase boundary (after a warmup rendezvous) so setup cycles
+// cannot leak into the first measured operation. No-op when attribution is
+// off.
+func (c *Ctx) AttrReset() {
+	if c.attr != nil {
+		c.attr.Flush(c.A.Now())
+	}
+}
+
+// AttrAdd charges n cycles to attribution bucket b for the calling host
+// core's current operation interval (no-op when attribution is off). The
+// offload layers use it to classify time the memory system cannot see,
+// such as cycles parked waiting for a combiner response.
+func (c *Ctx) AttrAdd(b trace.Bucket, n uint64) { c.attr.Add(b, n) }
+
+// AttrMove reclassifies up to n already-charged cycles from one bucket to
+// another, clamped to what from holds (no-op when attribution is off).
+func (c *Ctx) AttrMove(from, to trace.Bucket, n uint64) { c.attr.Move(from, to, n) }
+
+// TraceSpan records a [start, start+dur) event of kind k on this core's
+// trace track (no-op when tracing is off).
+func (c *Ctx) TraceSpan(k trace.Kind, start, dur uint64, arg uint32) {
+	c.tr.Span(c.track, k, start, dur, arg)
+}
+
+// TraceInstant records a point event of kind k at ts on this core's trace
+// track (no-op when tracing is off).
+func (c *Ctx) TraceInstant(k trace.Kind, ts uint64, arg uint32) {
+	c.tr.Instant(c.track, k, ts, arg)
+}
 
 // Block parks this context's actor until another actor unblocks it or the
 // simulation is stopping (a hardware monitor/mwait on a doorbell).
@@ -213,6 +314,8 @@ func (c *Ctx) MMIOWriteBurst(a memsys.Addr, vs []uint32) {
 		panic("machine: MMIO bursts are a host-side path")
 	}
 	lat := c.M.Mem.MMIOBurst(a, len(vs), true)
+	c.tr.Span(c.track, trace.KindMMIOWrite, c.A.Now(), lat, uint32(len(vs)))
+	c.attr.Add(trace.BucketOffloadWait, lat)
 	c.A.Advance(lat)
 	for i, v := range vs {
 		c.M.Mem.RAM.Store32(a+memsys.Addr(i)*4, v)
@@ -226,6 +329,8 @@ func (c *Ctx) MMIOReadBurst(a memsys.Addr, n int) []uint32 {
 		panic("machine: MMIO bursts are a host-side path")
 	}
 	lat := c.M.Mem.MMIOBurst(a, n, false)
+	c.tr.Span(c.track, trace.KindMMIORead, c.A.Now(), lat, uint32(n))
+	c.attr.Add(trace.BucketOffloadWait, lat)
 	c.A.Advance(lat)
 	out := make([]uint32, n)
 	for i := range out {

@@ -26,6 +26,34 @@ type VaultConfig struct {
 	Timing   DRAMTiming
 }
 
+// RowOutcome classifies one bank access by its row-buffer interaction; it
+// rides along as the Arg of DRAM trace events so a Perfetto capture shows
+// locality, not just latency.
+type RowOutcome uint32
+
+// Row-buffer outcomes, cheapest first.
+const (
+	// RowHit: the bank's open row already held the block (tCL + tBURST).
+	RowHit RowOutcome = iota
+	// RowClosed: the bank had no open row and paid an activate (tRCD).
+	RowClosed
+	// RowConflict: a different row was open and paid precharge + activate
+	// (tRP + tRCD).
+	RowConflict
+)
+
+// String returns the outcome's short name.
+func (o RowOutcome) String() string {
+	switch o {
+	case RowHit:
+		return "row-hit"
+	case RowClosed:
+		return "row-closed"
+	default:
+		return "row-conflict"
+	}
+}
+
 type bank struct {
 	openRow   uint32
 	hasOpen   bool
@@ -52,6 +80,13 @@ func NewVault(cfg VaultConfig) *Vault {
 // its completion time. Bank selection uses the block-number low bits so
 // consecutive blocks in a vault spread across banks.
 func (v *Vault) Access(a Addr, blockShift uint, now uint64) (done uint64) {
+	done, _ = v.AccessEx(a, blockShift, now)
+	return done
+}
+
+// AccessEx is Access plus the row-buffer outcome of the bank access, for
+// trace emission. Timing is identical to Access.
+func (v *Vault) AccessEx(a Addr, blockShift uint, now uint64) (done uint64, outcome RowOutcome) {
 	b := &v.banks[(uint32(a)>>blockShift)&v.bankMask]
 	row := uint32(a) >> v.cfg.RowShift
 	start := now
@@ -62,15 +97,15 @@ func (v *Vault) Access(a Addr, blockShift uint, now uint64) (done uint64) {
 	var lat uint64
 	switch {
 	case b.hasOpen && b.openRow == row:
-		lat = t.TCL + t.TBURST // row buffer hit
+		lat, outcome = t.TCL+t.TBURST, RowHit // row buffer hit
 	case !b.hasOpen:
-		lat = t.TRCD + t.TCL + t.TBURST // closed bank
+		lat, outcome = t.TRCD+t.TCL+t.TBURST, RowClosed // closed bank
 	default:
-		lat = t.TRP + t.TRCD + t.TCL + t.TBURST // row conflict
+		lat, outcome = t.TRP+t.TRCD+t.TCL+t.TBURST, RowConflict // row conflict
 	}
 	b.openRow, b.hasOpen = row, true
 	b.busyUntil = start + lat
-	return start + lat
+	return start + lat, outcome
 }
 
 // Drain resets all bank state (used between experiment phases so timing

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybrids/internal/metrics"
+	"hybrids/internal/sim/trace"
 )
 
 // Config describes the whole memory system. DefaultConfig mirrors Table 1.
@@ -243,6 +244,17 @@ type MemSys struct {
 	// (and, machine-wide, every other subsystem's instruments).
 	Metrics *metrics.Registry
 	st      statCounters
+
+	// Optional observability state: tr records memory events onto one
+	// trace track per host core and per NMP core (SetTracer); attrs holds
+	// one latency-attribution accumulator per host core (EnableAttr). obs
+	// caches "either is enabled" so the access hot path pays a single
+	// predictable branch when both are off.
+	tr        *trace.Tracer
+	hostTrack []int
+	nmpTrack  []int
+	attrs     []*trace.CoreAttr
+	obs       bool
 }
 
 // New assembles a memory system from cfg with a private metrics registry.
@@ -327,6 +339,66 @@ func (m *MemSys) Stats() Stats {
 	}
 }
 
+// SetTracer attaches t as the memory system's event tracer, registering one
+// "host/<core>" track per host core and one "nmp/<p>" track per partition.
+// Memory events (cache hits, DRAM reads, invalidations, TLB misses, MMIO)
+// record onto these tracks; the machine and offload layers reuse them via
+// HostTrack/NMPTrack so each core's timeline is a single thread in the
+// Chrome export. Passing nil detaches the tracer.
+func (m *MemSys) SetTracer(t *trace.Tracer) {
+	m.tr = t
+	m.hostTrack, m.nmpTrack = nil, nil
+	if t != nil {
+		for i := 0; i < m.Cfg.HostCores; i++ {
+			m.hostTrack = append(m.hostTrack, t.NewTrack(fmt.Sprintf("host/%d", i)))
+		}
+		for p := 0; p < m.Cfg.NMPVaults; p++ {
+			m.nmpTrack = append(m.nmpTrack, t.NewTrack(fmt.Sprintf("nmp/%d", p)))
+		}
+	}
+	m.obs = m.tr != nil || m.attrs != nil
+}
+
+// Tracer returns the attached event tracer (nil when tracing is off).
+func (m *MemSys) Tracer() *trace.Tracer { return m.tr }
+
+// HostTrack returns host core i's trace track, or -1 when tracing is off.
+func (m *MemSys) HostTrack(core int) int {
+	if m.tr == nil {
+		return -1
+	}
+	return m.hostTrack[core]
+}
+
+// NMPTrack returns NMP core p's trace track, or -1 when tracing is off.
+func (m *MemSys) NMPTrack(p int) int {
+	if m.tr == nil {
+		return -1
+	}
+	return m.nmpTrack[p]
+}
+
+// EnableAttr switches on per-host-core latency attribution: every host
+// access thereafter charges its cycles to the issuing core's
+// trace.CoreAttr, split into attribution buckets. Attribution is pure
+// bookkeeping — it never changes access latencies.
+func (m *MemSys) EnableAttr() {
+	m.attrs = make([]*trace.CoreAttr, m.Cfg.HostCores)
+	for i := range m.attrs {
+		m.attrs[i] = new(trace.CoreAttr)
+	}
+	m.obs = true
+}
+
+// Attr returns host core i's attribution accumulator, or nil when
+// attribution is disabled (the nil accumulator absorbs charges safely).
+func (m *MemSys) Attr(core int) *trace.CoreAttr {
+	if m.attrs == nil {
+		return nil
+	}
+	return m.attrs[core]
+}
+
 // BlockSize returns the cache block size in bytes.
 func (m *MemSys) BlockSize() Addr { return m.Cfg.L1.BlockSize }
 
@@ -371,12 +443,22 @@ func (m *MemSys) IsScratch(a Addr) (part int, ok bool) {
 // attempt is an algorithm bug worth failing loudly on.
 func (m *MemSys) HostAccess(core int, a Addr, write bool, now uint64) uint64 {
 	if _, ok := m.IsScratch(a); ok {
+		var lat uint64
+		var k trace.Kind
 		if write {
 			m.st.mmioWrites.Inc()
-			return m.Cfg.MMIOWriteLatency
+			lat, k = m.Cfg.MMIOWriteLatency, trace.KindMMIOWrite
+		} else {
+			m.st.mmioReads.Inc()
+			lat, k = m.Cfg.MMIOReadLatency, trace.KindMMIORead
 		}
-		m.st.mmioReads.Inc()
-		return m.Cfg.MMIOReadLatency
+		if m.obs {
+			if m.tr != nil {
+				m.tr.Span(m.hostTrack[core], k, now, lat, 0)
+			}
+			m.Attr(core).Add(trace.BucketOffloadWait, lat)
+		}
+		return lat
 	}
 	if part, ok := m.IsNMPMem(a); ok {
 		panic(fmt.Sprintf("memsys: host core %d touched NMP partition %d address %#x", core, part, a))
@@ -425,6 +507,12 @@ func (m *MemSys) hostCached(core int, a Addr, write, atomic bool, now uint64) ui
 		if !tlb.Lookup(vpage, false) {
 			m.st.tlbMisses.Inc()
 			lat += m.Cfg.TLB.WalkExtra
+			if m.obs {
+				if m.tr != nil {
+					m.tr.Instant(m.hostTrack[core], trace.KindTLBMiss, now, uint32(vpage))
+				}
+				m.Attr(core).Add(trace.BucketHostCache, m.Cfg.TLB.WalkExtra)
+			}
 			l1e := m.ptL1Base + Addr(vpage>>10)*4
 			l2e := m.ptL2Base + Addr(vpage)*4
 			lat += m.cachedAccess(core, l1e, false, false, now+lat)
@@ -444,29 +532,44 @@ func (m *MemSys) cachedAccess(core int, a Addr, write, atomic bool, now uint64) 
 	}
 	// Stores and atomics must own the block exclusively: invalidate any
 	// remote L1 copies (directory protocol).
+	var invLat uint64
 	if write {
 		if others := m.dir.others(blk, core); others != 0 {
+			var nInv uint32
 			for c := 0; c < m.Cfg.HostCores; c++ {
 				if others&(1<<uint(c)) != 0 {
 					m.l1[c].Invalidate(blk)
 					m.dir.drop(blk, c)
 					m.st.invalidations.Inc()
+					nInv++
 				}
 			}
 			lat += m.Cfg.InvalidateLatency
+			invLat = m.Cfg.InvalidateLatency
+			if m.tr != nil {
+				m.tr.Instant(m.hostTrack[core], trace.KindInvalidate, now, nInv)
+			}
 		}
 	}
 	if l1.Lookup(blk, write) {
 		m.st.l1Hits.Inc()
+		if m.obs {
+			m.finishHost(core, trace.KindL1Hit, 0, now, lat, invLat, 0)
+		}
 		return lat
 	}
 	// L1 miss: probe L2.
 	lat += m.Cfg.L2.Latency
+	kind, arg := trace.KindL2Hit, uint32(0)
+	var dramLat uint64
 	if !m.l2.Lookup(blk, false) {
 		// L2 miss: fetch the block from its home vault over the
 		// off-chip link.
-		done := m.hostVault(a).Access(a, m.blockShift, now+lat+m.Cfg.HostDRAMExtra/2)
+		pre := lat
+		done, outcome := m.hostVault(a).AccessEx(a, m.blockShift, now+lat+m.Cfg.HostDRAMExtra/2)
 		lat = done - now + m.Cfg.HostDRAMExtra/2
+		dramLat = lat - pre
+		kind, arg = trace.KindDRAMRead, uint32(outcome)
 		m.st.hostDRAMReads.Inc()
 		if ev, dirty, ok := m.l2.Fill(blk, false); ok && dirty {
 			// Dirty LLC victim writes back off the critical path;
@@ -489,7 +592,26 @@ func (m *MemSys) cachedAccess(core int, a Addr, write, atomic bool, now uint64) 
 		}
 	}
 	m.dir.add(blk, core)
+	if m.obs {
+		m.finishHost(core, kind, arg, now, lat, invLat, dramLat)
+	}
 	return lat
+}
+
+// finishHost records a completed host cached access as one span on core's
+// trace track and charges its latency split to the core's attribution
+// accumulator: the invalidation stall to coherence, the off-chip fetch to
+// DRAM, and the on-chip remainder to host-cache. Callers gate on m.obs so
+// the disabled case costs one branch.
+func (m *MemSys) finishHost(core int, k trace.Kind, arg uint32, start, lat, invLat, dramLat uint64) {
+	if m.tr != nil {
+		m.tr.Span(m.hostTrack[core], k, start, lat, arg)
+	}
+	if at := m.Attr(core); at != nil {
+		at.Add(trace.BucketCoherence, invLat)
+		at.Add(trace.BucketDRAM, dramLat)
+		at.Add(trace.BucketHostCache, lat-invLat-dramLat)
+	}
 }
 
 func (m *MemSys) writebackToDRAM(block uint32, now uint64) {
@@ -513,6 +635,9 @@ func (m *MemSys) NMPAccess(p int, a Addr, write bool, now uint64) uint64 {
 			panic(fmt.Sprintf("memsys: NMP core %d touched scratchpad %d", p, sp))
 		}
 		m.st.scratchOps.Inc()
+		if m.tr != nil {
+			m.tr.Span(m.nmpTrack[p], trace.KindScratchOp, now, m.Cfg.NMPScratchLatency, 0)
+		}
 		return m.Cfg.NMPScratchLatency
 	}
 	part, ok := m.IsNMPMem(a)
@@ -524,20 +649,30 @@ func (m *MemSys) NMPAccess(p int, a Addr, write bool, now uint64) uint64 {
 	if write {
 		// Write-through to the vault; refresh the buffer if it holds
 		// this block so subsequent reads stay local.
-		done := m.nmpVaults[p].Access(a, m.blockShift, now)
+		done, outcome := m.nmpVaults[p].AccessEx(a, m.blockShift, now)
 		m.st.dramWrites.Inc()
+		lat := done - now
 		if buf.valid && buf.block == blk {
-			return m.Cfg.NMPBufLatency
+			lat = m.Cfg.NMPBufLatency
 		}
-		return done - now
+		if m.tr != nil {
+			m.tr.Span(m.nmpTrack[p], trace.KindDRAMWrite, now, lat, uint32(outcome))
+		}
+		return lat
 	}
 	if buf.valid && buf.block == blk {
 		m.st.nmpBufHits.Inc()
+		if m.tr != nil {
+			m.tr.Span(m.nmpTrack[p], trace.KindNMPBufHit, now, m.Cfg.NMPBufLatency, 0)
+		}
 		return m.Cfg.NMPBufLatency
 	}
-	done := m.nmpVaults[p].Access(a, m.blockShift, now)
+	done, outcome := m.nmpVaults[p].AccessEx(a, m.blockShift, now)
 	m.st.nmpDRAMReads.Inc()
 	buf.block, buf.valid = blk, true
+	if m.tr != nil {
+		m.tr.Span(m.nmpTrack[p], trace.KindNMPDRAMRead, now, done-now, uint32(outcome))
+	}
 	return done - now
 }
 
