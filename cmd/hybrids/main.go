@@ -7,6 +7,14 @@
 //	hybrids -exp fig5a [-scale quick|small|paper|tiny] [-parallel N] [-ops N] [-markdown|-json]
 //	hybrids -exp fig5a -attr -trace trace.json
 //	hybrids -exp all
+//	hybrids -native [-exp native-btree] [-scale quick] [-markdown|-json]
+//
+// -native switches from the cycle-level simulator to the real internal/core
+// runtime (goroutine combiners over internal/cds stores) and measures
+// wall-clock throughput with the same YCSB workloads and output formats.
+// Without -exp it runs every native experiment; -list with -native lists
+// them. Native cells always run serially (-parallel is ignored), and -attr
+// and -trace are simulator-only.
 //
 // -parallel N measures up to N grid cells of an experiment concurrently
 // (default GOMAXPROCS). Every cell simulates on a private machine, so the
@@ -44,21 +52,29 @@ func main() {
 		warmup   = flag.Int("warmup", -1, "override warmup ops per thread")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "grid cells to measure concurrently (results are identical at any setting)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		native   = flag.Bool("native", false, "run the native (wall-clock) benchmarks instead of the simulator")
 		attr     = flag.Bool("attr", false, "print per-operation latency attribution tables (buckets also land in -json cells)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON capture of the first measured cell to this file (open in Perfetto)")
 		traceCap = flag.Int("trace-events", 0, "per-track trace ring capacity (default 65536; older events fall off first)")
 	)
 	flag.Parse()
 
+	registry := exp.Registry()
+	if *native {
+		registry = exp.NativeRegistry()
+	}
 	if *list {
-		for _, e := range exp.Registry() {
+		for _, e := range registry {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 	if *expID == "" {
-		flag.Usage()
-		os.Exit(2)
+		if !*native {
+			flag.Usage()
+			os.Exit(2)
+		}
+		*expID = "all"
 	}
 
 	var sc exp.Scale
@@ -109,11 +125,15 @@ func main() {
 	}
 
 	if *expID == "all" {
-		for _, e := range exp.Registry() {
+		for _, e := range registry {
 			run(e)
 		}
 	} else {
-		e, ok := exp.Find(*expID)
+		find := exp.Find
+		if *native {
+			find = exp.FindNative
+		}
+		e, ok := find(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *expID)
 			os.Exit(2)

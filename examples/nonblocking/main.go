@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hybrids/internal/core"
+	"hybrids/internal/hds"
 	"hybrids/internal/prng"
 )
 
@@ -63,7 +64,7 @@ func main() {
 		issued, completed := 0, 0
 		for completed < *ops {
 			if issued < *ops && len(futs) < *window {
-				futs = append(futs, h.Async(core.OpGet, uint64(rng.Intn(100000))+1, 0))
+				futs = append(futs, h.Async(hds.Read, uint64(rng.Intn(100000))+1, 0))
 				issued++
 				continue
 			}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hybrids/internal/core"
+	"hybrids/internal/hds"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 	// harvest the futures later.
 	futs := make([]*core.Future, 0, 4)
 	for k := uint64(11); k <= 14; k++ {
-		futs = append(futs, h.Async(core.OpPut, k*100, k))
+		futs = append(futs, h.Async(hds.Insert, k*100, k))
 	}
 	for i, f := range futs {
 		if _, ok := f.Wait(); !ok {

@@ -1,6 +1,10 @@
 package cds
 
-import "fmt"
+import (
+	"fmt"
+
+	"hybrids/internal/metrics"
+)
 
 // BTree is a single-threaded in-memory B+ tree with the paper's node
 // geometry (up to 14 key-value pairs per leaf, 15 children per inner node,
@@ -12,6 +16,29 @@ type BTree struct {
 	root   *bNode
 	height int
 	length int
+
+	// Structural-event counters, nil until Instrument.
+	cLeafSplits  *metrics.Counter
+	cInnerSplits *metrics.Counter
+	cRootGrowths *metrics.Counter
+}
+
+// Instrument registers the tree's structural-event counters — leaf
+// splits, inner-node splits and root growths — in reg under prefix (as
+// "<prefix>/leaf_splits" etc.). Like the tree itself, the instruments are
+// single-owner: only the goroutine mutating the tree may trigger them,
+// and reading the registry is consistent at quiescence.
+func (t *BTree) Instrument(reg *metrics.Registry, prefix string) {
+	t.cLeafSplits = reg.Counter(prefix + "/leaf_splits")
+	t.cInnerSplits = reg.Counter(prefix + "/inner_splits")
+	t.cRootGrowths = reg.Counter(prefix + "/root_growths")
+}
+
+// inc bumps an instrumentation counter when Instrument has been called.
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
 }
 
 // Node geometry mirroring the simulated trees.
@@ -105,6 +132,7 @@ func (t *BTree) Put(key, value uint64) bool {
 		return true
 	}
 	right, divider := leaf.splitLeafInsert(key, value)
+	inc(t.cLeafSplits)
 	t.insertUp(path, idxs, divider, right)
 	return true
 }
@@ -158,6 +186,7 @@ func (t *BTree) insertUp(path []*bNode, idxs []int, divider uint64, right *bNode
 			return
 		}
 		divider, right = node.splitInnerInsert(idx, divider, right)
+		inc(t.cInnerSplits)
 	}
 	newRoot := &bNode{n: 2}
 	newRoot.kids[0] = t.root
@@ -165,6 +194,7 @@ func (t *BTree) insertUp(path []*bNode, idxs []int, divider uint64, right *bNode
 	newRoot.keys[0] = divider
 	t.root = newRoot
 	t.height++
+	inc(t.cRootGrowths)
 }
 
 func (n *bNode) splitInnerInsert(idx int, d uint64, child *bNode) (uint64, *bNode) {

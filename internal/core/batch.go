@@ -1,0 +1,77 @@
+package core
+
+import (
+	"runtime"
+
+	"hybrids/internal/hds"
+)
+
+// natPort adapts one partition's mailbox + pooled futures to the shared
+// hds.Port contract, so the native non-blocking path runs through exactly
+// the same in-flight Window as the simulator's §3.5 implementation. Each
+// ApplyBatch call owns a private set of ports (slot state is per-call),
+// so callers on different goroutines can never collide on a slot.
+type natPort struct {
+	h    *Hybrid
+	part int
+	futs []*Future
+}
+
+// Slots returns the port's slot capacity (the batch window size).
+func (p *natPort) Slots() int { return len(p.futs) }
+
+// Post publishes req through slot without waiting for completion.
+func (p *natPort) Post(_ struct{}, slot int, req hds.Request) {
+	fut := newFuture()
+	p.futs[slot] = fut
+	p.h.publish(p.part, request{req: req, fut: fut})
+}
+
+// Done reports whether the request in slot has completed.
+func (p *natPort) Done(_ struct{}, slot int) bool { return p.futs[slot].peek() }
+
+// ReadResponse consumes the completed slot's future and returns its
+// result.
+func (p *natPort) ReadResponse(_ struct{}, slot int) hds.Result {
+	fut := p.futs[slot]
+	p.futs[slot] = nil
+	value, ok := fut.take()
+	return hds.Result{Value: value, OK: ok}
+}
+
+// Watch is a no-op: the native window parks by yielding the processor
+// and re-polling rather than registering wakeups.
+func (p *natPort) Watch(_ struct{}, slot int) {}
+
+// natPark yields the processor between window poll rounds.
+func natPark(struct{}) { runtime.Gosched() }
+
+// ApplyBatch executes ops with non-blocking calls (§3.5), keeping up to
+// window operations in flight through the shared hds.Window and
+// harvesting completions out of order. It returns the number of
+// operations that succeeded. window <= 1 degenerates to blocking
+// behaviour (one call in flight).
+func (h *Hybrid) ApplyBatch(ops []hds.Request, window int) int {
+	if window <= 0 {
+		window = 1
+	}
+	ports := make([]hds.Port[struct{}, hds.Request, hds.Result], len(h.parts))
+	for p := range h.parts {
+		ports[p] = &natPort{h: h, part: p, futs: make([]*Future, window)}
+	}
+	w := hds.NewWindow(0, window, ports, natPark)
+	succeeded := 0
+	next := 0
+	for next < len(ops) || !w.Empty() {
+		if next < len(ops) && !w.Full() {
+			op := ops[next]
+			next++
+			w.Post(struct{}{}, h.Partition(op.Key), op, nil)
+			continue
+		}
+		if _, res, _ := w.Harvest(struct{}{}); res.OK {
+			succeeded++
+		}
+	}
+	return succeeded
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"hybrids/internal/hds"
 	"hybrids/internal/prng"
 )
 
@@ -36,7 +37,7 @@ func BenchmarkHybridGetPipelined4(b *testing.B) {
 			futs[0].Wait()
 			futs = futs[1:]
 		}
-		futs = append(futs, h.Async(OpGet, uint64(rng.Intn(1<<16))+1, 0))
+		futs = append(futs, h.Async(hds.Read, uint64(rng.Intn(1<<16))+1, 0))
 	}
 	for _, f := range futs {
 		f.Wait()
@@ -53,4 +54,46 @@ func BenchmarkHybridGetParallel(b *testing.B) {
 			h.Get(uint64(rng.Intn(1<<16)) + 1)
 		}
 	})
+}
+
+// BenchmarkFuture measures the blocking-call hot path: with pooled
+// futures the steady state performs no per-operation allocation.
+func BenchmarkFuture(b *testing.B) {
+	h := benchMap(b, 8)
+	rng := prng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Get(uint64(rng.Intn(1<<16)) + 1)
+	}
+}
+
+// TestFutureAllocs asserts the pooled-future hot path stays allocation
+// free (at most one allocation per operation, tolerating pool refills).
+func TestFutureAllocs(t *testing.T) {
+	h := New(Config{Partitions: 4, KeyMax: 1 << 20, MailboxDepth: 64})
+	defer h.Close()
+	h.Put(1, 1)
+	allocs := testing.AllocsPerRun(2000, func() {
+		h.Get(1)
+	})
+	if allocs > 1 {
+		t.Fatalf("blocking call allocates %.2f objects/op, want <= 1", allocs)
+	}
+}
+
+// BenchmarkHybridApplyBatch4 measures the windowed non-blocking path
+// through the shared hds.Window.
+func BenchmarkHybridApplyBatch4(b *testing.B) {
+	h := benchMap(b, 8)
+	rng := prng.New(4)
+	const chunk = 256
+	ops := make([]hds.Request, chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += chunk {
+		for j := range ops {
+			ops[j] = hds.Request{Kind: hds.Read, Key: uint64(rng.Intn(1<<16)) + 1}
+		}
+		h.ApplyBatch(ops, 4)
+	}
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Future states. A future starts pending, moves to parked when a waiter
+// blocks on it, and to done when the combiner completes it; parked -> done
+// carries a wake send.
+const (
+	futPending uint32 = iota
+	futParked
+	futDone
+)
+
+// Future is a non-blocking call handle (§3.5's operation ID): Wait blocks
+// until the combiner has applied the operation and returns its results.
+//
+// Futures are pooled: the call that observes completion (Wait, or the
+// TryWait that returns done=true) consumes the handle and recycles it, so
+// the request hot path performs no per-operation allocation. A consumed
+// Future must not be touched again.
+type Future struct {
+	value uint64
+	ok    bool
+	state atomic.Uint32
+	// wake is allocated once per pooled instance and reused across
+	// operations; it holds at most one permit (sent only on the
+	// parked -> done transition).
+	wake chan struct{}
+}
+
+// futPool recycles Futures across operations. Instances leave the pool in
+// the pending state with an empty wake channel.
+var futPool = sync.Pool{New: func() any {
+	return &Future{wake: make(chan struct{}, 1)}
+}}
+
+// newFuture draws a pending future from the pool.
+func newFuture() *Future {
+	return futPool.Get().(*Future)
+}
+
+// complete publishes the operation's results and wakes a parked waiter.
+// Called exactly once, by the owning combiner (or by the publisher itself
+// for a rejected late publish).
+func (f *Future) complete(value uint64, ok bool) {
+	f.value = value
+	f.ok = ok
+	if f.state.Swap(futDone) == futParked {
+		f.wake <- struct{}{}
+	}
+}
+
+// release returns a consumed future to the pool.
+func (f *Future) release() {
+	f.state.Store(futPending)
+	futPool.Put(f)
+}
+
+// Wait blocks until completion, consumes the future, and returns the read
+// value (Get) and the operation's success flag. At most one goroutine may
+// wait on a future.
+func (f *Future) Wait() (uint64, bool) {
+	for {
+		switch f.state.Load() {
+		case futDone:
+			value, ok := f.value, f.ok
+			f.release()
+			return value, ok
+		default:
+			if f.state.CompareAndSwap(futPending, futParked) {
+				<-f.wake
+				value, ok := f.value, f.ok
+				f.release()
+				return value, ok
+			}
+		}
+	}
+}
+
+// TryWait reports completion without blocking, matching the paper's
+// "separate function that takes the operation ID ... to check on the
+// operation's status". When done it consumes the future and returns the
+// results; until then the future stays live and TryWait may be called
+// again.
+func (f *Future) TryWait() (value uint64, ok, done bool) {
+	if f.state.Load() != futDone {
+		return 0, false, false
+	}
+	value, ok = f.value, f.ok
+	f.release()
+	return value, ok, true
+}
+
+// peek reports completion without consuming the future (the windowed
+// batch path separates the done poll from the response read).
+func (f *Future) peek() bool { return f.state.Load() == futDone }
+
+// take reads a completed future's results and consumes it.
+func (f *Future) take() (uint64, bool) {
+	value, ok := f.value, f.ok
+	f.release()
+	return value, ok
+}

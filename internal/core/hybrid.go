@@ -3,15 +3,18 @@
 // set of partition-owned stores, each served by a dedicated combiner
 // goroutine — the software stand-in for the paper's per-partition NMP
 // cores. Requests are published to a partition's mailbox (the publication
-// list), the combiner applies them one at a time against its
-// single-threaded store (flat combining), and callers either wait
-// (blocking NMP calls) or hold multiple calls in flight (non-blocking NMP
-// calls, §3.5) through the Future API.
+// list), the combiner drains the mailbox in batches and applies requests
+// against its single-threaded store (flat combining), and callers either
+// wait (blocking NMP calls, §3.2) or hold multiple calls in flight
+// (non-blocking NMP calls, §3.5) through pooled Futures and the shared
+// internal/hds window.
 //
-// On a machine with actual near-memory hardware, the combiner goroutines
-// are replaced by NMP cores and the mailboxes by memory-mapped publication
-// lists; the simulated version of exactly that system lives in
-// internal/dsim.
+// The request vocabulary is internal/hds — the same Kinds the simulator's
+// experiment drivers issue — so a workload runs unchanged against either
+// stack. On a machine with actual near-memory hardware, the combiner
+// goroutines are replaced by NMP cores and the mailboxes by memory-mapped
+// publication lists; the simulated version of exactly that system lives
+// in internal/dsim.
 package core
 
 import (
@@ -19,17 +22,28 @@ import (
 	"sync"
 
 	"hybrids/internal/cds"
+	"hybrids/internal/hds"
+	"hybrids/internal/metrics"
 )
 
 // Store is a single-threaded ordered map owned by one partition. The
 // combiner goroutine is its only user after the hybrid map starts.
 // cds.BTree implements it; any ordered map can be plugged in.
 type Store interface {
+	// Get returns the value stored under key.
 	Get(key uint64) (uint64, bool)
+	// Put inserts key -> value, returning false if the key exists.
 	Put(key, value uint64) bool
+	// Update overwrites an existing key's value, returning false if
+	// absent.
 	Update(key, value uint64) bool
+	// Delete removes key, returning false if absent.
 	Delete(key uint64) bool
+	// Len returns the number of stored pairs.
 	Len() int
+	// Ascend visits pairs in ascending key order starting at from until
+	// fn returns false.
+	Ascend(from uint64, fn func(key, value uint64) bool)
 }
 
 // Config parameterizes a hybrid map.
@@ -41,72 +55,62 @@ type Config struct {
 	// own equal ranges.
 	KeyMax uint64
 	// MailboxDepth is each partition's request queue capacity — the
-	// aggregate in-flight budget across callers.
+	// aggregate in-flight budget across callers — and the cap on one
+	// combine round's batch.
 	MailboxDepth int
 	// NewStore builds each partition's store; nil defaults to cds.NewBTree.
 	NewStore func(partition int) Store
+	// Metrics receives the runtime's per-partition instruments
+	// (core/p<i>/...); nil creates a private registry reachable through
+	// Hybrid.Metrics. The registry is unsynchronized: each instrument is
+	// touched only by its owning combiner goroutine, so snapshots are
+	// consistent only at quiescence (all published futures consumed, or
+	// after Close).
+	Metrics *metrics.Registry
 }
 
-// Op identifies a request type.
-type Op uint8
+// KV is one key-value pair (Build input, Dump output).
+type KV struct {
+	// Key is the pair's key.
+	Key uint64
+	// Value is the pair's value.
+	Value uint64
+}
 
-// Request operations.
-const (
-	OpGet Op = iota
-	OpPut
-	OpUpdate
-	OpDelete
-
-	opLen Op = 255 // internal barrier: read the store size in-order
-)
-
+// request is one mailbox entry: an hds request plus its completion
+// handle, or an in-order barrier closure (Len, Dump).
 type request struct {
-	op    Op
-	key   uint64
-	value uint64
-	fut   *Future
-}
-
-// Future is a non-blocking call handle (§3.5's operation ID): Wait blocks
-// until the combiner has applied the operation and returns its results.
-type Future struct {
-	done  chan struct{}
-	value uint64
-	ok    bool
-}
-
-// Wait blocks until completion and returns the read value (Get) and the
-// operation's success flag.
-func (f *Future) Wait() (uint64, bool) {
-	<-f.done
-	return f.value, f.ok
-}
-
-// TryWait reports completion without blocking; when done it returns the
-// results, matching the paper's "separate function that takes the
-// operation ID ... to check on the operation's status".
-func (f *Future) TryWait() (value uint64, ok, done bool) {
-	select {
-	case <-f.done:
-		return f.value, f.ok, true
-	default:
-		return 0, false, false
-	}
+	req  hds.Request
+	fut  *Future
+	snap func(s Store)
 }
 
 // Hybrid is a concurrent ordered map with partition-per-combiner
 // parallelism. All exported methods are safe for concurrent use.
 type Hybrid struct {
-	cfg    Config
-	parts  []*partition
-	span   uint64
-	wg     sync.WaitGroup
-	closed chan struct{}
+	cfg   Config
+	reg   *metrics.Registry
+	parts []*partition
+	span  uint64
+	wg    sync.WaitGroup
+	// mu guards the closed flag: publishers hold it shared around the
+	// mailbox send, Close holds it exclusively while closing mailboxes,
+	// so no send can race a close.
+	mu     sync.RWMutex
+	closed bool
 }
 
+// partition is one combiner's domain: the store it owns, its mailbox and
+// its per-partition instruments (touched only by the combiner after
+// start; see Config.Metrics).
 type partition struct {
 	store Store
 	reqs  chan request
+
+	cOps     *metrics.Counter
+	cBuilt   *metrics.Counter
+	hBatch   *metrics.Histogram
+	hMailbox *metrics.Histogram
 }
 
 // New creates and starts a hybrid map.
@@ -123,15 +127,26 @@ func New(cfg Config) *Hybrid {
 	if cfg.NewStore == nil {
 		cfg.NewStore = func(int) Store { return cds.NewBTree() }
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	h := &Hybrid{
-		cfg:    cfg,
-		span:   (cfg.KeyMax + uint64(cfg.Partitions) - 1) / uint64(cfg.Partitions),
-		closed: make(chan struct{}),
+		cfg:  cfg,
+		reg:  reg,
+		span: (cfg.KeyMax + uint64(cfg.Partitions) - 1) / uint64(cfg.Partitions),
 	}
 	for p := 0; p < cfg.Partitions; p++ {
 		part := &partition{
-			store: cfg.NewStore(p),
-			reqs:  make(chan request, cfg.MailboxDepth),
+			store:    cfg.NewStore(p),
+			reqs:     make(chan request, cfg.MailboxDepth),
+			cOps:     reg.Counter(fmt.Sprintf("core/p%d/ops", p)),
+			cBuilt:   reg.Counter(fmt.Sprintf("core/p%d/built", p)),
+			hBatch:   reg.Histogram(fmt.Sprintf("core/p%d/batch", p)),
+			hMailbox: reg.Histogram(fmt.Sprintf("core/p%d/mailbox", p)),
+		}
+		if bt, ok := part.store.(*cds.BTree); ok {
+			bt.Instrument(reg, fmt.Sprintf("core/p%d/store", p))
 		}
 		h.parts = append(h.parts, part)
 		h.wg.Add(1)
@@ -140,39 +155,119 @@ func New(cfg Config) *Hybrid {
 	return h
 }
 
-// combine is the partition's combiner loop: the software NMP core.
+// Metrics returns the registry carrying the runtime's instruments. Read
+// it only at quiescence (see Config.Metrics).
+func (h *Hybrid) Metrics() *metrics.Registry { return h.reg }
+
+// apply executes one request against the partition's store and completes
+// its future.
+func (p *partition) apply(r request) {
+	if r.snap != nil {
+		r.snap(p.store)
+		r.fut.complete(0, true)
+		return
+	}
+	var value uint64
+	var ok bool
+	switch r.req.Kind {
+	case hds.Read:
+		value, ok = p.store.Get(r.req.Key)
+	case hds.Insert:
+		ok = p.store.Put(r.req.Key, r.req.Value)
+	case hds.Update:
+		ok = p.store.Update(r.req.Key, r.req.Value)
+	case hds.Remove:
+		ok = p.store.Delete(r.req.Key)
+	}
+	r.fut.complete(value, ok)
+}
+
+// combine is the partition's combiner loop: the software NMP core. Each
+// round blocks for one request, drains whatever else the mailbox holds
+// (up to MailboxDepth) into a local batch — the native analogue of a
+// flat-combining scan over the publication list — and then applies the
+// batch. Instruments are recorded before any future in the round
+// completes, so a caller that has consumed every published future can
+// snapshot the registry without racing the combiner.
 func (h *Hybrid) combine(p *partition) {
 	defer h.wg.Done()
-	for req := range p.reqs {
-		switch req.op {
-		case OpGet:
-			req.fut.value, req.fut.ok = p.store.Get(req.key)
-		case OpPut:
-			req.fut.ok = p.store.Put(req.key, req.value)
-		case OpUpdate:
-			req.fut.ok = p.store.Update(req.key, req.value)
-		case OpDelete:
-			req.fut.ok = p.store.Delete(req.key)
-		case opLen:
-			req.fut.value, req.fut.ok = uint64(p.store.Len()), true
+	batch := make([]request, 0, h.cfg.MailboxDepth)
+	for {
+		r, ok := <-p.reqs
+		if !ok {
+			return
 		}
-		close(req.fut.done)
+		p.hMailbox.Observe(uint64(len(p.reqs) + 1))
+		batch = append(batch[:0], r)
+		closed := false
+	drain:
+		for len(batch) < h.cfg.MailboxDepth {
+			select {
+			case r, ok := <-p.reqs:
+				if !ok {
+					closed = true
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		p.hBatch.Observe(uint64(len(batch)))
+		ops := uint64(0)
+		for _, r := range batch {
+			if r.snap == nil {
+				ops++
+			}
+		}
+		p.cOps.Add(ops)
+		for _, r := range batch {
+			p.apply(r)
+		}
+		if closed {
+			return
+		}
 	}
 }
 
-// Close shuts the combiners down after all published requests drain.
-// The map must not be used after Close.
-func (h *Hybrid) Close() {
-	select {
-	case <-h.closed:
+// publish sends r to partition part's mailbox, or — after Close —
+// completes the future as a deterministic rejection (ok=false) without
+// touching any store.
+func (h *Hybrid) publish(part int, r request) {
+	h.mu.RLock()
+	if h.closed {
+		h.mu.RUnlock()
+		r.fut.complete(0, false)
 		return
-	default:
-		close(h.closed)
 	}
+	h.parts[part].reqs <- r
+	h.mu.RUnlock()
+}
+
+// Close drains every mailbox and shuts the combiners down: requests
+// published before Close are fully applied and their futures completed;
+// publishes that happen after Close return futures already rejected with
+// ok=false. Close is idempotent, and read-only accessors (Len, Dump)
+// keep working on the quiescent stores afterwards.
+func (h *Hybrid) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
 	for _, p := range h.parts {
 		close(p.reqs)
 	}
+	h.mu.Unlock()
 	h.wg.Wait()
+}
+
+// Closed reports whether Close has begun.
+func (h *Hybrid) Closed() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.closed
 }
 
 // Partition returns the partition owning key.
@@ -183,35 +278,68 @@ func (h *Hybrid) Partition(key uint64) int {
 	return int(key / h.span)
 }
 
+// Partitions returns the number of partitions.
+func (h *Hybrid) Partitions() int { return len(h.parts) }
+
 // Async publishes an operation and returns its Future immediately (a
-// non-blocking NMP call). Callers pipeline by holding several futures.
-func (h *Hybrid) Async(op Op, key, value uint64) *Future {
-	fut := &Future{done: make(chan struct{})}
-	h.parts[h.Partition(key)].reqs <- request{op: op, key: key, value: value, fut: fut}
+// non-blocking NMP call). Callers pipeline by holding several futures;
+// the future must be consumed exactly once via Wait or a successful
+// TryWait.
+func (h *Hybrid) Async(kind hds.Kind, key, value uint64) *Future {
+	return h.AsyncReq(hds.Request{Kind: kind, Key: key, Value: value})
+}
+
+// AsyncReq is Async over an assembled hds.Request.
+func (h *Hybrid) AsyncReq(req hds.Request) *Future {
+	fut := newFuture()
+	h.publish(h.Partition(req.Key), request{req: req, fut: fut})
 	return fut
+}
+
+// Apply executes one request as a blocking NMP call (§3.2) and returns
+// its result.
+func (h *Hybrid) Apply(req hds.Request) hds.Result {
+	value, ok := h.AsyncReq(req).Wait()
+	return hds.Result{Value: value, OK: ok}
 }
 
 // Get returns the value stored under key (blocking call).
 func (h *Hybrid) Get(key uint64) (uint64, bool) {
-	return h.Async(OpGet, key, 0).Wait()
+	return h.Async(hds.Read, key, 0).Wait()
 }
 
 // Put inserts key -> value, returning false if the key exists.
 func (h *Hybrid) Put(key, value uint64) bool {
-	_, ok := h.Async(OpPut, key, value).Wait()
+	_, ok := h.Async(hds.Insert, key, value).Wait()
 	return ok
 }
 
 // Update overwrites an existing key's value, returning false if absent.
 func (h *Hybrid) Update(key, value uint64) bool {
-	_, ok := h.Async(OpUpdate, key, value).Wait()
+	_, ok := h.Async(hds.Update, key, value).Wait()
 	return ok
 }
 
 // Delete removes key, returning false if absent.
 func (h *Hybrid) Delete(key uint64) bool {
-	_, ok := h.Async(OpDelete, key, 0).Wait()
+	_, ok := h.Async(hds.Remove, key, 0).Wait()
 	return ok
+}
+
+// barrier runs fn on partition p's store in request order (after every
+// operation published before it) and waits for it. After Close it runs
+// fn directly on the quiescent store.
+func (h *Hybrid) barrier(p int, fn func(s Store)) {
+	h.mu.RLock()
+	if h.closed {
+		defer h.mu.RUnlock()
+		fn(h.parts[p].store)
+		return
+	}
+	fut := newFuture()
+	h.parts[p].reqs <- request{fut: fut, snap: fn}
+	h.mu.RUnlock()
+	fut.Wait()
 }
 
 // Len sums the partition store sizes. Each partition's count is read by
@@ -219,11 +347,54 @@ func (h *Hybrid) Delete(key uint64) bool {
 // linearizable size (exact at quiescence).
 func (h *Hybrid) Len() int {
 	total := 0
-	for _, p := range h.parts {
-		fut := &Future{done: make(chan struct{})}
-		p.reqs <- request{op: opLen, fut: fut}
-		n, _ := fut.Wait()
-		total += int(n)
+	for p := range h.parts {
+		h.barrier(p, func(s Store) { total += s.Len() })
 	}
 	return total
+}
+
+// Dump returns every stored pair in ascending key order. Partitions own
+// contiguous key ranges, so concatenating per-partition ascents in
+// partition order yields the global order. Each partition is read by its
+// combiner in request order (exact at quiescence, e.g. after Close).
+func (h *Hybrid) Dump() []KV {
+	var out []KV
+	for p := range h.parts {
+		h.barrier(p, func(s Store) {
+			s.Ascend(0, func(k, v uint64) bool {
+				out = append(out, KV{Key: k, Value: v})
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// Build populates the partition stores directly — in parallel, one
+// goroutine per partition, bypassing the mailboxes — for untimed workload
+// loading before concurrent use. It must not run concurrently with any
+// operation. Duplicate keys keep the first pair.
+func (h *Hybrid) Build(pairs []KV) {
+	byPart := make([][]KV, len(h.parts))
+	for _, kv := range pairs {
+		p := h.Partition(kv.Key)
+		byPart[p] = append(byPart[p], kv)
+	}
+	var wg sync.WaitGroup
+	for p := range h.parts {
+		if len(byPart[p]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			part := h.parts[p]
+			for _, kv := range byPart[p] {
+				if part.store.Put(kv.Key, kv.Value) {
+					part.cBuilt.Inc()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
 }

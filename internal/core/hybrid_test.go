@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hybrids/internal/cds"
+	"hybrids/internal/hds"
 	"hybrids/internal/prng"
 )
 
@@ -125,7 +126,7 @@ func TestHybridNonBlockingPipeline(t *testing.T) {
 	issued, completed := 0, 0
 	for completed < total {
 		if issued < total && len(futs) < window {
-			futs = append(futs, h.Async(OpPut, uint64(issued)+1, uint64(issued)))
+			futs = append(futs, h.Async(hds.Insert, uint64(issued)+1, uint64(issued)))
 			issued++
 			continue
 		}
@@ -143,7 +144,7 @@ func TestHybridNonBlockingPipeline(t *testing.T) {
 func TestHybridTryWait(t *testing.T) {
 	h := newTest(2)
 	defer h.Close()
-	fut := h.Async(OpPut, 5, 50)
+	fut := h.Async(hds.Insert, 5, 50)
 	for {
 		if _, ok, done := fut.TryWait(); done {
 			if !ok {
@@ -201,6 +202,9 @@ func (s skipStore) Put(k, v uint64) bool        { return s.s.Insert(k, v) }
 func (s skipStore) Update(k, v uint64) bool     { return s.s.Update(k, v) }
 func (s skipStore) Delete(k uint64) bool        { return s.s.Delete(k) }
 func (s skipStore) Len() int                    { return s.s.Len() }
+func (s skipStore) Ascend(from uint64, fn func(k, v uint64) bool) {
+	s.s.Ascend(from, fn)
+}
 
 func TestHybridKeyBoundsPanic(t *testing.T) {
 	h := newTest(2)

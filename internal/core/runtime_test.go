@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hybrids/internal/hds"
+	"hybrids/internal/metrics"
+)
+
+// TestHybridCloseDrainsPublished publishes a burst of asynchronous
+// operations and closes immediately: every future published before Close
+// must complete with its operation applied.
+func TestHybridCloseDrainsPublished(t *testing.T) {
+	h := New(Config{Partitions: 4, KeyMax: 1 << 20, MailboxDepth: 128})
+	const n = 500
+	futs := make([]*Future, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		futs = append(futs, h.Async(hds.Insert, i, i*2))
+	}
+	h.Close()
+	for i, f := range futs {
+		if _, ok := f.Wait(); !ok {
+			t.Fatalf("pre-Close insert %d rejected", i+1)
+		}
+	}
+	if got := h.Len(); got != n {
+		t.Fatalf("Len = %d after drain, want %d", got, n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := h.Get(i); ok || v != 0 {
+			t.Fatal("post-Close Get was not rejected")
+		}
+		break // one probe is enough
+	}
+}
+
+// TestHybridLatePublishRejected checks the deterministic rejection path:
+// after Close every publish completes immediately with ok=false and no
+// store mutation.
+func TestHybridLatePublishRejected(t *testing.T) {
+	h := New(Config{Partitions: 2, KeyMax: 1 << 16})
+	h.Put(7, 70)
+	h.Close()
+	if _, ok := h.Async(hds.Insert, 9, 90).Wait(); ok {
+		t.Fatal("late Insert succeeded")
+	}
+	if ok := h.Put(10, 100); ok {
+		t.Fatal("late Put succeeded")
+	}
+	if v, ok, done := h.Async(hds.Read, 7, 0).TryWait(); !done || ok || v != 0 {
+		t.Fatalf("late Read = (%d,%v,%v), want immediate rejection", v, ok, done)
+	}
+	if !h.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Quiescent read-only accessors still serve the drained state.
+	if got := h.Len(); got != 1 {
+		t.Fatalf("post-Close Len = %d, want 1", got)
+	}
+	if d := h.Dump(); len(d) != 1 || d[0] != (KV{Key: 7, Value: 70}) {
+		t.Fatalf("post-Close Dump = %v", d)
+	}
+}
+
+// TestHybridApplyBatchWindow drives the shared hds.Window through the
+// native ports: all operations complete, results are exact.
+func TestHybridApplyBatchWindow(t *testing.T) {
+	for _, window := range []int{1, 4, 16} {
+		h := New(Config{Partitions: 4, KeyMax: 1 << 20, MailboxDepth: 64})
+		const n = 2000
+		ops := make([]hds.Request, 0, 2*n)
+		for i := uint64(1); i <= n; i++ {
+			ops = append(ops, hds.Request{Kind: hds.Insert, Key: i, Value: i + 1})
+		}
+		// Second half: reads of every inserted key plus misses.
+		for i := uint64(1); i <= n; i++ {
+			ops = append(ops, hds.Request{Kind: hds.Read, Key: i})
+		}
+		if got := h.ApplyBatch(ops, window); got != 2*n {
+			t.Fatalf("window %d: succeeded = %d, want %d", window, got, 2*n)
+		}
+		misses := []hds.Request{{Kind: hds.Read, Key: n + 1}, {Kind: hds.Remove, Key: n + 2}}
+		if got := h.ApplyBatch(misses, window); got != 0 {
+			t.Fatalf("window %d: misses succeeded = %d, want 0", window, got)
+		}
+		if got := h.Len(); got != n {
+			t.Fatalf("window %d: Len = %d, want %d", window, got, n)
+		}
+		h.Close()
+	}
+}
+
+// TestHybridApplyBatchConcurrent runs batch callers on several goroutines
+// over disjoint key ranges: per-call ports must never interfere.
+func TestHybridApplyBatchConcurrent(t *testing.T) {
+	h := New(Config{Partitions: 8, KeyMax: 1 << 20, MailboxDepth: 64})
+	defer h.Close()
+	const threads = 6
+	const perThread = 1500
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			base := uint64(th*perThread) + 1
+			ops := make([]hds.Request, perThread)
+			for i := range ops {
+				ops[i] = hds.Request{Kind: hds.Insert, Key: base + uint64(i), Value: base}
+			}
+			if got := h.ApplyBatch(ops, 4); got != perThread {
+				t.Errorf("thread %d: succeeded = %d, want %d", th, got, perThread)
+			}
+		}(th)
+	}
+	wg.Wait()
+	if got := h.Len(); got != threads*perThread {
+		t.Fatalf("Len = %d, want %d", got, threads*perThread)
+	}
+}
+
+// TestHybridBuildDump loads pairs through the untimed Build path and
+// checks Dump returns them in global key order.
+func TestHybridBuildDump(t *testing.T) {
+	h := New(Config{Partitions: 4, KeyMax: 1 << 16})
+	defer h.Close()
+	var pairs []KV
+	for k := uint64(1); k < 1<<16; k += 97 {
+		pairs = append(pairs, KV{Key: k, Value: k * 3})
+	}
+	// Scrambled input order must not matter.
+	for i, j := 0, len(pairs)-1; i < j; i, j = i+1, j-1 {
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+	}
+	h.Build(pairs)
+	if got := h.Len(); got != len(pairs) {
+		t.Fatalf("Len = %d, want %d", got, len(pairs))
+	}
+	d := h.Dump()
+	if len(d) != len(pairs) {
+		t.Fatalf("Dump len = %d, want %d", len(d), len(pairs))
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i-1].Key >= d[i].Key {
+			t.Fatalf("Dump not in key order at %d: %d >= %d", i, d[i-1].Key, d[i].Key)
+		}
+	}
+	for _, kv := range d {
+		if kv.Value != kv.Key*3 {
+			t.Fatalf("Dump pair %v corrupted", kv)
+		}
+	}
+}
+
+// TestHybridMetrics checks the per-partition instruments: op counts sum
+// to the operations applied through combiners, batch rounds and mailbox
+// occupancy are observed, and the default B+ tree store reports splits.
+func TestHybridMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := New(Config{Partitions: 2, KeyMax: 1 << 20, MailboxDepth: 32, Metrics: reg})
+	const n = 4000
+	for i := uint64(1); i <= n; i++ {
+		h.Put(i, i)
+	}
+	ops := make([]hds.Request, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		ops = append(ops, hds.Request{Kind: hds.Read, Key: i})
+	}
+	h.ApplyBatch(ops, 8)
+	h.Close()
+	snap := reg.Snapshot()
+	var opsApplied, rounds, batchSum, leafSplits uint64
+	for p := 0; p < 2; p++ {
+		opsApplied += snap.Get(fmt.Sprintf("core/p%d/ops", p))
+		rounds += snap.Get(fmt.Sprintf("core/p%d/batch/count", p))
+		batchSum += snap.Get(fmt.Sprintf("core/p%d/batch/sum", p))
+		leafSplits += snap.Get(fmt.Sprintf("core/p%d/store/leaf_splits", p))
+	}
+	if opsApplied != 2*n {
+		t.Errorf("ops applied = %d, want %d", opsApplied, 2*n)
+	}
+	if rounds == 0 || batchSum != opsApplied {
+		t.Errorf("batch rounds = %d sum = %d, want sum == ops %d", rounds, batchSum, opsApplied)
+	}
+	if leafSplits == 0 {
+		t.Errorf("no leaf splits recorded for %d sequential inserts", n)
+	}
+	if h.Metrics() != reg {
+		t.Error("Metrics() did not return the configured registry")
+	}
+}

@@ -24,6 +24,9 @@ var checked = []string{
 	"internal/sim/trace",
 	"internal/dsim/offload",
 	"internal/dsim/fc",
+	"internal/hds",
+	"internal/core",
+	"internal/cds",
 	"internal/metrics",
 	"internal/exp",
 }

@@ -4,6 +4,7 @@ import (
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/offload"
+	"hybrids/internal/hds"
 	"hybrids/internal/metrics"
 	"hybrids/internal/sim/machine"
 )
@@ -114,7 +115,7 @@ type btAdapter struct{ t *Hybrid }
 
 func (ad btAdapter) Begin(c *machine.Ctx, op kv.Op) btState { return btState{} }
 
-func (ad btAdapter) Prepare(c *machine.Ctx, op kv.Op, st *btState, attempt int, batch bool) (fc.Request, int, offload.PrepareCtl, bool) {
+func (ad btAdapter) Prepare(c *machine.Ctx, op kv.Op, st *btState, attempt int, batch bool) (fc.Request, int, hds.PrepareCtl, bool) {
 	t := ad.t
 	if batch {
 		// Non-blocking issue: brief fixed backoff after a failed
@@ -129,7 +130,7 @@ func (ad btAdapter) Prepare(c *machine.Ctx, op kv.Op, st *btState, attempt int, 
 	}
 	p, part, begin, ok := t.route(c, op.Key)
 	if !ok {
-		return fc.Request{}, 0, offload.PrepareRestart, false
+		return fc.Request{}, 0, hds.PrepareRestart, false
 	}
 	st.p, st.part, st.phase = p, part, 0
 	req := fc.Request{Key: op.Key, Value: op.Value, NMPPtr: begin, Aux: p.seqs[t.nmpLevels]}
@@ -145,10 +146,10 @@ func (ad btAdapter) Prepare(c *machine.Ctx, op kv.Op, st *btState, attempt int, 
 	default:
 		panic("btree: unknown op kind")
 	}
-	return req, part, offload.PrepareOffload, false
+	return req, part, hds.PrepareOffload, false
 }
 
-func (ad btAdapter) Finish(c *machine.Ctx, op kv.Op, st *btState, resp fc.Response) offload.Verdict {
+func (ad btAdapter) Finish(c *machine.Ctx, op kv.Op, st *btState, resp fc.Response) hds.Verdict[fc.Request] {
 	t := ad.t
 	switch st.phase {
 	case 1: // RESUME_INSERT completed
@@ -157,12 +158,12 @@ func (ad btAdapter) Finish(c *machine.Ctx, op kv.Op, st *btState, resp fc.Respon
 		}
 		t.host.insertChain(c, &st.p, t.nmpLevels, resp.Value, taggedPtr(resp.Ptr, st.part), &st.ls)
 		t.host.unlock(c, st.ls)
-		return offload.Verdict{Kind: offload.OpDone, OK: true, Gate: offload.GateRelease}
+		return hds.Verdict[fc.Request]{Kind: hds.OpDone, OK: true, Gate: hds.GateRelease}
 	case 2: // UNLOCK_PATH acknowledged: restart the whole insert
-		return offload.Verdict{Kind: offload.OpRetry}
+		return hds.Verdict[fc.Request]{Kind: hds.OpRetry}
 	}
 	if resp.Retry {
-		return offload.Verdict{Kind: offload.OpRetry}
+		return hds.Verdict[fc.Request]{Kind: hds.OpRetry}
 	}
 	if op.Kind == kv.Insert && resp.LockPath {
 		// LOCK_PATH: lock the host-side path and resume the insert
@@ -170,17 +171,17 @@ func (ad btAdapter) Finish(c *machine.Ctx, op kv.Op, st *btState, resp fc.Respon
 		ls, _, ok := t.host.lockPath(c, &st.p)
 		if !ok {
 			st.phase = 2
-			return offload.Verdict{Kind: offload.OpFollowUp, Next: fc.Request{Op: fc.OpUnlockPath}}
+			return hds.Verdict[fc.Request]{Kind: hds.OpFollowUp, Next: fc.Request{Op: fc.OpUnlockPath}}
 		}
 		st.ls = ls
 		st.phase = 1
-		return offload.Verdict{
-			Kind: offload.OpFollowUp,
+		return hds.Verdict[fc.Request]{
+			Kind: hds.OpFollowUp,
 			Next: fc.Request{Op: fc.OpResumeInsert},
-			Gate: offload.GateAcquire,
+			Gate: hds.GateAcquire,
 		}
 	}
-	return offload.Verdict{Kind: offload.OpDone, OK: resp.Success, Value: resp.Value}
+	return hds.Verdict[fc.Request]{Kind: hds.OpDone, OK: resp.Success, Value: uint64(resp.Value)}
 }
 
 // Apply implements kv.Store with blocking NMP calls.

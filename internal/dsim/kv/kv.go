@@ -1,36 +1,28 @@
 // Package kv defines the key-value operation vocabulary shared by all
-// simulated data structures and the experiment drivers.
+// simulated data structures and the experiment drivers. The operation
+// kinds themselves live in internal/hds, shared with the native runtime;
+// this package narrows them to the simulator's 32-bit wire format.
 package kv
 
-import "hybrids/internal/sim/machine"
-
-// Kind is a data structure operation type.
-type Kind uint8
-
-// Operation kinds. They match the paper's workload mixes: YCSB-C is all
-// Read; the sensitivity workloads mix Read, Insert and Remove; Update
-// exercises the hybrid structures' value-propagation path.
-const (
-	Read Kind = iota
-	Update
-	Insert
-	Remove
+import (
+	"hybrids/internal/hds"
+	"hybrids/internal/sim/machine"
 )
 
-func (k Kind) String() string {
-	switch k {
-	case Read:
-		return "read"
-	case Update:
-		return "update"
-	case Insert:
-		return "insert"
-	case Remove:
-		return "remove"
-	default:
-		return "unknown"
-	}
-}
+// Kind is a data structure operation type — an alias of the shared
+// internal/hds enum, so simulated and native stacks speak one vocabulary.
+type Kind = hds.Kind
+
+// Operation kinds, re-exported from internal/hds. They match the paper's
+// workload mixes: YCSB-C is all Read; the sensitivity workloads mix Read,
+// Insert and Remove; Update exercises the hybrid structures'
+// value-propagation path.
+const (
+	Read   = hds.Read
+	Update = hds.Update
+	Insert = hds.Insert
+	Remove = hds.Remove
+)
 
 // Op is one key-value operation.
 type Op struct {

@@ -3,18 +3,25 @@
 // identical across structures — publication-list setup and combiner
 // spawning, blocking calls, the non-blocking in-flight window, the
 // retry/restart loop and offload instrumentation — while each structure
-// contributes only an Adapter: the host-side pre-work that routes an
-// operation and encodes its request, and the host-side post-work that
-// interprets the response. Apply and ApplyBatch therefore exist in exactly
-// one place; the hybrid skiplist (§3.3) and hybrid B+ tree (§3.4) are
-// small adapters over this runtime.
+// contributes only an internal/hds Adapter: the host-side pre-work that
+// routes an operation and encodes its request, and the host-side
+// post-work that interprets the response. Apply and ApplyBatch therefore
+// exist in exactly one place; the hybrid skiplist (§3.3) and hybrid B+
+// tree (§3.4) are small adapters over this runtime.
+//
+// The protocol vocabulary (PrepareCtl, Verdict, Adapter) and the
+// in-flight Window live in internal/hds, shared with the native runtime
+// (internal/core); this package instantiates them with the simulator's
+// virtual-time context and MMIO publication lists.
 package offload
 
 import (
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
+	"hybrids/internal/hds"
 	"hybrids/internal/metrics"
 	"hybrids/internal/sim/machine"
+	"hybrids/internal/sim/trace"
 )
 
 // Config parameterizes a Runtime.
@@ -30,11 +37,20 @@ type Config struct {
 	SlotsPerPartition int
 }
 
+// Adapter is the simulator's instantiation of the shared hds.Adapter
+// contract: virtual-time context, 32-bit kv operations and the fc wire
+// pair. S carries one operation's host-side state across the runtime's
+// retry loop.
+type Adapter[S any] interface {
+	hds.Adapter[*machine.Ctx, kv.Op, fc.Request, fc.Response, S]
+}
+
 // Runtime owns the per-partition publication lists and the offload
 // protocol loops for one data structure instance.
 type Runtime struct {
 	m      *machine.Machine
 	pubs   []*fc.PubList
+	ports  []hds.Port[*machine.Ctx, fc.Request, fc.Response]
 	window int
 
 	cPosted    *metrics.Counter
@@ -57,7 +73,9 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 	}
 	rt := &Runtime{m: m, window: cfg.Window}
 	for p := 0; p < m.Cfg.Mem.NMPVaults; p++ {
-		rt.pubs = append(rt.pubs, fc.NewPubList(m, p, slots))
+		pub := fc.NewPubList(m, p, slots)
+		rt.pubs = append(rt.pubs, pub)
+		rt.ports = append(rt.ports, pub)
 	}
 	reg := m.Metrics
 	if reg == nil {
@@ -97,78 +115,19 @@ func (rt *Runtime) Delays() fc.Delays {
 	return d
 }
 
-// PrepareCtl is an Adapter.Prepare directive.
-type PrepareCtl uint8
-
-const (
-	// PrepareOffload posts the returned request to the returned partition.
-	PrepareOffload PrepareCtl = iota
-	// PrepareLocal reports the operation completed host-side without an
-	// NMP call (e.g. a remove that lost its host-side race); the ok result
-	// is the operation's outcome.
-	PrepareLocal
-	// PrepareRestart asks the runtime to call Prepare again with the next
-	// attempt number (a failed optimistic host traversal).
-	PrepareRestart
-)
-
-// VerdictKind classifies an Adapter.Finish outcome.
-type VerdictKind uint8
-
-const (
-	// OpDone: the operation completed with Verdict.Value/OK.
-	OpDone VerdictKind = iota
-	// OpRetry: restart the whole operation from Prepare (the adapter has
-	// already done any cleanup, e.g. unlinking a stale shortcut).
-	OpRetry
-	// OpFollowUp: post Verdict.Next on the same publication slot — a
-	// multi-phase exchange like the B+ tree's LOCK_PATH / RESUME_INSERT
-	// conversation, which the combiner keys by slot.
-	OpFollowUp
-)
-
-// Gate adjusts the runtime's deferral gate. While the gate is held
-// (acquires exceed releases), ApplyBatch stops issuing new traversals:
-// a host descend could otherwise spin on the calling thread's own
-// host-side locks, deadlocking the single actor.
-type Gate uint8
-
-// Gate adjustments a Verdict can request.
-const (
-	GateNone    Gate = iota // leave the gate unchanged
-	GateAcquire             // hold the gate: defer new traversals
-	GateRelease             // release one hold
-)
-
-// Verdict is Adapter.Finish's decision for one response.
-type Verdict struct {
-	Kind  VerdictKind
-	OK    bool
-	Value uint32
-	// Next is the follow-up request when Kind is OpFollowUp.
-	Next fc.Request
-	// Gate adjusts the deferral gate (B+ tree path locks).
-	Gate Gate
+// simPark is the simulator's Window park hook: cycles parked waiting for
+// any in-flight completion are offload wait; fc.Done carves out each
+// request's serialization share when it observes the completion.
+func simPark(c *machine.Ctx) {
+	parked := c.Now()
+	c.Block()
+	c.AttrAdd(trace.BucketOffloadWait, c.Now()-parked)
 }
 
-// Adapter supplies the structure-specific hooks of the offload protocol.
-// S carries one operation's host-side state (pre-allocated nodes, the
-// locked path, protocol phase) across the runtime's retry loop.
-type Adapter[S any] interface {
-	// Begin performs once-per-operation host pre-work (e.g. drawing an
-	// insert height and pre-allocating the host node) and returns the
-	// operation's initial state.
-	Begin(c *machine.Ctx, op kv.Op) S
-	// Prepare performs the host-side traversal for one attempt: it routes
-	// op to a partition and encodes the request, charging any host-side
-	// work (including per-attempt backoff) on c. attempt counts Prepare
-	// calls for this operation since the last successful Finish; batch
-	// reports whether the caller is the non-blocking path.
-	Prepare(c *machine.Ctx, op kv.Op, st *S, attempt int, batch bool) (req fc.Request, part int, ctl PrepareCtl, ok bool)
-	// Finish interprets a response, performing host-side post-work (e.g.
-	// linking host levels, locking the path), and decides what happens
-	// next.
-	Finish(c *machine.Ctx, op kv.Op, st *S, resp fc.Response) Verdict
+// newWindow builds the shared in-flight window over the runtime's
+// publication lists with the simulator's park hook.
+func newWindow(thread, k int, ports []hds.Port[*machine.Ctx, fc.Request, fc.Response]) *hds.Window[*machine.Ctx, fc.Request, fc.Response] {
+	return hds.NewWindow(thread, k, ports, simPark)
 }
 
 // Apply runs one operation with blocking NMP calls (§3.2): host pre-work,
@@ -180,10 +139,10 @@ func Apply[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, op kv.
 	for attempt := 0; ; attempt++ {
 		req, part, ctl, ok := ad.Prepare(c, op, &st, attempt, false)
 		switch ctl {
-		case PrepareLocal:
+		case hds.PrepareLocal:
 			rt.cLocal.Inc()
 			return 0, ok
-		case PrepareRestart:
+		case hds.PrepareRestart:
 			continue
 		}
 		rt.cPosted.Inc()
@@ -191,9 +150,9 @@ func Apply[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, op kv.
 	finish:
 		v := ad.Finish(c, op, &st, resp)
 		switch v.Kind {
-		case OpDone:
-			return v.Value, v.OK
-		case OpFollowUp:
+		case hds.OpDone:
+			return uint32(v.Value), v.OK
+		case hds.OpFollowUp:
 			rt.cFollowUps.Inc()
 			resp = rt.pubs[part].Call(c, slot, v.Next)
 			goto finish
@@ -222,7 +181,7 @@ type inflight[S any] struct {
 // its measured cycles. Blocking drivers (one Apply per op) record OpDone
 // themselves.
 func ApplyBatch[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, ops []kv.Op) int {
-	w := NewWindow(thread, rt.window, rt.pubs)
+	w := newWindow(thread, rt.window, rt.ports)
 	succeeded := 0
 	gate := 0
 	var deferred []*inflight[S]
@@ -231,14 +190,14 @@ func ApplyBatch[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, o
 		for attempt := 0; ; attempt++ {
 			req, part, ctl, ok := ad.Prepare(c, a.op, &a.st, attempt, true)
 			switch ctl {
-			case PrepareLocal:
+			case hds.PrepareLocal:
 				rt.cLocal.Inc()
 				if ok {
 					succeeded++
 				}
 				c.OpDone()
 				return
-			case PrepareRestart:
+			case hds.PrepareRestart:
 				continue
 			}
 			a.part = part
@@ -260,20 +219,20 @@ func ApplyBatch[S any](rt *Runtime, ad Adapter[S], c *machine.Ctx, thread int, o
 		a := tag.(*inflight[S])
 		v := ad.Finish(c, a.op, &a.st, resp)
 		switch v.Gate {
-		case GateAcquire:
+		case hds.GateAcquire:
 			gate++
-		case GateRelease:
+		case hds.GateRelease:
 			gate--
 		}
 		switch v.Kind {
-		case OpDone:
+		case hds.OpDone:
 			if v.OK {
 				succeeded++
 			}
 			c.OpDone()
-		case OpRetry:
+		case hds.OpRetry:
 			reissue(a)
-		case OpFollowUp:
+		case hds.OpFollowUp:
 			rt.cFollowUps.Inc()
 			w.PostAt(c, pos, a.part, v.Next, a)
 		}

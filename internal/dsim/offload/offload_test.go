@@ -5,8 +5,19 @@ import (
 
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
+	"hybrids/internal/hds"
 	"hybrids/internal/sim/machine"
 )
+
+// newTestWindow builds the shared window directly over publication lists,
+// exercising the same instantiation ApplyBatch uses.
+func newTestWindow(thread, k int, lists []*fc.PubList) *hds.Window[*machine.Ctx, fc.Request, fc.Response] {
+	ports := make([]hds.Port[*machine.Ctx, fc.Request, fc.Response], len(lists))
+	for i, p := range lists {
+		ports[i] = p
+	}
+	return hds.NewWindow(thread, k, ports, simPark)
+}
 
 func testMachine() *machine.Machine {
 	cfg := machine.Default()
@@ -39,7 +50,7 @@ func TestWindowNonBlockingCompletesAll(t *testing.T) {
 	var done int
 	sum := uint32(0)
 	m.SpawnHost(0, "h", func(c *machine.Ctx) {
-		w := NewWindow(0, 4, lists)
+		w := newTestWindow(0, 4, lists)
 		issued := 0
 		for done < total {
 			if issued < total && !w.Full() {
@@ -67,7 +78,7 @@ func TestWindowTagsMatchResponses(t *testing.T) {
 	p := fc.NewPubList(m, 0, 8)
 	m.SpawnNMP(0, func(c *machine.Ctx) { fc.Serve(c, p, echoHandler) })
 	m.SpawnHost(0, "h", func(c *machine.Ctx) {
-		w := NewWindow(0, 2, []*fc.PubList{p})
+		w := newTestWindow(0, 2, []*fc.PubList{p})
 		w.Post(c, 0, fc.Request{Op: fc.OpRead, Key: 100}, "a")
 		w.Post(c, 0, fc.Request{Op: fc.OpRead, Key: 200}, "b")
 		for !w.Empty() {
@@ -100,7 +111,7 @@ func TestWindowPostFullPanics(t *testing.T) {
 	var recovered bool
 	m.SpawnHost(0, "h", func(c *machine.Ctx) {
 		defer func() { recovered = recover() != nil }()
-		w := NewWindow(0, 1, []*fc.PubList{p})
+		w := newTestWindow(0, 1, []*fc.PubList{p})
 		w.Post(c, 0, fc.Request{Op: fc.OpRead}, nil)
 		w.Post(c, 0, fc.Request{Op: fc.OpRead}, nil)
 	})
@@ -120,7 +131,7 @@ func TestWindowHarvestOrderingRoundRobin(t *testing.T) {
 	m.SpawnNMP(0, func(c *machine.Ctx) { fc.Serve(c, p, echoHandler) })
 	var order []int
 	m.SpawnHost(0, "h", func(c *machine.Ctx) {
-		w := NewWindow(0, 4, []*fc.PubList{p})
+		w := newTestWindow(0, 4, []*fc.PubList{p})
 		for i := 0; i < 4; i++ {
 			w.Post(c, 0, fc.Request{Op: fc.OpRead, Key: uint32(i)}, i)
 		}
@@ -148,15 +159,15 @@ type testAdapter struct{ parts int }
 
 func (testAdapter) Begin(c *machine.Ctx, op kv.Op) int { return 0 }
 
-func (a testAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, PrepareCtl, bool) {
-	return fc.Request{Op: fc.OpRead, Key: op.Key, Value: op.Value}, int(op.Key) % a.parts, PrepareOffload, false
+func (a testAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, hds.PrepareCtl, bool) {
+	return fc.Request{Op: fc.OpRead, Key: op.Key, Value: op.Value}, int(op.Key) % a.parts, hds.PrepareOffload, false
 }
 
-func (a testAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) Verdict {
+func (a testAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) hds.Verdict[fc.Request] {
 	if resp.Retry {
-		return Verdict{Kind: OpRetry}
+		return hds.Verdict[fc.Request]{Kind: hds.OpRetry}
 	}
-	return Verdict{Kind: OpDone, OK: resp.Success, Value: resp.Value}
+	return hds.Verdict[fc.Request]{Kind: hds.OpDone, OK: resp.Success, Value: uint64(resp.Value)}
 }
 
 // retryOnceRuntime starts combiners that answer RETRY to the first request
@@ -232,7 +243,7 @@ type depthAdapter struct {
 	max      *int
 }
 
-func (a depthAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, PrepareCtl, bool) {
+func (a depthAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, hds.PrepareCtl, bool) {
 	*a.inflight++
 	if *a.inflight > *a.max {
 		*a.max = *a.inflight
@@ -240,7 +251,7 @@ func (a depthAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, ba
 	return a.testAdapter.Prepare(c, op, st, attempt, batch)
 }
 
-func (a depthAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) Verdict {
+func (a depthAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) hds.Verdict[fc.Request] {
 	*a.inflight--
 	return a.testAdapter.Finish(c, op, st, resp)
 }
@@ -284,12 +295,12 @@ type followUpAdapter struct {
 	followed map[uint32]bool
 }
 
-func (a followUpAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) Verdict {
+func (a followUpAdapter) Finish(c *machine.Ctx, op kv.Op, st *int, resp fc.Response) hds.Verdict[fc.Request] {
 	if !a.followed[op.Key] {
 		a.followed[op.Key] = true
-		return Verdict{Kind: OpFollowUp, Next: fc.Request{Op: fc.OpUpdate, Key: op.Key, Value: 1}}
+		return hds.Verdict[fc.Request]{Kind: hds.OpFollowUp, Next: fc.Request{Op: fc.OpUpdate, Key: op.Key, Value: 1}}
 	}
-	return Verdict{Kind: OpDone, OK: resp.Success, Value: resp.Value}
+	return hds.Verdict[fc.Request]{Kind: hds.OpDone, OK: resp.Success, Value: uint64(resp.Value)}
 }
 
 func TestRuntimeFollowUpStaysOnSlot(t *testing.T) {
@@ -335,9 +346,9 @@ func TestRuntimeFollowUpStaysOnSlot(t *testing.T) {
 // localAdapter completes odd keys host-side without an NMP call.
 type localAdapter struct{ testAdapter }
 
-func (a localAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, PrepareCtl, bool) {
+func (a localAdapter) Prepare(c *machine.Ctx, op kv.Op, st *int, attempt int, batch bool) (fc.Request, int, hds.PrepareCtl, bool) {
 	if op.Key%2 == 1 {
-		return fc.Request{}, 0, PrepareLocal, true
+		return fc.Request{}, 0, hds.PrepareLocal, true
 	}
 	return a.testAdapter.Prepare(c, op, st, attempt, batch)
 }

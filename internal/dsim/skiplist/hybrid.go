@@ -6,6 +6,7 @@ import (
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/offload"
+	"hybrids/internal/hds"
 	"hybrids/internal/metrics"
 	"hybrids/internal/prng"
 	"hybrids/internal/sim/machine"
@@ -241,22 +242,22 @@ func (ad slAdapter) Begin(c *machine.Ctx, op kv.Op) slState {
 	return st
 }
 
-func (ad slAdapter) Prepare(c *machine.Ctx, op kv.Op, st *slState, attempt int, batch bool) (fc.Request, int, offload.PrepareCtl, bool) {
+func (ad slAdapter) Prepare(c *machine.Ctx, op kv.Op, st *slState, attempt int, batch bool) (fc.Request, int, hds.PrepareCtl, bool) {
 	req, pred, done, ok := ad.s.request(c, op, st.hostNode, st.height)
 	st.pred = pred
 	if done {
-		return fc.Request{}, 0, offload.PrepareLocal, ok
+		return fc.Request{}, 0, hds.PrepareLocal, ok
 	}
-	return req, ad.s.part.Part(op.Key), offload.PrepareOffload, false
+	return req, ad.s.part.Part(op.Key), hds.PrepareOffload, false
 }
 
-func (ad slAdapter) Finish(c *machine.Ctx, op kv.Op, st *slState, resp fc.Response) offload.Verdict {
+func (ad slAdapter) Finish(c *machine.Ctx, op kv.Op, st *slState, resp fc.Response) hds.Verdict[fc.Request] {
 	if resp.Retry {
 		ad.s.cleanupStaleShortcut(c, st.pred)
-		return offload.Verdict{Kind: offload.OpRetry}
+		return hds.Verdict[fc.Request]{Kind: hds.OpRetry}
 	}
 	value, ok := ad.s.finish(c, op, st.hostNode, resp)
-	return offload.Verdict{Kind: offload.OpDone, OK: ok, Value: value}
+	return hds.Verdict[fc.Request]{Kind: hds.OpDone, OK: ok, Value: uint64(value)}
 }
 
 // Apply implements kv.Store with blocking NMP calls.

@@ -6,6 +6,7 @@ import (
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/offload"
+	"hybrids/internal/hds"
 	"hybrids/internal/metrics"
 	"hybrids/internal/prng"
 	"hybrids/internal/radix"
@@ -74,7 +75,7 @@ type nmpfcAdapter struct{ s *NMPFC }
 
 func (ad nmpfcAdapter) Begin(c *machine.Ctx, op kv.Op) struct{} { return struct{}{} }
 
-func (ad nmpfcAdapter) Prepare(c *machine.Ctx, op kv.Op, st *struct{}, attempt int, batch bool) (fc.Request, int, offload.PrepareCtl, bool) {
+func (ad nmpfcAdapter) Prepare(c *machine.Ctx, op kv.Op, st *struct{}, attempt int, batch bool) (fc.Request, int, hds.PrepareCtl, bool) {
 	s := ad.s
 	req := fc.Request{Key: op.Key, Value: op.Value}
 	switch op.Kind {
@@ -88,11 +89,11 @@ func (ad nmpfcAdapter) Prepare(c *machine.Ctx, op kv.Op, st *struct{}, attempt i
 	case kv.Remove:
 		req.Op = fc.OpRemove
 	}
-	return req, s.part.Part(op.Key), offload.PrepareOffload, false
+	return req, s.part.Part(op.Key), hds.PrepareOffload, false
 }
 
-func (ad nmpfcAdapter) Finish(c *machine.Ctx, op kv.Op, st *struct{}, resp fc.Response) offload.Verdict {
-	return offload.Verdict{Kind: offload.OpDone, OK: resp.Success, Value: resp.Value}
+func (ad nmpfcAdapter) Finish(c *machine.Ctx, op kv.Op, st *struct{}, resp fc.Response) hds.Verdict[fc.Request] {
+	return hds.Verdict[fc.Request]{Kind: hds.OpDone, OK: resp.Success, Value: uint64(resp.Value)}
 }
 
 // Apply implements kv.Store: the whole operation is offloaded.

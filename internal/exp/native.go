@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"hybrids/internal/cds"
+	"hybrids/internal/core"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/hds"
+	"hybrids/internal/ycsb"
+)
+
+// Native experiments drive the real internal/core runtime — goroutine
+// combiners over internal/cds stores on the host CPU — with the same YCSB
+// workloads and the same result formatting as the simulated experiments.
+// They measure wall-clock throughput, not virtual cycles: Cell.WallNanos
+// replaces Cell.Cycles and MOpsPerSec is real operations per real second,
+// so the absolute numbers depend on the machine running the benchmark (see
+// docs/EXPERIMENTS.md for how to read them against the simulator's).
+
+// NativeRegistry returns the native benchmark experiments in presentation
+// order. They share the Experiment shape with the simulated registry, so
+// cmd/hybrids renders both through the same table/markdown/JSON emitters.
+func NativeRegistry() []Experiment {
+	return []Experiment{
+		{"native-btree", "Native B+ tree throughput, YCSB-C (wall clock)", runNativeBTree},
+		{"native-skiplist", "Native skiplist throughput, YCSB-C (wall clock)", runNativeSkiplist},
+	}
+}
+
+// FindNative returns the native experiment with the given ID.
+func FindNative(id string) (Experiment, bool) {
+	for _, e := range NativeRegistry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// nativeVariant names one evaluated call discipline: window 0 or 1 is the
+// blocking path (§3.2, one Apply per op), larger windows pipeline through
+// core.ApplyBatch and the shared hds window (§3.5).
+type nativeVariant struct {
+	name   string
+	window int
+}
+
+func nativeVariants(sc Scale) []nativeVariant {
+	return []nativeVariant{
+		{name: "blocking", window: 1},
+		{name: fmt.Sprintf("nonblocking%d", sc.Window), window: sc.Window},
+	}
+}
+
+// slStore adapts cds.SkipList to the core.Store interface (Insert vs Put
+// naming).
+type slStore struct{ s *cds.SkipList }
+
+// Get returns the value stored under key.
+func (s slStore) Get(k uint64) (uint64, bool) { return s.s.Get(k) }
+
+// Put inserts key -> value, returning false if the key exists.
+func (s slStore) Put(k, v uint64) bool { return s.s.Insert(k, v) }
+
+// Update overwrites an existing key's value, returning false if absent.
+func (s slStore) Update(k, v uint64) bool { return s.s.Update(k, v) }
+
+// Delete removes key, returning false if absent.
+func (s slStore) Delete(k uint64) bool { return s.s.Delete(k) }
+
+// Len returns the number of stored pairs.
+func (s slStore) Len() int { return s.s.Len() }
+
+// Ascend visits pairs in ascending key order starting at from.
+func (s slStore) Ascend(from uint64, fn func(k, v uint64) bool) { s.s.Ascend(from, fn) }
+
+// nativeStore builds each structure's per-partition store factory.
+func nativeStore(sc Scale, structure string) func(int) core.Store {
+	switch structure {
+	case "btree":
+		return nil // core defaults to cds.NewBTree
+	case "skiplist":
+		return func(int) core.Store { return slStore{cds.NewSkipList(sc.SkiplistLevels)} }
+	}
+	panic("exp: unknown native structure " + structure)
+}
+
+// nativeRequests converts one simulator op stream to the native request
+// vocabulary. The kinds are already shared (kv.Kind = hds.Kind); only the
+// key width changes.
+func nativeRequests(ops []kv.Op) []hds.Request {
+	out := make([]hds.Request, len(ops))
+	for i, op := range ops {
+		out[i] = hds.Request{Kind: op.Kind, Key: uint64(op.Key), Value: uint64(op.Value)}
+	}
+	return out
+}
+
+// runNativeOps executes one thread's slice under the variant's call
+// discipline.
+func runNativeOps(h *core.Hybrid, v nativeVariant, ops []hds.Request) {
+	if v.window > 1 {
+		h.ApplyBatch(ops, v.window)
+		return
+	}
+	for _, op := range ops {
+		h.Apply(op)
+	}
+}
+
+// runNativeCell measures one grid point on the real runtime: build a fresh
+// hybrid map, load it untimed, run per-thread warmup slices, rendezvous,
+// and time the measured slices wall-clock. Registry snapshots are taken at
+// the two rendezvous points, where every published future has been
+// consumed (the runtime's quiescence requirement), so the counter deltas
+// are exact. Cells run serially — unlike simulated cells they share the
+// host CPU, so concurrent cells would perturb each other's timing.
+func runNativeCell(sc Scale, structure string, v nativeVariant, load []ycsb.Pair, streams [][]hds.Request) Cell {
+	threads := len(streams)
+	h := core.New(core.Config{
+		Partitions: sc.Machine.Mem.NMPVaults,
+		KeyMax:     uint64(sc.KeyMax),
+		NewStore:   nativeStore(sc, structure),
+	})
+	defer h.Close()
+	pairs := make([]core.KV, len(load))
+	for i, p := range load {
+		pairs[i] = core.KV{Key: uint64(p.Key), Value: uint64(p.Value)}
+	}
+	h.Build(pairs)
+	reg := h.Metrics()
+
+	var warm, done sync.WaitGroup
+	start := make(chan struct{})
+	warm.Add(threads)
+	done.Add(threads)
+	for th := 0; th < threads; th++ {
+		th := th
+		go func() {
+			runNativeOps(h, v, streams[th][:sc.WarmupPerThread])
+			warm.Done()
+			<-start
+			runNativeOps(h, v, streams[th][sc.WarmupPerThread:])
+			done.Done()
+		}()
+	}
+	warm.Wait()
+	before := reg.Snapshot()
+	t0 := time.Now()
+	close(start)
+	done.Wait()
+	wall := time.Since(t0)
+	after := reg.Snapshot()
+
+	delta := map[string]uint64{}
+	for name, dv := range after.Sub(before) {
+		if dv != 0 {
+			delta[name] = dv
+		}
+	}
+	ops := threads * sc.OpsPerThread
+	return Cell{
+		Variant:    v.name,
+		Threads:    threads,
+		Ops:        ops,
+		MOpsPerSec: float64(ops) / wall.Seconds() / 1e6,
+		WallNanos:  uint64(wall.Nanoseconds()),
+		Metrics:    delta,
+	}
+}
+
+// nativeGrid measures the full threads x variant grid for one structure.
+// Both structures use SkiplistRecords as the record count: the native
+// runtime loads real memory (no simulated bulk build), so the B+ tree uses
+// the same 2^22-record footprint rather than the simulator's 30M.
+func nativeGrid(sc Scale, structure string, progress io.Writer) map[string]map[int]Cell {
+	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
+	load := gen.Load()
+	out := map[string]map[int]Cell{}
+	for _, v := range nativeVariants(sc) {
+		out[v.name] = map[int]Cell{}
+	}
+	for _, th := range sc.ThreadCounts {
+		raw := gen.Streams(th, sc.WarmupPerThread+sc.OpsPerThread)
+		streams := make([][]hds.Request, th)
+		for t := range raw {
+			streams[t] = nativeRequests(raw[t])
+		}
+		for _, v := range nativeVariants(sc) {
+			progressf(progress, "  %s %s threads=%d\n", structure, v.name, th)
+			out[v.name][th] = runNativeCell(sc, structure, v, load, streams)
+		}
+	}
+	return out
+}
+
+func runNativeGrid(sc Scale, structure string, progress io.Writer) Result {
+	grid := nativeGrid(sc, structure, progress)
+	res := Result{
+		ID:     "native-" + structure,
+		Title:  fmt.Sprintf("Native %s (YCSB-C wall clock, %d partitions, scale %s)", structure, sc.Machine.Mem.NMPVaults, sc.Name),
+		Header: []string{"implementation", "threads", "Mops/s", "vs blocking@same"},
+	}
+	for _, v := range nativeVariants(sc) {
+		for _, th := range sc.ThreadCounts {
+			c := grid[v.name][th]
+			rel := c.MOpsPerSec / grid["blocking"][th].MOpsPerSec
+			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), f2(rel) + "x"})
+			res.Cells = append(res.Cells, c)
+		}
+	}
+	top := sc.ThreadCounts[len(sc.ThreadCounts)-1]
+	nb := nativeVariants(sc)[1].name
+	res.Notes = append(res.Notes,
+		"wall-clock on the host CPU (goroutine combiners), not simulated cycles; absolute numbers are machine-dependent",
+		fmt.Sprintf("measured (%d threads): %s = %.2fx blocking", top, nb,
+			grid[nb][top].MOpsPerSec/grid["blocking"][top].MOpsPerSec))
+	return res
+}
+
+func runNativeBTree(sc Scale, progress io.Writer) Result {
+	return runNativeGrid(sc, "btree", progress)
+}
+
+func runNativeSkiplist(sc Scale, progress io.Writer) Result {
+	return runNativeGrid(sc, "skiplist", progress)
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"hybrids/internal/ycsb"
@@ -72,7 +73,7 @@ func TestRunCellsOrderAndLabels(t *testing.T) {
 		}
 	}
 	for i := range serial {
-		if serial[i] != conc[i] {
+		if !reflect.DeepEqual(serial[i], conc[i]) {
 			t.Errorf("cell %d differs between serial and parallel runs", i)
 		}
 	}

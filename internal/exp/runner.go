@@ -66,6 +66,14 @@ type Cell struct {
 	// Attr is the cell's per-operation latency attribution (nil unless the
 	// cell was measured with Scale.Attr enabled).
 	Attr *AttrSummary `json:"attr,omitempty"`
+	// WallNanos is the measured-phase wall-clock duration. Only native
+	// cells set it (simulated cells report virtual Cycles instead), so it
+	// is omitted from simulator JSON.
+	WallNanos uint64 `json:"wall_ns,omitempty"`
+	// Metrics carries the measured phase's non-zero counter deltas from the
+	// native runtime's registry (core/p<i>/... instruments). Nil for
+	// simulated cells.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // Throughput returns operations per kilocycle (clock-independent).
