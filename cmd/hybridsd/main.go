@@ -1,0 +1,114 @@
+// Command hybridsd serves a native HybriDS map over TCP: it builds a
+// core.Hybrid (goroutine combiners over per-partition stores, the
+// software stand-in for the paper's NMP hardware) and exposes it through
+// the internal/server binary protocol (GET/PUT/UPDATE/DELETE/SCAN/STATS;
+// see docs/SERVING.md).
+//
+// Usage:
+//
+//	hybridsd [-addr :7070] [-partitions 8] [-keymax 4194304]
+//	         [-store btree|skiplist] [-window 16] [-inflight 64]
+//	         [-maxconns 0] [-scan-limit 1024] [-write-timeout 10s]
+//	         [-mailbox 64] [-levels 16]
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// answers every request already read from every connection, then closes
+// the map and prints the final server metrics to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybrids/internal/cds"
+	"hybrids/internal/core"
+	"hybrids/internal/metrics"
+	"hybrids/internal/server"
+)
+
+// slStore adapts cds.SkipList to the core.Store interface (Insert vs Put
+// naming), mirroring the adapter the native benchmarks use.
+type slStore struct{ s *cds.SkipList }
+
+func (s slStore) Get(k uint64) (uint64, bool)                   { return s.s.Get(k) }
+func (s slStore) Put(k, v uint64) bool                          { return s.s.Insert(k, v) }
+func (s slStore) Update(k, v uint64) bool                       { return s.s.Update(k, v) }
+func (s slStore) Delete(k uint64) bool                          { return s.s.Delete(k) }
+func (s slStore) Len() int                                      { return s.s.Len() }
+func (s slStore) Ascend(from uint64, fn func(k, v uint64) bool) { s.s.Ascend(from, fn) }
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
+		partitions   = flag.Int("partitions", 8, "partition/combiner count (the paper's NMP vaults)")
+		keyMax       = flag.Uint64("keymax", 1<<22, "exclusive key-space bound; valid keys are 1..keymax-1")
+		store        = flag.String("store", "btree", "per-partition store: btree or skiplist")
+		levels       = flag.Int("levels", 16, "skiplist level count (skiplist store only)")
+		mailbox      = flag.Int("mailbox", 64, "per-partition mailbox depth")
+		window       = flag.Int("window", 16, "per-connection request coalescing window (ApplyBatch size)")
+		inflight     = flag.Int("inflight", 0, "per-connection in-flight response budget (default 4x window)")
+		maxConns     = flag.Int("maxconns", 0, "max concurrent connections (0 = unlimited)")
+		scanLimit    = flag.Int("scan-limit", 1024, "max pairs returned by one SCAN")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client write deadline")
+	)
+	flag.Parse()
+
+	var newStore func(int) core.Store
+	switch *store {
+	case "btree":
+		newStore = nil // core defaults to cds.NewBTree
+	case "skiplist":
+		newStore = func(int) core.Store { return slStore{cds.NewSkipList(*levels)} }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown store %q (btree or skiplist)\n", *store)
+		os.Exit(2)
+	}
+
+	reg := metrics.NewRegistry()
+	h := core.New(core.Config{
+		Partitions:   *partitions,
+		KeyMax:       *keyMax,
+		MailboxDepth: *mailbox,
+		NewStore:     newStore,
+	})
+	srv := server.New(h, server.Config{
+		Window:       *window,
+		Inflight:     *inflight,
+		MaxConns:     *maxConns,
+		ScanLimit:    *scanLimit,
+		WriteTimeout: *writeTimeout,
+		Metrics:      reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hybridsd: serving %s/%d partitions on %s (window %d)\n",
+		*store, *partitions, ln.Addr(), *window)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "hybridsd: %v, draining...\n", sig)
+		srv.Shutdown()
+		<-errCh
+	case err := <-errCh:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	h.Close()
+	fmt.Fprintf(os.Stderr, "hybridsd: drained, %d keys stored\n%s", h.Len(), srv.StatsText())
+}

@@ -1,0 +1,273 @@
+// Command hybridsload is a closed-loop load generator for hybridsd: it
+// replays deterministic YCSB operation streams (the same internal/ycsb
+// generator the benchmarks use) over pipelined protocol connections and
+// reports throughput and client-observed latency percentiles through the
+// internal/exp table formatters.
+//
+// Usage:
+//
+//	hybridsload [-addr 127.0.0.1:7070] [-conns 4] [-depth 16]
+//	            [-ops 20000] [-records 16384] [-keymax 1048576]
+//	            [-read 100 -insert 0 -remove 0] [-seed 1]
+//	            [-noload] [-markdown|-json] [-stats]
+//
+// Each connection keeps -depth requests in flight (a closed loop: every
+// response received triggers the next send), so concurrency is
+// conns x depth. The default workload is YCSB-C (100% zipfian reads)
+// over -records preloaded pairs; -insert/-remove switch to the uniform
+// read-insert-remove mix. -stats dumps the server's STATS snapshot to
+// stderr after the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/exp"
+	"hybrids/internal/server"
+	"hybrids/internal/ycsb"
+)
+
+// connStats is one connection's tally: per-status response counts and
+// the client-observed latency of every operation.
+type connStats struct {
+	ok, miss, rejected, bad uint64
+	lats                    []time.Duration
+	err                     error
+}
+
+// toRequest maps one YCSB op to its protocol request.
+func toRequest(op kv.Op) server.Request {
+	r := server.Request{Key: uint64(op.Key), Value: uint64(op.Value)}
+	switch op.Kind {
+	case kv.Read:
+		r.Op = server.OpGet
+	case kv.Update:
+		r.Op = server.OpUpdate
+	case kv.Insert:
+		r.Op = server.OpPut
+	default:
+		r.Op = server.OpDelete
+	}
+	return r
+}
+
+// runConn replays ops on one connection with depth requests in flight.
+func runConn(addr string, ops []kv.Op, depth int, st *connStats) {
+	c, err := server.Dial(addr)
+	if err != nil {
+		st.err = err
+		return
+	}
+	defer c.Close()
+	if depth > len(ops) {
+		depth = len(ops)
+	}
+	sendTimes := make([]time.Time, 0, len(ops))
+	next := 0
+	for ; next < depth; next++ {
+		sendTimes = append(sendTimes, time.Now())
+		if err := c.Send(toRequest(ops[next])); err != nil {
+			st.err = err
+			return
+		}
+	}
+	st.lats = make([]time.Duration, 0, len(ops))
+	for done := 0; done < len(ops); done++ {
+		resp, err := c.Recv()
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.lats = append(st.lats, time.Since(sendTimes[done]))
+		switch resp.Status {
+		case server.StatusOK:
+			st.ok++
+		case server.StatusMiss:
+			st.miss++
+		case server.StatusRejected:
+			st.rejected++
+		default:
+			st.bad++
+		}
+		if next < len(ops) {
+			sendTimes = append(sendTimes, time.Now())
+			if err := c.Send(toRequest(ops[next])); err != nil {
+				st.err = err
+				return
+			}
+			next++
+		}
+	}
+}
+
+// preload PUTs the workload's load-phase pairs through one pipelined
+// connection, in chunks that respect the server's in-flight budget.
+func preload(addr string, pairs []ycsb.Pair) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	const chunk = 64
+	for lo := 0; lo < len(pairs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		reqs := make([]server.Request, 0, hi-lo)
+		for _, p := range pairs[lo:hi] {
+			reqs = append(reqs, server.Request{Op: server.OpPut, Key: uint64(p.Key), Value: uint64(p.Value)})
+		}
+		if _, err := c.Pipeline(reqs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pctl returns the p'th percentile of sorted latencies.
+func pctl(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "hybridsd address")
+		conns    = flag.Int("conns", 4, "concurrent client connections")
+		depth    = flag.Int("depth", 16, "pipelined requests in flight per connection")
+		ops      = flag.Int("ops", 20000, "operations per connection")
+		records  = flag.Int("records", 16384, "preloaded records")
+		keyMax   = flag.Uint("keymax", 1<<20, "workload key-space bound (power of two, <= server -keymax)")
+		read     = flag.Int("read", 100, "read percentage")
+		insert   = flag.Int("insert", 0, "insert percentage (with -remove switches to the uniform mix)")
+		remove   = flag.Int("remove", 0, "remove percentage")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		noload   = flag.Bool("noload", false, "skip the preload phase (server already populated)")
+		markdown = flag.Bool("markdown", false, "emit a markdown table")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON")
+		stats    = flag.Bool("stats", false, "dump the server STATS snapshot to stderr after the run")
+	)
+	flag.Parse()
+
+	var cfg ycsb.Config
+	workload := "YCSB-C (100% zipfian reads)"
+	if *insert > 0 || *remove > 0 {
+		cfg = ycsb.Mix(*records, uint32(*keyMax), *read, *insert, *remove, *seed)
+		workload = fmt.Sprintf("uniform mix %d-%d-%d (read-insert-remove)", *read, *insert, *remove)
+	} else {
+		cfg = ycsb.YCSBC(*records, uint32(*keyMax), *seed)
+	}
+	gen := ycsb.New(cfg)
+
+	if !*noload {
+		t0 := time.Now()
+		if err := preload(*addr, gen.Load()); err != nil {
+			fmt.Fprintf(os.Stderr, "preload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hybridsload: preloaded %d records in %v\n", *records, time.Since(t0).Round(time.Millisecond))
+	}
+
+	streams := gen.Streams(*conns, *ops)
+	sts := make([]connStats, *conns)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runConn(*addr, streams[i], *depth, &sts[i])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	var all []time.Duration
+	var ok, miss, rejected, bad uint64
+	for i := range sts {
+		if sts[i].err != nil {
+			fmt.Fprintf(os.Stderr, "conn %d: %v\n", i, sts[i].err)
+			os.Exit(1)
+		}
+		all = append(all, sts[i].lats...)
+		ok += sts[i].ok
+		miss += sts[i].miss
+		rejected += sts[i].rejected
+		bad += sts[i].bad
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := *conns * *ops
+	mops := float64(total) / wall.Seconds() / 1e6
+	p50, p95, p99 := pctl(all, 0.50), pctl(all, 0.95), pctl(all, 0.99)
+	max := pctl(all, 1)
+
+	us := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3) }
+	res := exp.Result{
+		ID:     "hybridsload",
+		Title:  fmt.Sprintf("hybridsd closed-loop load, %s", workload),
+		Header: []string{"conns", "depth", "ops", "Mops/s", "p50 µs", "p95 µs", "p99 µs", "max µs"},
+		Rows: [][]string{{
+			fmt.Sprint(*conns), fmt.Sprint(*depth), fmt.Sprint(total),
+			fmt.Sprintf("%.2f", mops), us(p50), us(p95), us(p99), us(max),
+		}},
+		Notes: []string{
+			fmt.Sprintf("statuses: %d ok, %d miss, %d rejected, %d bad", ok, miss, rejected, bad),
+			"client-observed latency over TCP loopback; wall-clock throughput is machine-dependent",
+		},
+		Cells: []exp.Cell{{
+			Variant:    "closed-loop",
+			Threads:    *conns,
+			Ops:        total,
+			MOpsPerSec: mops,
+			WallNanos:  uint64(wall.Nanoseconds()),
+			Metrics: map[string]uint64{
+				"load/ok":        ok,
+				"load/miss":      miss,
+				"load/rejected":  rejected,
+				"load/bad":       bad,
+				"load/lat_p50ns": uint64(p50.Nanoseconds()),
+				"load/lat_p95ns": uint64(p95.Nanoseconds()),
+				"load/lat_p99ns": uint64(p99.Nanoseconds()),
+				"load/lat_maxns": uint64(max.Nanoseconds()),
+			},
+		}},
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	case *markdown:
+		fmt.Print(res.Markdown())
+	default:
+		fmt.Println(res.Format())
+	}
+
+	if *stats {
+		c, err := server.Dial(*addr)
+		if err == nil {
+			if text, err := c.Stats(); err == nil {
+				fmt.Fprintf(os.Stderr, "%s", text)
+			}
+			c.Close()
+		}
+	}
+
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,11 @@ type natPort struct {
 	h    *Hybrid
 	part int
 	futs []*Future
+	// rejected marks slots whose publish was refused by a concurrent
+	// Close (the future completes as ok=false without reaching a store),
+	// so the batch loop can tell rejections apart from applied
+	// operations that legitimately failed (e.g. a read miss).
+	rejected []bool
 }
 
 // Slots returns the port's slot capacity (the batch window size).
@@ -24,7 +29,7 @@ func (p *natPort) Slots() int { return len(p.futs) }
 func (p *natPort) Post(_ struct{}, slot int, req hds.Request) {
 	fut := newFuture()
 	p.futs[slot] = fut
-	p.h.publish(p.part, request{req: req, fut: fut})
+	p.rejected[slot] = !p.h.publish(p.part, request{req: req, fut: fut})
 }
 
 // Done reports whether the request in slot has completed.
@@ -39,8 +44,9 @@ func (p *natPort) ReadResponse(_ struct{}, slot int) hds.Result {
 	return hds.Result{Value: value, OK: ok}
 }
 
-// Watch is a no-op: the native window parks by yielding the processor
-// and re-polling rather than registering wakeups.
+// Watch is a no-op (trivially idempotent, as the Port contract requires):
+// the native window parks by yielding the processor and re-polling rather
+// than registering wakeups.
 func (p *natPort) Watch(_ struct{}, slot int) {}
 
 // natPark yields the processor between window poll rounds.
@@ -49,29 +55,69 @@ func natPark(struct{}) { runtime.Gosched() }
 // ApplyBatch executes ops with non-blocking calls (§3.5), keeping up to
 // window operations in flight through the shared hds.Window and
 // harvesting completions out of order. It returns the number of
-// operations that succeeded. window <= 1 degenerates to blocking
-// behaviour (one call in flight).
-func (h *Hybrid) ApplyBatch(ops []hds.Request, window int) int {
+// operations a combiner actually applied and, of those, the number whose
+// result was ok — so legitimate misses (applied but not succeeded, e.g. a
+// read of an absent key) are distinguishable from publishes rejected by a
+// concurrent Close (not applied at all). window <= 1 keeps one call in
+// flight (blocking behaviour through the same windowed path).
+func (h *Hybrid) ApplyBatch(ops []hds.Request, window int) (applied, succeeded int) {
+	return h.ApplyBatchResults(ops, window, nil)
+}
+
+// Outcome is one batched operation's result plus whether it reached a
+// combiner at all: Rejected marks publishes refused by a concurrent Close
+// (the store was never touched), which would otherwise be
+// indistinguishable from an applied operation that returned ok=false.
+type Outcome struct {
+	// Result is the operation's hds result (zero when Rejected).
+	Result hds.Result
+	// Rejected reports that the publish was refused by Close.
+	Rejected bool
+}
+
+// ApplyBatchResults is ApplyBatch with per-operation outcomes: when out is
+// non-nil it must hold len(ops) entries, and out[i] receives ops[i]'s
+// Outcome regardless of the order completions are harvested in. The
+// serving layer uses it to answer pipelined client requests in request
+// order while the window overlaps their executions.
+func (h *Hybrid) ApplyBatchResults(ops []hds.Request, window int, out []Outcome) (applied, succeeded int) {
 	if window <= 0 {
 		window = 1
 	}
+	if out != nil && len(out) != len(ops) {
+		panic("core: ApplyBatchResults out length does not match ops")
+	}
 	ports := make([]hds.Port[struct{}, hds.Request, hds.Result], len(h.parts))
+	nats := make([]*natPort, len(h.parts))
 	for p := range h.parts {
-		ports[p] = &natPort{h: h, part: p, futs: make([]*Future, window)}
+		np := &natPort{h: h, part: p, futs: make([]*Future, window), rejected: make([]bool, window)}
+		nats[p] = np
+		ports[p] = np
 	}
 	w := hds.NewWindow(0, window, ports, natPark)
-	succeeded := 0
 	next := 0
 	for next < len(ops) || !w.Empty() {
 		if next < len(ops) && !w.Full() {
 			op := ops[next]
+			w.Post(struct{}{}, h.Partition(op.Key), op, next)
 			next++
-			w.Post(struct{}{}, h.Partition(op.Key), op, nil)
 			continue
 		}
-		if _, res, _ := w.Harvest(struct{}{}); res.OK {
+		tag, res, pos := w.Harvest(struct{}{})
+		idx := tag.(int)
+		// Window position i of thread 0 is slot i of the target
+		// partition's port.
+		rejected := nats[h.Partition(ops[idx].Key)].rejected[pos]
+		if out != nil {
+			out[idx] = Outcome{Result: res, Rejected: rejected}
+		}
+		if rejected {
+			continue
+		}
+		applied++
+		if res.OK {
 			succeeded++
 		}
 	}
-	return succeeded
+	return applied, succeeded
 }

@@ -178,6 +178,19 @@ func (p *partition) apply(r request) {
 		ok = p.store.Update(r.req.Key, r.req.Value)
 	case hds.Remove:
 		ok = p.store.Delete(r.req.Key)
+	case hds.Scan:
+		// Per-partition range read: count pairs with key >= Key, at most
+		// Value of them. Cross-partition scans that need the pairs
+		// themselves go through Hybrid.Scan instead.
+		var n uint64
+		p.store.Ascend(r.req.Key, func(uint64, uint64) bool {
+			if n >= r.req.Value {
+				return false
+			}
+			n++
+			return true
+		})
+		value, ok = n, true
 	}
 	r.fut.complete(value, ok)
 }
@@ -230,18 +243,20 @@ func (h *Hybrid) combine(p *partition) {
 	}
 }
 
-// publish sends r to partition part's mailbox, or — after Close —
-// completes the future as a deterministic rejection (ok=false) without
-// touching any store.
-func (h *Hybrid) publish(part int, r request) {
+// publish sends r to partition part's mailbox and reports true, or — after
+// Close — completes the future as a deterministic rejection (ok=false)
+// without touching any store and reports false, so callers can tell a
+// rejected publish apart from an applied operation that failed.
+func (h *Hybrid) publish(part int, r request) bool {
 	h.mu.RLock()
 	if h.closed {
 		h.mu.RUnlock()
 		r.fut.complete(0, false)
-		return
+		return false
 	}
 	h.parts[part].reqs <- r
 	h.mu.RUnlock()
+	return true
 }
 
 // Close drains every mailbox and shuts the combiners down: requests
@@ -280,6 +295,10 @@ func (h *Hybrid) Partition(key uint64) int {
 
 // Partitions returns the number of partitions.
 func (h *Hybrid) Partitions() int { return len(h.parts) }
+
+// KeyMax returns the exclusive key-space bound; valid keys are
+// 1..KeyMax-1 (key 0 is the -inf sentinel).
+func (h *Hybrid) KeyMax() uint64 { return h.cfg.KeyMax }
 
 // Async publishes an operation and returns its Future immediately (a
 // non-blocking NMP call). Callers pipeline by holding several futures;
@@ -362,6 +381,36 @@ func (h *Hybrid) Dump() []KV {
 	for p := range h.parts {
 		h.barrier(p, func(s Store) {
 			s.Ascend(0, func(k, v uint64) bool {
+				out = append(out, KV{Key: k, Value: v})
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// Scan returns up to limit pairs with keys >= from, in ascending key
+// order. Partitions own contiguous key ranges, so the walk visits them in
+// partition order and stops as soon as limit pairs are collected. Each
+// partition is read by its combiner in request order (a barrier), so the
+// result is per-partition linearizable: it observes every operation
+// published to a partition before the scan reached it, but partitions are
+// visited one after another, not atomically. from may be 0 (scan from the
+// smallest key).
+func (h *Hybrid) Scan(from uint64, limit int) []KV {
+	if limit <= 0 {
+		return nil
+	}
+	var out []KV
+	for p := 0; p < len(h.parts) && len(out) < limit; p++ {
+		if hi := uint64(p+1) * h.span; from >= hi {
+			continue // partition's whole key range lies below from
+		}
+		h.barrier(p, func(s Store) {
+			s.Ascend(from, func(k, v uint64) bool {
+				if len(out) >= limit {
+					return false
+				}
 				out = append(out, KV{Key: k, Value: v})
 				return true
 			})

@@ -78,12 +78,12 @@ func TestHybridApplyBatchWindow(t *testing.T) {
 		for i := uint64(1); i <= n; i++ {
 			ops = append(ops, hds.Request{Kind: hds.Read, Key: i})
 		}
-		if got := h.ApplyBatch(ops, window); got != 2*n {
-			t.Fatalf("window %d: succeeded = %d, want %d", window, got, 2*n)
+		if applied, succeeded := h.ApplyBatch(ops, window); applied != 2*n || succeeded != 2*n {
+			t.Fatalf("window %d: applied/succeeded = %d/%d, want %d/%d", window, applied, succeeded, 2*n, 2*n)
 		}
 		misses := []hds.Request{{Kind: hds.Read, Key: n + 1}, {Kind: hds.Remove, Key: n + 2}}
-		if got := h.ApplyBatch(misses, window); got != 0 {
-			t.Fatalf("window %d: misses succeeded = %d, want 0", window, got)
+		if applied, succeeded := h.ApplyBatch(misses, window); applied != 2 || succeeded != 0 {
+			t.Fatalf("window %d: misses applied/succeeded = %d/%d, want 2/0", window, applied, succeeded)
 		}
 		if got := h.Len(); got != n {
 			t.Fatalf("window %d: Len = %d, want %d", window, got, n)
@@ -109,8 +109,8 @@ func TestHybridApplyBatchConcurrent(t *testing.T) {
 			for i := range ops {
 				ops[i] = hds.Request{Kind: hds.Insert, Key: base + uint64(i), Value: base}
 			}
-			if got := h.ApplyBatch(ops, 4); got != perThread {
-				t.Errorf("thread %d: succeeded = %d, want %d", th, got, perThread)
+			if _, succeeded := h.ApplyBatch(ops, 4); succeeded != perThread {
+				t.Errorf("thread %d: succeeded = %d, want %d", th, succeeded, perThread)
 			}
 		}(th)
 	}
@@ -188,5 +188,97 @@ func TestHybridMetrics(t *testing.T) {
 	}
 	if h.Metrics() != reg {
 		t.Error("Metrics() did not return the configured registry")
+	}
+}
+
+// TestHybridApplyBatchAccounting pins the applied/succeeded distinction:
+// a read of an absent key is an *applied* operation that legitimately
+// failed, while a publish rejected by a concurrent Close never reaches a
+// store and must not be counted as applied.
+func TestHybridApplyBatchAccounting(t *testing.T) {
+	h := New(Config{Partitions: 4, KeyMax: 1 << 20})
+	const hits, misses = 40, 17
+	ops := make([]hds.Request, 0, 2*hits+misses)
+	for i := uint64(1); i <= hits; i++ {
+		ops = append(ops, hds.Request{Kind: hds.Insert, Key: i, Value: i})
+	}
+	for i := uint64(1); i <= hits; i++ {
+		ops = append(ops, hds.Request{Kind: hds.Read, Key: i})
+	}
+	for i := uint64(1); i <= misses; i++ {
+		ops = append(ops, hds.Request{Kind: hds.Read, Key: 1<<19 + i})
+	}
+	out := make([]Outcome, len(ops))
+	applied, succeeded := h.ApplyBatchResults(ops, 8, out)
+	if applied != len(ops) {
+		t.Errorf("applied = %d, want %d (misses are still applied)", applied, len(ops))
+	}
+	if succeeded != 2*hits {
+		t.Errorf("succeeded = %d, want %d (misses are not successes)", succeeded, 2*hits)
+	}
+	for i, o := range out {
+		if o.Rejected {
+			t.Fatalf("op %d marked rejected on an open map", i)
+		}
+		wantOK := i < 2*hits
+		if o.Result.OK != wantOK {
+			t.Fatalf("op %d OK = %v, want %v", i, o.Result.OK, wantOK)
+		}
+		if i >= hits && i < 2*hits && o.Result.Value != uint64(i-hits+1) {
+			t.Fatalf("read %d value = %d, want %d", i, o.Result.Value, i-hits+1)
+		}
+	}
+
+	// After Close every publish is rejected: applied must drop to zero
+	// and every outcome must carry the Rejected mark.
+	h.Close()
+	late := []hds.Request{{Kind: hds.Read, Key: 1}, {Kind: hds.Insert, Key: 99, Value: 1}}
+	lateOut := make([]Outcome, len(late))
+	applied, succeeded = h.ApplyBatchResults(late, 4, lateOut)
+	if applied != 0 || succeeded != 0 {
+		t.Errorf("post-Close applied/succeeded = %d/%d, want 0/0", applied, succeeded)
+	}
+	for i, o := range lateOut {
+		if !o.Rejected || o.Result.OK {
+			t.Errorf("post-Close op %d outcome = %+v, want rejected", i, o)
+		}
+	}
+}
+
+// TestHybridScan covers the cross-partition range read: ordering, limit
+// handling, a from key inside the range, and post-Close reads of the
+// quiescent stores.
+func TestHybridScan(t *testing.T) {
+	h := New(Config{Partitions: 4, KeyMax: 1 << 16})
+	var pairs []KV
+	for k := uint64(1); k < 1<<16; k += 131 {
+		pairs = append(pairs, KV{Key: k, Value: k * 7})
+	}
+	h.Build(pairs)
+	got := h.Scan(0, len(pairs)+10)
+	if len(got) != len(pairs) {
+		t.Fatalf("full scan returned %d pairs, want %d", len(got), len(pairs))
+	}
+	for i, kv := range got {
+		if kv != pairs[i] {
+			t.Fatalf("scan[%d] = %+v, want %+v", i, kv, pairs[i])
+		}
+	}
+	mid := pairs[len(pairs)/2].Key
+	part := h.Scan(mid, 5)
+	if len(part) != 5 || part[0].Key != mid {
+		t.Fatalf("scan(from=%d, limit=5) = %+v", mid, part)
+	}
+	if h.Scan(1, 0) != nil {
+		t.Error("limit 0 scan returned pairs")
+	}
+	// The mailbox Scan kind counts pairs per partition.
+	res := h.Apply(hds.Request{Kind: hds.Scan, Key: pairs[0].Key, Value: 3})
+	if !res.OK || res.Value != 3 {
+		t.Fatalf("mailbox scan = %+v, want OK count 3", res)
+	}
+	h.Close()
+	if got := h.Scan(0, 3); len(got) != 3 || got[0] != pairs[0] {
+		t.Fatalf("post-Close scan = %+v", got)
 	}
 }

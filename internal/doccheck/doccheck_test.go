@@ -29,6 +29,7 @@ var checked = []string{
 	"internal/cds",
 	"internal/metrics",
 	"internal/exp",
+	"internal/server",
 }
 
 // TestExportedIdentifiersDocumented parses every non-test file of the

@@ -384,6 +384,15 @@ func (p *PubList) Complete(c *machine.Ctx, slot int, resp Response) {
 // Watch registers the calling host actor to be woken when slot completes.
 // Registration is Go-side bookkeeping (the hardware analogue is the host
 // thread's monitor/mwait on the slot's flag word).
+//
+// Watch is idempotent, as the hds.Port contract requires: waiters holds at
+// most one actor per slot, so the re-registration hds.Window.Harvest
+// performs on every in-flight slot before each park round overwrites the
+// same entry instead of accumulating waiter state. Wake permits cannot
+// accumulate either — a completion observed while the watcher is awake
+// records a single engine wake permit (a flag, not a count), consumed by
+// the watcher's next Block, whose surrounding poll loop tolerates the
+// early return.
 func (p *PubList) Watch(c *machine.Ctx, slot int) {
 	p.waiters[slot] = c.A
 }

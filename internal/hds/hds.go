@@ -16,12 +16,17 @@ type Kind uint8
 
 // Operation kinds. They match the paper's workload mixes: YCSB-C is all
 // Read; the sensitivity workloads mix Read, Insert and Remove; Update
-// exercises the hybrid structures' value-propagation path.
+// exercises the hybrid structures' value-propagation path. Scan is the
+// serving layer's range read (YCSB-E's building block): Request.Key is
+// the inclusive start and Request.Value bounds the number of pairs
+// visited. The simulated structures do not implement Scan; the native
+// runtime serves it per partition.
 const (
 	Read Kind = iota
 	Update
 	Insert
 	Remove
+	Scan
 )
 
 // String returns the lowercase workload-mix name of the kind.
@@ -35,6 +40,8 @@ func (k Kind) String() string {
 		return "insert"
 	case Remove:
 		return "remove"
+	case Scan:
+		return "scan"
 	default:
 		return "unknown"
 	}
@@ -56,10 +63,11 @@ type Request struct {
 // Result is the outcome of one Request: the value read (for Read) and
 // the operation's success flag.
 type Result struct {
-	// Value is the value read; zero for non-Read operations.
+	// Value is the value read (Read), or the number of pairs visited
+	// (Scan); zero for other kinds.
 	Value uint64
 	// OK reports whether the operation succeeded (key found for
-	// Read/Update/Remove, key absent for Insert).
+	// Read/Update/Remove, key absent for Insert, always true for Scan).
 	OK bool
 }
 

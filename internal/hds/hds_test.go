@@ -1,6 +1,9 @@
 package hds
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // fakePort is a pure-Go Port: Post records the request per slot, the test
 // marks completions explicitly, ReadResponse echoes the request key back.
@@ -62,6 +65,7 @@ func TestKindString(t *testing.T) {
 		Update:  "update",
 		Insert:  "insert",
 		Remove:  "remove",
+		Scan:    "scan",
 		Kind(9): "unknown",
 	}
 	for k, want := range cases {
@@ -172,4 +176,28 @@ func TestWindowPanics(t *testing.T) {
 		NewWindow(0, 2, ports(newFakePort(4)), nil).Harvest(struct{}{})
 	})
 	expectPanic("postat occupied", func() { w.PostAt(struct{}{}, 0, 0, 4, nil) })
+}
+
+// TestWindowPostDesyncDiagnostic corrupts the count/used invariant the way
+// a hypothetical bookkeeping bug would and checks that Post fails with the
+// explicit desync diagnostic instead of an opaque index-out-of-range from
+// PostAt.
+func TestWindowPostDesyncDiagnostic(t *testing.T) {
+	p := newFakePort(4)
+	w := NewWindow(0, 2, ports(p), nil)
+	w.Post(struct{}{}, 0, 1, nil)
+	w.Post(struct{}{}, 0, 2, nil)
+	// Desync: every slot is occupied but count claims one is free.
+	w.count--
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Post on desynced window did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "window accounting desync") {
+			t.Fatalf("panic = %v, want the desync diagnostic", r)
+		}
+	}()
+	w.Post(struct{}{}, 0, 3, nil)
 }

@@ -20,7 +20,10 @@ type Port[Ctx, Req, Resp any] interface {
 	ReadResponse(c Ctx, slot int) Resp
 	// Watch registers interest in slot's completion so a park between
 	// poll rounds is woken by it. Implementations without parking may
-	// make it a no-op.
+	// make it a no-op. Watch must be idempotent: Window.Harvest re-calls
+	// it on every in-flight slot before each park round, so repeated
+	// registrations by the same caller must not accumulate waiter
+	// entries or wake permits.
 	Watch(c Ctx, slot int)
 }
 
@@ -95,6 +98,13 @@ func (w *Window[Ctx, Req, Resp]) Post(c Ctx, part int, req Req, tag any) int {
 			pos = i
 			break
 		}
+	}
+	if pos == -1 {
+		// Full() said a slot was free but the scan found none: count and
+		// used have desynced. Fail loudly here rather than letting PostAt
+		// die with an opaque index-out-of-range.
+		panic(fmt.Sprintf("hds: window accounting desync: count=%d k=%d but no free slot in used=%v",
+			w.count, w.k, w.used))
 	}
 	w.PostAt(c, pos, part, req, tag)
 	return pos

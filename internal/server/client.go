@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client is a protocol client for one connection. It supports both
+// one-at-a-time calls (Get, Put, ...) and explicit pipelining
+// (Send/Recv, Pipeline), tracking sent operations FIFO so responses —
+// which the server returns strictly in request order — are decoded with
+// the right payload shape. A Client is not safe for concurrent use;
+// open one per goroutine.
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	// sent holds the op codes of requests written but not yet answered,
+	// consumed FIFO by Recv.
+	sent []uint8
+	buf  []byte
+}
+
+// Dial connects to a server at the TCP address addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (the test suite uses
+// net.Pipe-like setups; production callers use Dial).
+func NewClient(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 32<<10),
+		bw: bufio.NewWriterSize(nc, 32<<10),
+	}
+}
+
+// Close closes the connection. Responses still in flight are lost.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Send encodes reqs onto the connection without waiting for responses
+// (pipelining) and flushes. Each sent request owes exactly one Recv.
+func (c *Client) Send(reqs ...Request) error {
+	c.buf = c.buf[:0]
+	for _, r := range reqs {
+		c.buf = AppendRequest(c.buf, r)
+	}
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		c.sent = append(c.sent, r.Op)
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the response to the oldest unanswered request.
+func (c *Client) Recv() (Response, error) {
+	if len(c.sent) == 0 {
+		return Response{}, fmt.Errorf("server: Recv with no request in flight")
+	}
+	op := c.sent[0]
+	c.sent = c.sent[1:]
+	return ReadResponse(c.br, op)
+}
+
+// Pending returns the number of requests awaiting a Recv.
+func (c *Client) Pending() int { return len(c.sent) }
+
+// Pipeline sends all reqs, then collects all their responses in request
+// order. On error the returned slice holds the responses received
+// before it.
+func (c *Client) Pipeline(reqs []Request) ([]Response, error) {
+	if err := c.Send(reqs...); err != nil {
+		return nil, err
+	}
+	out := make([]Response, 0, len(reqs))
+	for range reqs {
+		resp, err := c.Recv()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, resp)
+	}
+	return out, nil
+}
+
+// call issues one request and waits for its response.
+func (c *Client) call(r Request) (Response, error) {
+	if err := c.Send(r); err != nil {
+		return Response{}, err
+	}
+	return c.Recv()
+}
+
+// Get looks key up. ok is false on a miss; err covers transport and
+// protocol failures (including StatusRejected and StatusBadRequest).
+func (c *Client) Get(key uint64) (value uint64, ok bool, err error) {
+	return c.scalar(Request{Op: OpGet, Key: key})
+}
+
+// Put inserts key -> value; ok is false if the key already exists.
+func (c *Client) Put(key, value uint64) (bool, error) {
+	_, ok, err := c.scalar(Request{Op: OpPut, Key: key, Value: value})
+	return ok, err
+}
+
+// Update overwrites an existing key's value; ok is false if absent.
+func (c *Client) Update(key, value uint64) (bool, error) {
+	_, ok, err := c.scalar(Request{Op: OpUpdate, Key: key, Value: value})
+	return ok, err
+}
+
+// Delete removes key; ok is false if absent.
+func (c *Client) Delete(key uint64) (bool, error) {
+	_, ok, err := c.scalar(Request{Op: OpDelete, Key: key})
+	return ok, err
+}
+
+// scalar issues one scalar request, folding the two failure statuses
+// that are not legitimate data outcomes into the error.
+func (c *Client) scalar(r Request) (uint64, bool, error) {
+	resp, err := c.call(r)
+	if err != nil {
+		return 0, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Value, true, nil
+	case StatusMiss:
+		return resp.Value, false, nil
+	}
+	return 0, false, statusError(resp.Status)
+}
+
+// Scan returns up to limit pairs with keys >= from in ascending key
+// order (the server may clamp limit to its configured cap).
+func (c *Client) Scan(from uint64, limit uint64) ([]Pair, error) {
+	resp, err := c.call(Request{Op: OpScan, Key: from, Value: limit})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, statusError(resp.Status)
+	}
+	return resp.Pairs, nil
+}
+
+// Stats returns the server's metrics snapshot text.
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, statusError(resp.Status)
+	}
+	return resp.Stats, nil
+}
+
+// statusError converts a non-data response status into an error.
+func statusError(status uint8) error {
+	switch status {
+	case StatusRejected:
+		return fmt.Errorf("server: request rejected (server draining)")
+	case StatusBadRequest:
+		return fmt.Errorf("server: bad request")
+	}
+	return fmt.Errorf("server: unknown response status %d", status)
+}

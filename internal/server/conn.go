@@ -1,0 +1,256 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"hybrids/internal/core"
+	"hybrids/internal/hds"
+)
+
+// pending is one completed response queued for the writer goroutine. op
+// is the request's operation code, which selects the payload encoding.
+type pending struct {
+	op   uint8
+	resp Response
+}
+
+// conn is one served connection: a reader goroutine (run) that decodes,
+// coalesces and executes requests, and a writer goroutine that encodes
+// and flushes responses in request order. The out channel's capacity is
+// the connection's in-flight budget — when the writer falls behind, the
+// reader blocks on the send and stops reading the socket.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	out  chan pending
+	stop chan struct{}
+	// drainOnce makes beginDrain idempotent (Shutdown may race the
+	// connection's own exit).
+	drainOnce sync.Once
+
+	// Reader-goroutine scratch, reused across batches.
+	reqs     []Request
+	ops      []hds.Request
+	outcomes []core.Outcome
+}
+
+// beginDrain tells the connection to stop reading new requests. The
+// read deadline kick makes any blocked or future socket read fail
+// immediately; the closed stop channel tells the reader that the failure
+// is a drain, not a client error. Requests already read are still served
+// and their responses flushed.
+func (c *conn) beginDrain() {
+	c.drainOnce.Do(func() {
+		close(c.stop)
+		c.nc.SetReadDeadline(time.Now())
+	})
+}
+
+// run is the connection's reader loop and lifecycle owner: it spawns the
+// writer, reads and serves request batches until the client disconnects
+// or a drain begins, then closes the out channel, waits for the writer
+// to flush, and deregisters the connection.
+func (c *conn) run() {
+	s := c.srv
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writeLoop()
+	}()
+	c.readLoop()
+	close(c.out)
+	<-writerDone
+	c.nc.Close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.cClosed.Inc()
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// readLoop reads and serves batches until the client disconnects, a
+// framing error poisons the stream, or a drain begins.
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	window := c.srv.cfg.Window
+	for {
+		// A drain may have been signalled while serving the previous
+		// batch; the deadline kick only fails *reads*, so check before
+		// blocking on the next one.
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		req, err := ReadRequest(br)
+		if err != nil {
+			return
+		}
+		c.reqs = append(c.reqs[:0], req)
+		// Coalesce whatever the client has already pipelined, up to the
+		// window — without ever blocking on the socket for more. Reads
+		// of buffered bytes cannot fail with an I/O error, so err here
+		// can only be a framing error.
+		for len(c.reqs) < window && br.Buffered() >= reqFrame {
+			req, err = ReadRequest(br)
+			if err != nil {
+				break
+			}
+			c.reqs = append(c.reqs, req)
+		}
+		c.serve(c.reqs)
+		if err != nil {
+			return // framing error, after serving the intact prefix
+		}
+	}
+}
+
+// serve executes one coalesced batch and queues its responses in request
+// order. Runs of scalar operations go through a single
+// core.ApplyBatchResults window; SCAN and STATS act as batch boundaries
+// (a scan is a combiner barrier, a stats snapshot is server-local).
+func (c *conn) serve(reqs []Request) {
+	s := c.srv
+	var nBad, nRejected, nScanned uint64
+	var batchSizes []uint64
+
+	c.ops = c.ops[:0]
+	flush := func() {
+		if len(c.ops) == 0 {
+			return
+		}
+		if cap(c.outcomes) < len(c.ops) {
+			c.outcomes = make([]core.Outcome, len(c.ops))
+		}
+		out := c.outcomes[:len(c.ops)]
+		s.h.ApplyBatchResults(c.ops, s.cfg.Window, out)
+		for _, o := range out {
+			status := StatusOK
+			switch {
+			case o.Rejected:
+				status = StatusRejected
+				nRejected++
+			case !o.Result.OK:
+				status = StatusMiss
+			}
+			c.out <- pending{resp: Response{Status: status, Value: o.Result.Value}}
+		}
+		batchSizes = append(batchSizes, uint64(len(c.ops)))
+		c.ops = c.ops[:0]
+	}
+
+	for _, r := range reqs {
+		kind, known := kindOf(r.Op)
+		if known && r.Op != OpScan {
+			if r.Key == 0 || r.Key >= s.h.KeyMax() {
+				flush()
+				nBad++
+				c.out <- pending{resp: Response{Status: StatusBadRequest}}
+				continue
+			}
+			c.ops = append(c.ops, hds.Request{Kind: kind, Key: r.Key, Value: r.Value})
+			continue
+		}
+		flush()
+		switch r.Op {
+		case OpScan:
+			limit := uint64(s.cfg.ScanLimit)
+			if r.Value < limit {
+				limit = r.Value
+			}
+			kvs := s.h.Scan(r.Key, int(limit))
+			pairs := make([]Pair, len(kvs))
+			for i, kv := range kvs {
+				pairs[i] = Pair{Key: kv.Key, Value: kv.Value}
+			}
+			nScanned += uint64(len(pairs))
+			c.out <- pending{op: OpScan, resp: Response{Status: StatusOK, Pairs: pairs}}
+		case OpStats:
+			c.out <- pending{op: OpStats, resp: Response{Status: StatusOK, Stats: s.StatsText()}}
+		default:
+			nBad++
+			c.out <- pending{resp: Response{Status: StatusBadRequest}}
+		}
+	}
+	flush()
+
+	s.mu.Lock()
+	s.cRequests.Add(uint64(len(reqs)))
+	for _, r := range reqs {
+		if r.Op >= 1 && r.Op <= OpStats {
+			s.cOps[r.Op].Inc()
+		}
+	}
+	for _, b := range batchSizes {
+		s.hBatch.Observe(b)
+	}
+	s.cBadReq.Add(nBad)
+	s.cRejected.Add(nRejected)
+	s.cScanned.Add(nScanned)
+	s.mu.Unlock()
+}
+
+// writeLoop encodes and flushes queued responses. It flushes only when
+// the queue momentarily empties (so pipelined responses share flushes)
+// and puts the configured write deadline on every flush: a client that
+// stops draining its socket is disconnected rather than allowed to pin
+// the connection's buffers forever. After a write failure the loop keeps
+// draining the queue without writing, so the reader never blocks on a
+// dead writer.
+func (c *conn) writeLoop() {
+	s := c.srv
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	var buf []byte
+	var written uint64
+	failed := false
+	for p := range c.out {
+		if failed {
+			continue
+		}
+		switch p.op {
+		case OpScan:
+			buf = AppendScanResponse(buf[:0], p.resp.Status, p.resp.Pairs)
+		case OpStats:
+			buf = AppendStatsResponse(buf[:0], p.resp.Status, p.resp.Stats)
+		default:
+			buf = AppendScalarResponse(buf[:0], p.resp.Status, p.resp.Value)
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := bw.Write(buf); err != nil {
+			failed = c.writeFailed(err)
+			continue
+		}
+		written++
+		if len(c.out) == 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				failed = c.writeFailed(err)
+			}
+		}
+	}
+	if !failed {
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := bw.Flush(); err != nil {
+			c.writeFailed(err)
+		}
+	}
+	s.mu.Lock()
+	s.cResponse.Add(written)
+	s.mu.Unlock()
+}
+
+// writeFailed records a write error, counts deadline expiries as
+// slow-client timeouts, and closes the socket so the reader's next read
+// fails too. Always returns true (the writer's failed state).
+func (c *conn) writeFailed(err error) bool {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		c.srv.mu.Lock()
+		c.srv.cTimeouts.Inc()
+		c.srv.mu.Unlock()
+	}
+	c.nc.Close()
+	return true
+}

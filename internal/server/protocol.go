@@ -1,0 +1,215 @@
+// Package server is the network front door of the native HybriDS
+// runtime: a TCP serving layer over core.Hybrid speaking a compact
+// length-prefixed binary protocol whose operations map 1:1 onto hds.Kind
+// (GET/PUT/UPDATE/DELETE/SCAN), plus a STATS introspection request.
+//
+// Each connection is served by a reader goroutine — which coalesces
+// pipelined client requests into core.ApplyBatch windows, the paper's
+// §3.5 non-blocking admission primitive — and a writer goroutine that
+// streams responses back in request order under a slow-client write
+// deadline. Backpressure is explicit at every level: the per-connection
+// in-flight budget bounds responses awaiting the writer (a full budget
+// stops the reader, which stops reading the socket, which pushes back on
+// the client through TCP flow control), and the accept cap bounds
+// concurrent connections. Graceful shutdown stops reading new requests
+// but answers every request fully read before it, so a draining server
+// never loses an in-flight response. See docs/SERVING.md for the
+// protocol specification and the backpressure model.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hybrids/internal/hds"
+)
+
+// Protocol operation codes (the request frame's op byte). The five data
+// operations map 1:1 onto hds.Kind; OpStats is served by the server
+// itself from its metrics registry.
+const (
+	OpGet    uint8 = 1 // hds.Read: value lookup
+	OpPut    uint8 = 2 // hds.Insert: insert if absent
+	OpUpdate uint8 = 3 // hds.Update: overwrite if present
+	OpDelete uint8 = 4 // hds.Remove: delete if present
+	OpScan   uint8 = 5 // hds.Scan: up to Value pairs from Key upward
+	OpStats  uint8 = 6 // server-side metrics snapshot (text payload)
+)
+
+// Response status codes (the response frame's status byte).
+const (
+	// StatusOK: the operation was applied and reported success.
+	StatusOK uint8 = 0
+	// StatusMiss: the operation was applied but reported failure — a GET
+	// or DELETE of an absent key, a PUT of a present one. The store was
+	// consulted; this is a legitimate outcome, not an error.
+	StatusMiss uint8 = 1
+	// StatusRejected: the server is shutting down and the operation never
+	// reached a store. Clients may retry elsewhere.
+	StatusRejected uint8 = 2
+	// StatusBadRequest: the frame was well-formed but the request is not
+	// servable (unknown op, key outside the map's key space).
+	StatusBadRequest uint8 = 3
+)
+
+// Request is one decoded client request frame.
+type Request struct {
+	// Op is the protocol operation code.
+	Op uint8
+	// Key is the operation's key (SCAN: inclusive start, 0 allowed).
+	Key uint64
+	// Value is PUT/UPDATE's payload and SCAN's maximum pair count.
+	Value uint64
+}
+
+// Pair is one key-value pair of a SCAN response.
+type Pair struct {
+	// Key is the pair's key.
+	Key uint64
+	// Value is the pair's value.
+	Value uint64
+}
+
+// Response is one decoded server response frame. Which payload fields are
+// meaningful depends on the request's op: scalar operations carry Value,
+// SCAN carries Pairs, STATS carries Stats.
+type Response struct {
+	// Status is the response status code.
+	Status uint8
+	// Value is the read value (GET) or visited-pair count (mailbox
+	// scans); zero otherwise.
+	Value uint64
+	// Pairs is the SCAN result in ascending key order.
+	Pairs []Pair
+	// Stats is the STATS text payload ("name value" lines, sorted).
+	Stats []byte
+}
+
+// Wire geometry. Every frame is a big-endian uint32 byte length followed
+// by that many payload bytes; request payloads are exactly reqBody bytes.
+const (
+	lenBytes     = 4
+	reqBody      = 1 + 8 + 8 // op, key, value
+	reqFrame     = lenBytes + reqBody
+	maxRespFrame = 1 << 26 // decoder sanity bound, far above any real response
+)
+
+// kindOf maps a data operation code to its hds.Kind. ok is false for
+// OpStats and unknown codes, which have no hds equivalent.
+func kindOf(op uint8) (hds.Kind, bool) {
+	switch op {
+	case OpGet:
+		return hds.Read, true
+	case OpPut:
+		return hds.Insert, true
+	case OpUpdate:
+		return hds.Update, true
+	case OpDelete:
+		return hds.Remove, true
+	case OpScan:
+		return hds.Scan, true
+	}
+	return 0, false
+}
+
+// AppendRequest appends r's wire frame to buf and returns the extended
+// slice.
+func AppendRequest(buf []byte, r Request) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, reqBody)
+	buf = append(buf, r.Op)
+	buf = binary.BigEndian.AppendUint64(buf, r.Key)
+	buf = binary.BigEndian.AppendUint64(buf, r.Value)
+	return buf
+}
+
+// ReadRequest reads one request frame. A frame whose length field is not
+// exactly the request body size is a framing error (the stream cannot be
+// resynchronized) and closes the connection.
+func ReadRequest(r io.Reader) (Request, error) {
+	var hdr [reqFrame]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Request{}, err
+	}
+	if n := binary.BigEndian.Uint32(hdr[:lenBytes]); n != reqBody {
+		return Request{}, fmt.Errorf("server: request frame length %d, want %d", n, reqBody)
+	}
+	return Request{
+		Op:    hdr[lenBytes],
+		Key:   binary.BigEndian.Uint64(hdr[lenBytes+1:]),
+		Value: binary.BigEndian.Uint64(hdr[lenBytes+9:]),
+	}, nil
+}
+
+// AppendScalarResponse appends a scalar (GET/PUT/UPDATE/DELETE) response
+// frame: status byte plus a uint64 value.
+func AppendScalarResponse(buf []byte, status uint8, value uint64) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, 1+8)
+	buf = append(buf, status)
+	return binary.BigEndian.AppendUint64(buf, value)
+}
+
+// AppendScanResponse appends a SCAN response frame: status byte, a uint32
+// pair count, then count (key, value) pairs.
+func AppendScanResponse(buf []byte, status uint8, pairs []Pair) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+4+16*len(pairs)))
+	buf = append(buf, status)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.BigEndian.AppendUint64(buf, p.Key)
+		buf = binary.BigEndian.AppendUint64(buf, p.Value)
+	}
+	return buf
+}
+
+// AppendStatsResponse appends a STATS response frame: status byte plus
+// the snapshot text.
+func AppendStatsResponse(buf []byte, status uint8, text []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(text)))
+	buf = append(buf, status)
+	return append(buf, text...)
+}
+
+// ReadResponse reads one response frame, decoding the payload by the op
+// of the request it answers (responses arrive strictly in request order,
+// so pipelining clients replay their sent ops FIFO).
+func ReadResponse(r io.Reader, op uint8) (Response, error) {
+	var hdr [lenBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Response{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > maxRespFrame {
+		return Response{}, fmt.Errorf("server: response frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Response{}, err
+	}
+	resp := Response{Status: body[0]}
+	body = body[1:]
+	switch op {
+	case OpScan:
+		if len(body) < 4 {
+			return Response{}, fmt.Errorf("server: scan response truncated (%d bytes)", len(body))
+		}
+		count := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		if uint64(len(body)) != uint64(count)*16 {
+			return Response{}, fmt.Errorf("server: scan response %d pairs but %d payload bytes", count, len(body))
+		}
+		resp.Pairs = make([]Pair, count)
+		for i := range resp.Pairs {
+			resp.Pairs[i].Key = binary.BigEndian.Uint64(body[16*i:])
+			resp.Pairs[i].Value = binary.BigEndian.Uint64(body[16*i+8:])
+		}
+	case OpStats:
+		resp.Stats = body
+	default:
+		if len(body) != 8 {
+			return Response{}, fmt.Errorf("server: scalar response body %d bytes, want 8", len(body))
+		}
+		resp.Value = binary.BigEndian.Uint64(body)
+	}
+	return resp, nil
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hybrids/internal/core"
+	"hybrids/internal/metrics"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a default.
+type Config struct {
+	// Window is the maximum number of pipelined scalar requests one
+	// connection coalesces into a single core.ApplyBatchResults call (the
+	// §3.5 non-blocking window). Defaults to 16.
+	Window int
+	// Inflight is the per-connection in-flight budget: the number of
+	// completed responses that may await the writer goroutine before the
+	// reader stops reading the socket (backpressure propagates to the
+	// client through TCP flow control). Defaults to 4x Window.
+	Inflight int
+	// MaxConns caps concurrently served connections; connections accepted
+	// beyond the cap are closed immediately and counted in
+	// server/conns_refused. 0 means unlimited.
+	MaxConns int
+	// WriteTimeout is the per-flush deadline on response writes. A client
+	// that does not drain its responses within it is disconnected and
+	// counted in server/write_timeouts. Defaults to 10s.
+	WriteTimeout time.Duration
+	// ScanLimit caps the pairs returned by one SCAN request (the client's
+	// requested count is clamped to it), bounding response frames and the
+	// time a scan barrier occupies combiners. Defaults to 1024.
+	ScanLimit int
+	// Metrics receives the server's instruments (server/...); nil creates
+	// a private registry. Unlike the core runtime's per-combiner
+	// instruments, every server/ instrument is guarded by the server's
+	// mutex, so the STATS request can read them while serving traffic.
+	Metrics *metrics.Registry
+}
+
+// Server serves the binary protocol over TCP on behalf of one
+// core.Hybrid. Construct with New, start with Serve or ListenAndServe,
+// stop with Shutdown. The server never closes the hybrid map: callers
+// Shutdown the server first, then Close the map, so every request read
+// before the drain began reaches a combiner.
+type Server struct {
+	h   *core.Hybrid
+	cfg Config
+
+	// mu guards the connection set, the lifecycle state and every
+	// server/ instrument (the metrics registry itself is unsynchronized).
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	wg       sync.WaitGroup // one per live connection
+
+	cAccepted   *metrics.Counter
+	cRefused    *metrics.Counter
+	cClosed     *metrics.Counter
+	cRequests   *metrics.Counter
+	cResponse   *metrics.Counter
+	cRejected   *metrics.Counter
+	cBadReq     *metrics.Counter
+	cTimeouts   *metrics.Counter
+	cScanned    *metrics.Counter
+	hBatch      *metrics.Histogram
+	cBatchSum   *metrics.Counter
+	cBatchCount *metrics.Counter
+	cOps        [OpStats + 1]*metrics.Counter
+}
+
+// New returns a server over h. The hybrid map must outlive the server
+// (Shutdown before h.Close for a loss-free drain).
+func New(h *core.Hybrid, cfg Config) *Server {
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = 4 * cfg.Window
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.ScanLimit <= 0 {
+		cfg.ScanLimit = 1024
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		h:         h,
+		cfg:       cfg,
+		conns:     make(map[*conn]struct{}),
+		cAccepted: reg.Counter("server/conns_accepted"),
+		cRefused:  reg.Counter("server/conns_refused"),
+		cClosed:   reg.Counter("server/conns_closed"),
+		cRequests: reg.Counter("server/requests"),
+		cResponse: reg.Counter("server/responses"),
+		cRejected: reg.Counter("server/rejected"),
+		cBadReq:   reg.Counter("server/bad_requests"),
+		cTimeouts: reg.Counter("server/write_timeouts"),
+		cScanned:  reg.Counter("server/scan_pairs"),
+		hBatch:    reg.Histogram("server/batch"),
+	}
+	// Histogram registers its backing counters in the registry; fetching
+	// them by name here (registration is idempotent) lets STATS read
+	// sum/count without reaching back into the registry per request.
+	s.cBatchSum = reg.Counter("server/batch/sum")
+	s.cBatchCount = reg.Counter("server/batch/count")
+	for op, name := range map[uint8]string{
+		OpGet: "get", OpPut: "put", OpUpdate: "update",
+		OpDelete: "delete", OpScan: "scan", OpStats: "stats",
+	} {
+		s.cOps[op] = reg.Counter("server/ops/" + name)
+	}
+	return s
+}
+
+// ListenAndServe listens on the TCP address addr and serves until
+// Shutdown. It returns after the listener is closed and reports any
+// accept error other than the shutdown itself.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. Connections
+// beyond MaxConns are refused (closed on accept). Serve returns nil on
+// shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining || (s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns) {
+			s.cRefused.Inc()
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		c := &conn{
+			srv:  s,
+			nc:   nc,
+			out:  make(chan pending, s.cfg.Inflight),
+			stop: make(chan struct{}),
+		}
+		s.conns[c] = struct{}{}
+		s.cAccepted.Inc()
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.run()
+	}
+}
+
+// Addr returns the listener's address (nil before Serve), letting tests
+// bind port 0 and dial back.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server gracefully: it stops accepting, tells every
+// connection to stop reading new requests, and waits until each has
+// answered everything it had already read — no response in flight is
+// lost. It does not touch the hybrid map; close that after Shutdown
+// returns. Shutdown is idempotent and safe to call before Serve.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	live := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		live = append(live, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range live {
+		c.beginDrain()
+	}
+	s.wg.Wait()
+}
+
+// StatsText renders the server's instruments as sorted "name value"
+// lines — the STATS response payload. Safe to call while serving.
+func (s *Server) StatsText() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// statsLocked builds the STATS payload; callers hold s.mu. Only the
+// mutex-guarded server/ instruments are read — the core runtime's
+// combiner-owned counters are consistent only at quiescence and are
+// deliberately excluded from live snapshots.
+func (s *Server) statsLocked() []byte {
+	counters := []*metrics.Counter{
+		s.cBadReq, s.cBatchCount, s.cBatchSum, s.cAccepted, s.cClosed,
+		s.cRefused,
+		s.cOps[OpDelete], s.cOps[OpGet], s.cOps[OpPut], s.cOps[OpScan],
+		s.cOps[OpStats], s.cOps[OpUpdate],
+		s.cRejected, s.cRequests, s.cResponse, s.cScanned, s.cTimeouts,
+	}
+	var out []byte
+	for _, c := range counters {
+		out = fmt.Appendf(out, "%s %d\n", c.Name(), c.Value())
+	}
+	return out
+}
