@@ -4,12 +4,16 @@
 // the internal/server binary protocol (GET/PUT/UPDATE/DELETE/SCAN/STATS;
 // see docs/SERVING.md).
 //
+// The -store flag selects any engine registered in internal/store
+// (btree, skiplist, bskiplist, ...); -levels tunes engine height
+// uniformly where the engine supports it.
+//
 // Usage:
 //
 //	hybridsd [-addr :7070] [-partitions 8] [-keymax 4194304]
-//	         [-store btree|skiplist] [-window 16] [-inflight 64]
+//	         [-store btree] [-window 16] [-inflight 64]
 //	         [-maxconns 0] [-scan-limit 1024] [-write-timeout 10s]
-//	         [-mailbox 64] [-levels 16]
+//	         [-mailbox 64] [-levels 0]
 //
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
 // answers every request already read from every connection, then closes
@@ -22,33 +26,23 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"hybrids/internal/cds"
 	"hybrids/internal/core"
 	"hybrids/internal/metrics"
 	"hybrids/internal/server"
+	"hybrids/internal/store"
 )
-
-// slStore adapts cds.SkipList to the core.Store interface (Insert vs Put
-// naming), mirroring the adapter the native benchmarks use.
-type slStore struct{ s *cds.SkipList }
-
-func (s slStore) Get(k uint64) (uint64, bool)                   { return s.s.Get(k) }
-func (s slStore) Put(k, v uint64) bool                          { return s.s.Insert(k, v) }
-func (s slStore) Update(k, v uint64) bool                       { return s.s.Update(k, v) }
-func (s slStore) Delete(k uint64) bool                          { return s.s.Delete(k) }
-func (s slStore) Len() int                                      { return s.s.Len() }
-func (s slStore) Ascend(from uint64, fn func(k, v uint64) bool) { s.s.Ascend(from, fn) }
 
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
 		partitions   = flag.Int("partitions", 8, "partition/combiner count (the paper's NMP vaults)")
 		keyMax       = flag.Uint64("keymax", 1<<22, "exclusive key-space bound; valid keys are 1..keymax-1")
-		store        = flag.String("store", "btree", "per-partition store: btree or skiplist")
-		levels       = flag.Int("levels", 16, "skiplist level count (skiplist store only)")
+		engineName   = flag.String("store", "btree", "per-partition store engine: "+strings.Join(store.Names(), ", "))
+		levels       = flag.Int("levels", 0, "structure height cap (0 = engine default; the B+ tree derives height from fan-out and ignores it)")
 		mailbox      = flag.Int("mailbox", 64, "per-partition mailbox depth")
 		window       = flag.Int("window", 16, "per-connection request coalescing window (ApplyBatch size)")
 		inflight     = flag.Int("inflight", 0, "per-connection in-flight response budget (default 4x window)")
@@ -58,14 +52,10 @@ func main() {
 	)
 	flag.Parse()
 
-	var newStore func(int) core.Store
-	switch *store {
-	case "btree":
-		newStore = nil // core defaults to cds.NewBTree
-	case "skiplist":
-		newStore = func(int) core.Store { return slStore{cds.NewSkipList(*levels)} }
-	default:
-		fmt.Fprintf(os.Stderr, "unknown store %q (btree or skiplist)\n", *store)
+	eng, ok := store.Lookup(*engineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown store %q (valid engines: %s)\n",
+			*engineName, strings.Join(store.Names(), ", "))
 		os.Exit(2)
 	}
 
@@ -74,9 +64,10 @@ func main() {
 		Partitions:   *partitions,
 		KeyMax:       *keyMax,
 		MailboxDepth: *mailbox,
-		NewStore:     newStore,
+		NewStore:     eng.NewNative(store.Tuning{Levels: *levels}),
 	})
 	srv := server.New(h, server.Config{
+		Store:        eng.Name,
 		Window:       *window,
 		Inflight:     *inflight,
 		MaxConns:     *maxConns,
@@ -91,7 +82,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "hybridsd: serving %s/%d partitions on %s (window %d)\n",
-		*store, *partitions, ln.Addr(), *window)
+		eng.Name, *partitions, ln.Addr(), *window)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

@@ -1,0 +1,392 @@
+package cds
+
+import "hybrids/internal/metrics"
+
+// B-skiplist geometry: fat nodes holding up to 14 entries, so a node's key
+// block (14 x 8B) fills one 112B span of a cache line pair — searching
+// within a node is a sequential scan over contiguous keys instead of the
+// classic skiplist's per-key pointer chase.
+const (
+	bsMax       = 14
+	bsMaxLevels = 16
+)
+
+// bsNode is one fat node. lo is the node's immutable lower bound: every
+// key stored in (or below) the node is >= lo, and < next.lo when next is
+// non-nil. Leaves carry key-value pairs; inner nodes carry (key, down)
+// routing entries where keys[i] == down[i].lo.
+type bsNode struct {
+	lo   uint64
+	n    int
+	next *bsNode
+	keys [bsMax]uint64
+	vals [bsMax]uint64
+	down [bsMax]*bsNode
+}
+
+// BSkipList is a single-threaded cache-conscious B-skiplist: a skiplist
+// whose every level is a linked list of fat multi-key nodes (the
+// locality-optimized layout of the B-skiplist paper), with deterministic
+// promote-on-split instead of coin flips — splitting a level-l node always
+// inserts a routing entry for the new node at level l+1, growing a new top
+// level when the current top first splits. Deletion is relaxed in the same
+// way as BTree: nodes may underflow (even to empty) and are never merged
+// or unlinked, so lower-bound dividers stay immutable. It implements the
+// same ordered-map surface as BTree and is the third partition-owned store
+// of the native hybrid runtime.
+type BSkipList struct {
+	heads  [bsMaxLevels]*bsNode
+	top    int // index of the highest active level
+	cap    int // maximum level count; promotions above it are dropped
+	length int
+
+	// Structural-event counters, nil until Instrument.
+	cLeafSplits   *metrics.Counter
+	cInnerSplits  *metrics.Counter
+	cLevelGrowths *metrics.Counter
+}
+
+// NewBSkipList returns an empty list. levels caps the height (values
+// outside [1, 16] select the maximum); with ~7-14 entries per node the cap
+// is only reached at astronomical sizes, where promotions are dropped and
+// top-level searches degrade to longer forward walks, never to incorrect
+// results.
+func NewBSkipList(levels int) *BSkipList {
+	if levels < 1 || levels > bsMaxLevels {
+		levels = bsMaxLevels
+	}
+	t := &BSkipList{cap: levels}
+	t.heads[0] = &bsNode{}
+	return t
+}
+
+// Instrument registers the list's structural-event counters — leaf splits,
+// inner-node splits and level growths — in reg under prefix (as
+// "<prefix>/leaf_splits" etc.). Like the list itself, the instruments are
+// single-owner: only the goroutine mutating the list may trigger them.
+func (t *BSkipList) Instrument(reg *metrics.Registry, prefix string) {
+	t.cLeafSplits = reg.Counter(prefix + "/leaf_splits")
+	t.cInnerSplits = reg.Counter(prefix + "/inner_splits")
+	t.cLevelGrowths = reg.Counter(prefix + "/level_growths")
+}
+
+// Len returns the number of stored pairs.
+func (t *BSkipList) Len() int { return t.length }
+
+// Height returns the number of active levels.
+func (t *BSkipList) Height() int { return t.top + 1 }
+
+// entryIdx returns the greatest i with keys[i] <= key. Valid on inner
+// nodes reached by a descent: the head's sentinel entry (key 0) or the
+// node's own lower bound guarantees i >= 0.
+func (n *bsNode) entryIdx(key uint64) int {
+	i := 0
+	for i < n.n-1 && n.keys[i+1] <= key {
+		i++
+	}
+	return i
+}
+
+// leafSlot returns key's slot in a leaf, or -1.
+func (n *bsNode) leafSlot(key uint64) int {
+	for i := 0; i < n.n; i++ {
+		if n.keys[i] == key {
+			return i
+		}
+		if n.keys[i] > key {
+			return -1
+		}
+	}
+	return -1
+}
+
+// search descends to the leaf whose range covers key. It allocates
+// nothing, which is what keeps the hybrid runtime's Get path at the
+// pooled-Future allocation budget.
+func (t *BSkipList) search(key uint64) *bsNode {
+	curr := t.heads[t.top]
+	for l := t.top; l > 0; l-- {
+		for curr.next != nil && curr.next.lo <= key {
+			curr = curr.next
+		}
+		curr = curr.down[curr.entryIdx(key)]
+	}
+	for curr.next != nil && curr.next.lo <= key {
+		curr = curr.next
+	}
+	return curr
+}
+
+// descend is search with the per-level position recorded for promotions:
+// path[l] is the level-l node whose range covers key.
+func (t *BSkipList) descend(key uint64, path *[bsMaxLevels]*bsNode) *bsNode {
+	curr := t.heads[t.top]
+	for l := t.top; l > 0; l-- {
+		for curr.next != nil && curr.next.lo <= key {
+			curr = curr.next
+		}
+		path[l] = curr
+		curr = curr.down[curr.entryIdx(key)]
+	}
+	for curr.next != nil && curr.next.lo <= key {
+		curr = curr.next
+	}
+	path[0] = curr
+	return curr
+}
+
+// Get returns the value stored under key.
+func (t *BSkipList) Get(key uint64) (uint64, bool) {
+	leaf := t.search(key)
+	if i := leaf.leafSlot(key); i >= 0 {
+		return leaf.vals[i], true
+	}
+	return 0, false
+}
+
+// Update overwrites the value of an existing key, returning false if
+// absent.
+func (t *BSkipList) Update(key, value uint64) bool {
+	leaf := t.search(key)
+	if i := leaf.leafSlot(key); i >= 0 {
+		leaf.vals[i] = value
+		return true
+	}
+	return false
+}
+
+// Put inserts key -> value, returning false (without modifying the list)
+// when the key already exists.
+func (t *BSkipList) Put(key, value uint64) bool {
+	var path [bsMaxLevels]*bsNode
+	leaf := t.descend(key, &path)
+	if leaf.leafSlot(key) >= 0 {
+		return false
+	}
+	t.length++
+	if leaf.n < bsMax {
+		leaf.insertKV(key, value)
+		return true
+	}
+	right := leaf.splitLeafInsert(key, value)
+	inc(t.cLeafSplits)
+	t.promote(&path, right)
+	return true
+}
+
+func (n *bsNode) insertKV(key, value uint64) {
+	pos := 0
+	for pos < n.n && n.keys[pos] < key {
+		pos++
+	}
+	copy(n.keys[pos+1:n.n+1], n.keys[pos:n.n])
+	copy(n.vals[pos+1:n.n+1], n.vals[pos:n.n])
+	n.keys[pos] = key
+	n.vals[pos] = value
+	n.n++
+}
+
+// splitLeafInsert splits a full leaf around the insertion of (key, value),
+// links the new right sibling into the level-0 chain and returns it. The
+// right node's lo is its first key, the divider promoted upward.
+func (n *bsNode) splitLeafInsert(key, value uint64) *bsNode {
+	var keys [bsMax + 1]uint64
+	var vals [bsMax + 1]uint64
+	pos := 0
+	for pos < n.n && n.keys[pos] < key {
+		pos++
+	}
+	copy(keys[:pos], n.keys[:pos])
+	copy(vals[:pos], n.vals[:pos])
+	keys[pos], vals[pos] = key, value
+	copy(keys[pos+1:], n.keys[pos:n.n])
+	copy(vals[pos+1:], n.vals[pos:n.n])
+	total := n.n + 1
+	leftN := (total + 1) / 2
+	right := &bsNode{lo: keys[leftN], n: total - leftN, next: n.next}
+	copy(right.keys[:right.n], keys[leftN:total])
+	copy(right.vals[:right.n], vals[leftN:total])
+	n.n = leftN
+	copy(n.keys[:leftN], keys[:leftN])
+	copy(n.vals[:leftN], vals[:leftN])
+	n.next = right
+	return right
+}
+
+// insertEntry adds the routing entry (child.lo, child) to an inner node
+// with room. The child is already linked into its own level's chain.
+func (n *bsNode) insertEntry(child *bsNode) {
+	key := child.lo
+	pos := 0
+	for pos < n.n && n.keys[pos] < key {
+		pos++
+	}
+	copy(n.keys[pos+1:n.n+1], n.keys[pos:n.n])
+	copy(n.down[pos+1:n.n+1], n.down[pos:n.n])
+	n.keys[pos] = key
+	n.down[pos] = child
+	n.n++
+}
+
+// splitInnerInsert splits a full inner node around the insertion of
+// child's routing entry, links the right sibling into the level chain and
+// returns it for promotion one level up.
+func (n *bsNode) splitInnerInsert(child *bsNode) *bsNode {
+	var keys [bsMax + 1]uint64
+	var down [bsMax + 1]*bsNode
+	key := child.lo
+	pos := 0
+	for pos < n.n && n.keys[pos] < key {
+		pos++
+	}
+	copy(keys[:pos], n.keys[:pos])
+	copy(down[:pos], n.down[:pos])
+	keys[pos], down[pos] = key, child
+	copy(keys[pos+1:], n.keys[pos:n.n])
+	copy(down[pos+1:], n.down[pos:n.n])
+	total := n.n + 1
+	leftN := (total + 1) / 2
+	right := &bsNode{lo: keys[leftN], n: total - leftN, next: n.next}
+	copy(right.keys[:right.n], keys[leftN:total])
+	copy(right.down[:right.n], down[leftN:total])
+	n.n = leftN
+	copy(n.keys[:leftN], keys[:leftN])
+	copy(n.down[:leftN], down[:leftN])
+	// Clear stale tails so dangling references do not pin memory.
+	for i := leftN; i < bsMax; i++ {
+		n.down[i] = nil
+	}
+	n.next = right
+	return right
+}
+
+// promote inserts right's routing entry at level 1 and walks upward
+// through the recorded descent path as inner nodes split, growing a new
+// top level when the current top itself splits (unless the height cap is
+// reached, in which case the shortcut is dropped — forward walks along the
+// top chain still find every node).
+func (t *BSkipList) promote(path *[bsMaxLevels]*bsNode, right *bsNode) {
+	for l := 1; l <= t.top; l++ {
+		node := path[l]
+		if node.n < bsMax {
+			node.insertEntry(right)
+			return
+		}
+		right = node.splitInnerInsert(right)
+		inc(t.cInnerSplits)
+	}
+	if t.top+1 >= t.cap {
+		return
+	}
+	head := &bsNode{n: 2}
+	head.keys[0], head.down[0] = 0, t.heads[t.top]
+	head.keys[1], head.down[1] = right.lo, right
+	t.top++
+	t.heads[t.top] = head
+	inc(t.cLevelGrowths)
+}
+
+// Delete removes key, returning false if absent. Leaves may underflow
+// (relaxed invariant) and are never merged or unlinked, so routing entries
+// and lower bounds stay valid without restructuring.
+func (t *BSkipList) Delete(key uint64) bool {
+	leaf := t.search(key)
+	i := leaf.leafSlot(key)
+	if i < 0 {
+		return false
+	}
+	copy(leaf.keys[i:leaf.n-1], leaf.keys[i+1:leaf.n])
+	copy(leaf.vals[i:leaf.n-1], leaf.vals[i+1:leaf.n])
+	leaf.n--
+	t.length--
+	return true
+}
+
+// Ascend calls fn for each pair with key >= from in ascending order until
+// fn returns false.
+func (t *BSkipList) Ascend(from uint64, fn func(key, value uint64) bool) {
+	for n := t.search(from); n != nil; n = n.next {
+		for i := 0; i < n.n; i++ {
+			if n.keys[i] >= from {
+				if !fn(n.keys[i], n.vals[i]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CheckInvariants validates structural invariants (for tests): per-level
+// sorted fat nodes respecting their lower bounds, routing entries that
+// point one level down at nodes whose lo matches the entry key, head
+// sentinels chained by their first entry, and a level-0 pair count
+// matching Len.
+func (t *BSkipList) CheckInvariants() error {
+	if t.top >= t.cap || t.heads[0] == nil {
+		return errf("bskiplist: %d levels exceed cap %d", t.top+1, t.cap)
+	}
+	// Collect per-level membership so entry targets can be checked.
+	members := make([]map[*bsNode]bool, t.top+1)
+	for l := 0; l <= t.top; l++ {
+		members[l] = make(map[*bsNode]bool)
+		if t.heads[l] == nil {
+			return errf("bskiplist: nil head at level %d", l)
+		}
+		if t.heads[l].lo != 0 {
+			return errf("bskiplist: head at level %d has lo %d", l, t.heads[l].lo)
+		}
+		prevLo := uint64(0)
+		for n := t.heads[l]; n != nil; n = n.next {
+			if n != t.heads[l] && n.lo <= prevLo {
+				return errf("bskiplist: level %d lo %d after %d", l, n.lo, prevLo)
+			}
+			if n.n < 0 || n.n > bsMax {
+				return errf("bskiplist: level %d node with %d entries", l, n.n)
+			}
+			if l > 0 && n.n < 1 {
+				return errf("bskiplist: empty inner node at level %d", l)
+			}
+			members[l][n] = true
+			prevLo = n.lo
+		}
+	}
+	count := 0
+	for l := 0; l <= t.top; l++ {
+		var prev uint64
+		first := true
+		for n := t.heads[l]; n != nil; n = n.next {
+			hi := ^uint64(0)
+			if n.next != nil {
+				hi = n.next.lo
+			}
+			for i := 0; i < n.n; i++ {
+				k := n.keys[i]
+				if !first && k <= prev {
+					return errf("bskiplist: level %d key %d after %d", l, k, prev)
+				}
+				if k < n.lo || k >= hi {
+					return errf("bskiplist: level %d key %d outside [%d,%d)", l, k, n.lo, hi)
+				}
+				if l > 0 {
+					child := n.down[i]
+					if child == nil || !members[l-1][child] {
+						return errf("bskiplist: level %d entry %d points outside level %d", l, k, l-1)
+					}
+					if child.lo != k {
+						return errf("bskiplist: level %d entry %d at child with lo %d", l, k, child.lo)
+					}
+				} else {
+					count++
+				}
+				prev, first = k, false
+			}
+		}
+		if l > 0 && (t.heads[l].keys[0] != 0 || t.heads[l].down[0] != t.heads[l-1]) {
+			return errf("bskiplist: head at level %d does not anchor level %d", l, l-1)
+		}
+	}
+	if count != t.length {
+		return errf("bskiplist: length %d but %d pairs found", t.length, count)
+	}
+	return nil
+}

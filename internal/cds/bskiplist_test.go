@@ -1,0 +1,158 @@
+package cds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hybrids/internal/metrics"
+)
+
+// TestBSkipListOracle drives a randomized op mix against a map-based model
+// and validates the structure after every phase.
+func TestBSkipListOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bs := NewBSkipList(0)
+	model := map[uint64]uint64{}
+	const keySpace = 4096
+	for i := 0; i < 60000; i++ {
+		key := uint64(rng.Intn(keySpace)) + 1
+		value := rng.Uint64()
+		switch rng.Intn(5) {
+		case 0, 1:
+			_, wantOK := model[key]
+			if ok := bs.Put(key, value); ok == wantOK {
+				t.Fatalf("Put(%d) ok=%v with model presence %v", key, ok, wantOK)
+			}
+			if !wantOK {
+				model[key] = value
+			}
+		case 2:
+			_, wantOK := model[key]
+			if ok := bs.Update(key, value); ok != wantOK {
+				t.Fatalf("Update(%d) ok=%v want %v", key, ok, wantOK)
+			}
+			if wantOK {
+				model[key] = value
+			}
+		case 3:
+			_, wantOK := model[key]
+			if ok := bs.Delete(key); ok != wantOK {
+				t.Fatalf("Delete(%d) ok=%v want %v", key, ok, wantOK)
+			}
+			delete(model, key)
+		default:
+			want, wantOK := model[key]
+			got, ok := bs.Get(key)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("Get(%d) = %d,%v want %d,%v", key, got, ok, want, wantOK)
+			}
+		}
+	}
+	if bs.Len() != len(model) {
+		t.Fatalf("Len = %d want %d", bs.Len(), len(model))
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var got []uint64
+	bs.Ascend(0, func(k, v uint64) bool {
+		if v != model[k] {
+			t.Fatalf("Ascend key %d value %d want %d", k, v, model[k])
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Ascend yielded %d keys want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("Ascend[%d] = %d want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+// TestBSkipListGrowth checks that dense sequential loading grows multiple
+// levels, keeps fat nodes and reports structural events when instrumented.
+func TestBSkipListGrowth(t *testing.T) {
+	reg := metrics.NewRegistry()
+	bs := NewBSkipList(0)
+	bs.Instrument(reg, "store")
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		if !bs.Put(uint64(i), uint64(i)*3) {
+			t.Fatalf("Put(%d) rejected", i)
+		}
+	}
+	if bs.Len() != n {
+		t.Fatalf("Len = %d want %d", bs.Len(), n)
+	}
+	if bs.Height() < 4 {
+		t.Fatalf("height %d after %d inserts, want >= 4", bs.Height(), n)
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Get("store/leaf_splits") == 0 || snap.Get("store/inner_splits") == 0 ||
+		snap.Get("store/level_growths") == 0 {
+		t.Fatalf("expected structural events, got %v", snap)
+	}
+	for i := 1; i <= n; i++ {
+		if v, ok := bs.Get(uint64(i)); !ok || v != uint64(i)*3 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	// Partial range scan from the middle.
+	want := uint64(n/2 + 1)
+	bs.Ascend(want, func(k, v uint64) bool {
+		if k != want {
+			t.Fatalf("Ascend key %d want %d", k, want)
+		}
+		want++
+		return want <= uint64(n/2+100)
+	})
+}
+
+// TestBSkipListHeightCap verifies that a capped list stays correct when
+// promotions above the cap are dropped.
+func TestBSkipListHeightCap(t *testing.T) {
+	bs := NewBSkipList(2)
+	for i := 1; i <= 2000; i++ {
+		bs.Put(uint64(i), uint64(i))
+	}
+	if bs.Height() > 2 {
+		t.Fatalf("height %d exceeds cap 2", bs.Height())
+	}
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2000; i++ {
+		if v, ok := bs.Get(uint64(i)); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestBSkipListGetAllocs pins the allocation-free Get path the hybrid
+// runtime's pooled-Future discipline depends on.
+func TestBSkipListGetAllocs(t *testing.T) {
+	bs := NewBSkipList(0)
+	for i := 1; i <= 10000; i++ {
+		bs.Put(uint64(i)*7, uint64(i))
+	}
+	key := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		key += 7919
+		bs.Get(key % 70000)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocates %v per op, want 0", allocs)
+	}
+}

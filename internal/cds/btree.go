@@ -99,9 +99,19 @@ func (t *BTree) descend(key uint64) (leaf *bNode, path []*bNode, idxs []int) {
 	return curr, path, idxs
 }
 
+// find descends to the leaf covering key without recording the path, so
+// read-only operations allocate nothing.
+func (t *BTree) find(key uint64) *bNode {
+	curr := t.root
+	for !curr.leaf {
+		curr = curr.kids[curr.childIdx(key)]
+	}
+	return curr
+}
+
 // Get returns the value stored under key.
 func (t *BTree) Get(key uint64) (uint64, bool) {
-	leaf, _, _ := t.descend(key)
+	leaf := t.find(key)
 	if i := leaf.leafSlot(key); i >= 0 {
 		return leaf.vals[i], true
 	}
@@ -111,7 +121,7 @@ func (t *BTree) Get(key uint64) (uint64, bool) {
 // Update overwrites the value of an existing key, returning false if
 // absent.
 func (t *BTree) Update(key, value uint64) bool {
-	leaf, _, _ := t.descend(key)
+	leaf := t.find(key)
 	if i := leaf.leafSlot(key); i >= 0 {
 		leaf.vals[i] = value
 		return true

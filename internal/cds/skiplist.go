@@ -4,7 +4,11 @@
 // B+ tree suitable as a partition-owned store.
 package cds
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"hybrids/internal/metrics"
+)
 
 // MaxHeight bounds skiplist towers; 2^32 elements need no more.
 const MaxHeight = 32
@@ -39,6 +43,21 @@ type SkipList struct {
 	levels int
 	length atomic.Int64
 	seed   atomic.Uint64
+
+	// Structural-event counters, nil until Instrument.
+	cRestarts *metrics.Counter
+	cSnips    *metrics.Counter
+}
+
+// Instrument registers the list's structural-event counters — traversal
+// restarts forced by contention and physical unlinks of deleted nodes —
+// in reg under prefix (as "<prefix>/restarts" and "<prefix>/snips").
+// Unlike the list itself the instruments are NOT synchronized: call
+// Instrument only when a single goroutine owns the list, which is exactly
+// the per-partition combiner discipline of the native hybrid runtime.
+func (s *SkipList) Instrument(reg *metrics.Registry, prefix string) {
+	s.cRestarts = reg.Counter(prefix + "/restarts")
+	s.cSnips = reg.Counter(prefix + "/snips")
 }
 
 // NewSkipList creates an empty skiplist with the given level count
@@ -94,8 +113,10 @@ retry:
 					// curr is logically deleted: snip it out;
 					// restart from the head on interference.
 					if !s.snip(pred, curr, sc.next, level) {
+						inc(s.cRestarts)
 						continue retry
 					}
+					inc(s.cSnips)
 					curr = pred.next[level].Load().next
 					sc = curr.next[level].Load()
 				}
@@ -269,4 +290,50 @@ func (s *SkipList) Ascend(from uint64, fn func(key, value uint64) bool) {
 		}
 		curr = sc.next
 	}
+}
+
+// CheckInvariants validates structural invariants (for tests) on a
+// quiescent list: strictly increasing keys per level, upper-level
+// membership restricted to nodes reachable at the bottom level, tower
+// heights within each node's allocation, and an unmarked-node count
+// matching Len. It must not race with mutators.
+func (s *SkipList) CheckInvariants() error {
+	live := 0
+	bottom := make(map[*slNode]bool)
+	prev := s.head.key
+	for curr := s.head.next[0].Load().next; curr != s.tail; {
+		sc := curr.next[0].Load()
+		if curr.key <= prev {
+			return errf("skiplist: level 0 key %d after %d", curr.key, prev)
+		}
+		if curr.height < 1 || curr.height > s.levels || len(curr.next) != curr.height {
+			return errf("skiplist: node %d with height %d of %d levels", curr.key, curr.height, s.levels)
+		}
+		if !sc.marked {
+			live++
+		}
+		bottom[curr] = true
+		prev = curr.key
+		curr = sc.next
+	}
+	if live != s.Len() {
+		return errf("skiplist: length %d but %d unmarked nodes found", s.Len(), live)
+	}
+	for level := 1; level < s.levels; level++ {
+		prev := s.head.key
+		for curr := s.head.next[level].Load().next; curr != s.tail; {
+			if !bottom[curr] {
+				return errf("skiplist: level %d node %d not linked at level 0", level, curr.key)
+			}
+			if curr.height <= level {
+				return errf("skiplist: node %d of height %d linked at level %d", curr.key, curr.height, level)
+			}
+			if curr.key <= prev {
+				return errf("skiplist: level %d key %d after %d", level, curr.key, prev)
+			}
+			prev = curr.key
+			curr = curr.next[level].Load().next
+		}
+	}
+	return nil
 }

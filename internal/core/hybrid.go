@@ -46,6 +46,16 @@ type Store interface {
 	Ascend(from uint64, fn func(key, value uint64) bool)
 }
 
+// Instrumented is implemented by stores that expose structural-event
+// counters (cds.BTree, cds.SkipList, cds.BSkipList all do). New registers
+// each partition store that implements it under "core/p<i>/store", so
+// per-partition structural metrics are engine-uniform without the runtime
+// knowing any concrete store type.
+type Instrumented interface {
+	// Instrument registers the store's counters in reg under prefix.
+	Instrument(reg *metrics.Registry, prefix string)
+}
+
 // Config parameterizes a hybrid map.
 type Config struct {
 	// Partitions is the number of partition stores and combiner
@@ -145,8 +155,8 @@ func New(cfg Config) *Hybrid {
 			hBatch:   reg.Histogram(fmt.Sprintf("core/p%d/batch", p)),
 			hMailbox: reg.Histogram(fmt.Sprintf("core/p%d/mailbox", p)),
 		}
-		if bt, ok := part.store.(*cds.BTree); ok {
-			bt.Instrument(reg, fmt.Sprintf("core/p%d/store", p))
+		if ins, ok := part.store.(Instrumented); ok {
+			ins.Instrument(reg, fmt.Sprintf("core/p%d/store", p))
 		}
 		h.parts = append(h.parts, part)
 		h.wg.Add(1)

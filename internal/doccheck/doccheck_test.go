@@ -24,12 +24,14 @@ var checked = []string{
 	"internal/sim/trace",
 	"internal/dsim/offload",
 	"internal/dsim/fc",
+	"internal/dsim/bskiplist",
 	"internal/hds",
 	"internal/core",
 	"internal/cds",
 	"internal/metrics",
 	"internal/exp",
 	"internal/server",
+	"internal/store",
 }
 
 // TestExportedIdentifiersDocumented parses every non-test file of the

@@ -1,25 +1,21 @@
 package offload_test
 
 import (
-	"fmt"
-	"sync"
 	"testing"
 
-	"hybrids/internal/cds"
-	"hybrids/internal/core"
 	"hybrids/internal/dsim/btree"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/skiplist"
-	"hybrids/internal/hds"
 	"hybrids/internal/sim/machine"
-	"hybrids/internal/ycsb"
 )
 
 // Cross-structure equivalence: for the same operation streams, the
 // blocking path (Apply) and the non-blocking path (ApplyBatch, any window
 // depth) must converge to identical final contents on both hybrid
 // structures. Streams use distinct keys per operation so the final state
-// is completion-order-independent.
+// is completion-order-independent. The cross-stack (native vs simulated)
+// half of this property is covered per registered engine by the
+// conformance suite in internal/store.
 
 func eqMachine() *machine.Machine {
 	cfg := machine.Default()
@@ -164,160 +160,6 @@ func TestBTreeBlockingNonblockingEquivalent(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("window %d: pair %d = %+v, want %+v", w, i, got[i], want[i])
 			}
-		}
-	}
-}
-
-// --- Cross-stack equivalence: native runtime vs simulator ----------------
-//
-// The native internal/core runtime and the simulated hybrids consume the
-// same hds request vocabulary, so the same operation streams must converge
-// to the same final contents on both stacks — the refactor's semantic
-// contract. Native dumps are uint64; the sim's are uint32, and eqData keys
-// fit either width.
-
-func nativeRequestStreams(streams [][]kv.Op) [][]hds.Request {
-	out := make([][]hds.Request, len(streams))
-	for th, ops := range streams {
-		out[th] = make([]hds.Request, len(ops))
-		for i, op := range ops {
-			out[th][i] = hds.Request{Kind: op.Kind, Key: uint64(op.Key), Value: uint64(op.Value)}
-		}
-	}
-	return out
-}
-
-// eqSkipStore adapts cds.SkipList to core.Store.
-type eqSkipStore struct{ s *cds.SkipList }
-
-func (s eqSkipStore) Get(k uint64) (uint64, bool) { return s.s.Get(k) }
-func (s eqSkipStore) Put(k, v uint64) bool        { return s.s.Insert(k, v) }
-func (s eqSkipStore) Update(k, v uint64) bool     { return s.s.Update(k, v) }
-func (s eqSkipStore) Delete(k uint64) bool        { return s.s.Delete(k) }
-func (s eqSkipStore) Len() int                    { return s.s.Len() }
-func (s eqSkipStore) Ascend(from uint64, fn func(k, v uint64) bool) {
-	s.s.Ascend(from, fn)
-}
-
-// nativeDump runs eqData's streams against the real runtime — one
-// goroutine per stream, blocking (window<=1) or windowed non-blocking —
-// and returns the drained final contents.
-func nativeDump(t *testing.T, newStore func(int) core.Store, window int) []core.KV {
-	t.Helper()
-	pairs, streams := eqData()
-	h := core.New(core.Config{Partitions: 4, KeyMax: eqKeyMax, NewStore: newStore})
-	load := make([]core.KV, len(pairs))
-	for i, p := range pairs {
-		load[i] = core.KV{Key: uint64(p.k), Value: uint64(p.v)}
-	}
-	h.Build(load)
-	reqs := nativeRequestStreams(streams)
-	var wg sync.WaitGroup
-	for th := range reqs {
-		th := th
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if window > 1 {
-				h.ApplyBatch(reqs[th], window)
-				return
-			}
-			for _, req := range reqs[th] {
-				h.Apply(req)
-			}
-		}()
-	}
-	wg.Wait()
-	h.Close()
-	return h.Dump()
-}
-
-// requireSameContents compares a native dump to a simulated one.
-func requireSameContents(t *testing.T, label string, native []core.KV, sim []eqPair) {
-	t.Helper()
-	if len(native) != len(sim) {
-		t.Fatalf("%s: native %d pairs, sim %d", label, len(native), len(sim))
-	}
-	for i := range sim {
-		if native[i].Key != uint64(sim[i].k) || native[i].Value != uint64(sim[i].v) {
-			t.Fatalf("%s: pair %d native=%+v sim=%+v", label, i, native[i], sim[i])
-		}
-	}
-}
-
-func TestNativeMatchesSimulatedBTree(t *testing.T) {
-	simDump := btreeDump(t, 1, false)
-	sim := make([]eqPair, len(simDump))
-	for i, p := range simDump {
-		sim[i] = eqPair{p.Key, p.Value}
-	}
-	for _, window := range []int{1, 4} {
-		got := nativeDump(t, nil, window) // nil store -> cds.BTree
-		requireSameContents(t, fmt.Sprintf("btree window=%d", window), got, sim)
-	}
-}
-
-func TestNativeMatchesSimulatedSkiplist(t *testing.T) {
-	simDump := skiplistDump(t, 1, false)
-	sim := make([]eqPair, len(simDump))
-	for i, p := range simDump {
-		sim[i] = eqPair{p.Key, p.Value}
-	}
-	newStore := func(int) core.Store { return eqSkipStore{cds.NewSkipList(12)} }
-	for _, window := range []int{1, 4} {
-		got := nativeDump(t, newStore, window)
-		requireSameContents(t, fmt.Sprintf("skiplist window=%d", window), got, sim)
-	}
-}
-
-// TestNativeMatchesSimulatedYCSB runs a single-threaded mixed YCSB stream
-// (reads, updates, inserts, removes; uniform popularity) through the
-// simulated hybrid B+ tree and the native runtime. Single-threaded
-// execution makes both stacks apply the identical operation sequence, so
-// the final contents must match pair for pair.
-func TestNativeMatchesSimulatedYCSB(t *testing.T) {
-	const records = 1 << 10
-	const keyMax = 1 << 14
-	const ops = 600
-	gen := ycsb.New(ycsb.Mix(records, keyMax, 50, 25, 25, 11))
-	load := gen.Load()
-	streams := gen.Streams(1, ops)
-
-	// Simulated stack.
-	m := eqMachine()
-	s := btree.NewHybrid(m, btree.HybridBTreeConfig{NMPLevels: 2, Window: 1})
-	btp := make([]btree.KV, len(load))
-	for i, p := range load {
-		btp[i] = btree.KV{Key: p.Key, Value: p.Value}
-	}
-	s.Build(btp, 8)
-	s.Start()
-	driveStreams(m, streams, func(c *machine.Ctx, th int, opsS []kv.Op) {
-		for _, op := range opsS {
-			s.Apply(c, th, op)
-		}
-	})
-	simDump := s.Dump()
-
-	// Native stack, same stream.
-	h := core.New(core.Config{Partitions: 4, KeyMax: keyMax})
-	nl := make([]core.KV, len(load))
-	for i, p := range load {
-		nl[i] = core.KV{Key: uint64(p.Key), Value: uint64(p.Value)}
-	}
-	h.Build(nl)
-	for _, req := range nativeRequestStreams(streams)[0] {
-		h.Apply(req)
-	}
-	h.Close()
-	natDump := h.Dump()
-
-	if len(natDump) != len(simDump) {
-		t.Fatalf("native %d pairs, sim %d", len(natDump), len(simDump))
-	}
-	for i, p := range simDump {
-		if natDump[i].Key != uint64(p.Key) || natDump[i].Value != uint64(p.Value) {
-			t.Fatalf("pair %d: native=%+v sim=%+v", i, natDump[i], p)
 		}
 	}
 }

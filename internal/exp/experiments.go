@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"hybrids/internal/store"
 	"hybrids/internal/ycsb"
 )
 
@@ -44,6 +45,7 @@ func Registry() []Experiment {
 		{"ablate-split", "Ablation: skiplist host-NMP split level (§3.3)", runAblateSplit},
 		{"ablate-mmio", "Ablation: NMP offload (MMIO) latency sensitivity (§3.2)", runAblateMMIO},
 		{"ablate-partitions", "Ablation: NMP partition count (§3.2)", runAblatePartitions},
+		{"engine-bskiplist", "Third engine: cache-conscious B-skiplist hybrid, YCSB-C (registry grid)", runEngineBSkiplist},
 	}
 }
 
@@ -612,6 +614,71 @@ func runAblatePartitions(sc Scale, progress io.Writer) Result {
 	res.Cells = append(res.Cells, cells...)
 	res.Notes = append(res.Notes, "combiner parallelism scales with partitions until host issue rate dominates")
 	return res
+}
+
+// --- Registry engine grids ------------------------------------------------
+
+// engineVariants returns the registry-uniform HybriDS variants of one
+// engine: the blocking discipline plus the scale's non-blocking window.
+// Unlike the figure-specific variant lists above, nothing here names a
+// concrete structure — any registered engine grids identically.
+func engineVariants(e store.Engine, sc Scale) []variant {
+	return []variant{
+		engineHybrid(e, sc, 1, false),
+		engineHybrid(e, sc, sc.Window, true),
+	}
+}
+
+// runEngineGrid measures one registered engine's hybrid across the thread
+// sweep, entirely through the registry: load size, hybrid construction and
+// variants all come from the Engine value.
+func runEngineGrid(e store.Engine, sc Scale, progress io.Writer) Result {
+	gen := ycsb.New(ycsb.YCSBC(e.SimRecords(simParams(sc, sc.Window)), sc.KeyMax, sc.Seed))
+	load := gen.Load()
+	type point struct {
+		name string
+		th   int
+	}
+	var jobs []cellJob
+	var points []point
+	for _, th := range sc.ThreadCounts {
+		streams := gen.Streams(th, sc.WarmupPerThread+sc.OpsPerThread)
+		for _, v := range engineVariants(e, sc) {
+			jobs = append(jobs, cellJob{
+				sc: sc, v: v, load: load, streams: streams,
+				progress: fmt.Sprintf("engine-%s %s threads=%d", e.Name, v.name, th),
+			})
+			points = append(points, point{v.name, th})
+		}
+	}
+	cells := runCells(sc, progress, jobs)
+	grid := map[string]map[int]Cell{}
+	for i, p := range points {
+		if grid[p.name] == nil {
+			grid[p.name] = map[int]Cell{}
+		}
+		grid[p.name][p.th] = cells[i]
+	}
+	res := Result{
+		ID:     "engine-" + e.Name,
+		Title:  fmt.Sprintf("Engine %s (%s, YCSB-C, scale %s)", e.Name, e.Desc, sc.Name),
+		Header: []string{"implementation", "threads", "Mops/s", "vs blocking@same"},
+	}
+	for _, v := range engineVariants(e, sc) {
+		for _, th := range sc.ThreadCounts {
+			c := grid[v.name][th]
+			rel := c.MOpsPerSec / grid["hybrid-blocking"][th].MOpsPerSec
+			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), f2(rel) + "x"})
+			res.Cells = append(res.Cells, c)
+		}
+	}
+	res.Notes = append(res.Notes,
+		"registry-driven grid: the harness resolves the engine by name and never touches a concrete structure type")
+	return res
+}
+
+func runEngineBSkiplist(sc Scale, progress io.Writer) Result {
+	return runEngineGrid(store.MustEngine("bskiplist"), sc, progress)
 }
 
 func sortRows(rows [][]string) {

@@ -3,13 +3,14 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
-	"hybrids/internal/cds"
 	"hybrids/internal/core"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/hds"
+	"hybrids/internal/store"
 	"hybrids/internal/ycsb"
 )
 
@@ -22,13 +23,23 @@ import (
 // docs/EXPERIMENTS.md for how to read them against the simulator's).
 
 // NativeRegistry returns the native benchmark experiments in presentation
-// order. They share the Experiment shape with the simulated registry, so
-// cmd/hybrids renders both through the same table/markdown/JSON emitters.
+// order: one per registered store engine, resolved entirely through the
+// engine registry. They share the Experiment shape with the simulated
+// registry, so cmd/hybrids renders both through the same
+// table/markdown/JSON emitters.
 func NativeRegistry() []Experiment {
-	return []Experiment{
-		{"native-btree", "Native B+ tree throughput, YCSB-C (wall clock)", runNativeBTree},
-		{"native-skiplist", "Native skiplist throughput, YCSB-C (wall clock)", runNativeSkiplist},
+	var out []Experiment
+	for _, e := range store.Engines() {
+		e := e
+		out = append(out, Experiment{
+			ID:    "native-" + e.Name,
+			Title: fmt.Sprintf("Native %s throughput, YCSB-C (wall clock)", e.Desc),
+			Run: func(sc Scale, progress io.Writer) Result {
+				return runNativeGrid(sc, e, progress)
+			},
+		})
 	}
+	return out
 }
 
 // FindNative returns the native experiment with the given ID.
@@ -67,39 +78,6 @@ func nativeVariants(sc Scale) []nativeVariant {
 	return vs
 }
 
-// slStore adapts cds.SkipList to the core.Store interface (Insert vs Put
-// naming).
-type slStore struct{ s *cds.SkipList }
-
-// Get returns the value stored under key.
-func (s slStore) Get(k uint64) (uint64, bool) { return s.s.Get(k) }
-
-// Put inserts key -> value, returning false if the key exists.
-func (s slStore) Put(k, v uint64) bool { return s.s.Insert(k, v) }
-
-// Update overwrites an existing key's value, returning false if absent.
-func (s slStore) Update(k, v uint64) bool { return s.s.Update(k, v) }
-
-// Delete removes key, returning false if absent.
-func (s slStore) Delete(k uint64) bool { return s.s.Delete(k) }
-
-// Len returns the number of stored pairs.
-func (s slStore) Len() int { return s.s.Len() }
-
-// Ascend visits pairs in ascending key order starting at from.
-func (s slStore) Ascend(from uint64, fn func(k, v uint64) bool) { s.s.Ascend(from, fn) }
-
-// nativeStore builds each structure's per-partition store factory.
-func nativeStore(sc Scale, structure string) func(int) core.Store {
-	switch structure {
-	case "btree":
-		return nil // core defaults to cds.NewBTree
-	case "skiplist":
-		return func(int) core.Store { return slStore{cds.NewSkipList(sc.SkiplistLevels)} }
-	}
-	panic("exp: unknown native structure " + structure)
-}
-
 // nativeRequests converts one simulator op stream to the native request
 // vocabulary. The kinds are already shared (kv.Kind = hds.Kind); only the
 // key width changes.
@@ -125,19 +103,49 @@ func runNativeOps(h *core.Hybrid, v nativeVariant, ops []hds.Request) {
 	}
 }
 
+// runNativeOpsTimed is runNativeOps for the blocking discipline's measured
+// phase: it appends each operation's wall-clock latency (nanoseconds) to
+// lat. Per-op latency is only meaningful when one call is in flight, so
+// the batch disciplines never use it.
+func runNativeOpsTimed(h *core.Hybrid, ops []hds.Request, lat []uint64) []uint64 {
+	for _, op := range ops {
+		t0 := time.Now()
+		h.Apply(op)
+		lat = append(lat, uint64(time.Since(t0).Nanoseconds()))
+	}
+	return lat
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted latencies.
+func percentile(sorted []uint64, p float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
 // runNativeCell measures one grid point on the real runtime: build a fresh
 // hybrid map, load it untimed, run per-thread warmup slices, rendezvous,
-// and time the measured slices wall-clock. Registry snapshots are taken at
-// the two rendezvous points, where every published future has been
-// consumed (the runtime's quiescence requirement), so the counter deltas
-// are exact. Cells run serially — unlike simulated cells they share the
-// host CPU, so concurrent cells would perturb each other's timing.
-func runNativeCell(sc Scale, structure string, v nativeVariant, load []ycsb.Pair, streams [][]hds.Request) Cell {
+// and time the measured slices wall-clock. Blocking cells additionally
+// record per-operation latencies and report p50/p95/p99. Registry
+// snapshots are taken at the two rendezvous points, where every published
+// future has been consumed (the runtime's quiescence requirement), so the
+// counter deltas are exact. Cells run serially — unlike simulated cells
+// they share the host CPU, so concurrent cells would perturb each other's
+// timing.
+func runNativeCell(sc Scale, e store.Engine, v nativeVariant, load []ycsb.Pair, streams [][]hds.Request) Cell {
 	threads := len(streams)
 	h := core.New(core.Config{
 		Partitions: sc.Machine.Mem.NMPVaults,
 		KeyMax:     uint64(sc.KeyMax),
-		NewStore:   nativeStore(sc, structure),
+		NewStore:   e.NewNative(e.SimTuning(simParams(sc, v.window))),
 	})
 	defer h.Close()
 	pairs := make([]core.KV, len(load))
@@ -151,13 +159,19 @@ func runNativeCell(sc Scale, structure string, v nativeVariant, load []ycsb.Pair
 	start := make(chan struct{})
 	warm.Add(threads)
 	done.Add(threads)
+	lats := make([][]uint64, threads)
 	for th := 0; th < threads; th++ {
 		th := th
 		go func() {
 			runNativeOps(h, v, streams[th][:sc.WarmupPerThread])
 			warm.Done()
 			<-start
-			runNativeOps(h, v, streams[th][sc.WarmupPerThread:])
+			if v.batch {
+				runNativeOps(h, v, streams[th][sc.WarmupPerThread:])
+			} else {
+				lats[th] = runNativeOpsTimed(h, streams[th][sc.WarmupPerThread:],
+					make([]uint64, 0, sc.OpsPerThread))
+			}
 			done.Done()
 		}()
 	}
@@ -176,7 +190,7 @@ func runNativeCell(sc Scale, structure string, v nativeVariant, load []ycsb.Pair
 		}
 	}
 	ops := threads * sc.OpsPerThread
-	return Cell{
+	cell := Cell{
 		Variant:    v.name,
 		Threads:    threads,
 		Ops:        ops,
@@ -184,13 +198,24 @@ func runNativeCell(sc Scale, structure string, v nativeVariant, load []ycsb.Pair
 		WallNanos:  uint64(wall.Nanoseconds()),
 		Metrics:    delta,
 	}
+	if !v.batch {
+		var all []uint64
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		cell.LatP50Nanos = percentile(all, 50)
+		cell.LatP95Nanos = percentile(all, 95)
+		cell.LatP99Nanos = percentile(all, 99)
+	}
+	return cell
 }
 
-// nativeGrid measures the full threads x variant grid for one structure.
-// Both structures use SkiplistRecords as the record count: the native
-// runtime loads real memory (no simulated bulk build), so the B+ tree uses
-// the same 2^22-record footprint rather than the simulator's 30M.
-func nativeGrid(sc Scale, structure string, progress io.Writer) map[string]map[int]Cell {
+// nativeGrid measures the full threads x variant grid for one engine.
+// Every engine uses SkiplistRecords as the record count: the native
+// runtime loads real memory (no simulated bulk build), so all engines
+// share the same footprint rather than the simulator's per-engine sizes.
+func nativeGrid(sc Scale, e store.Engine, progress io.Writer) map[string]map[int]Cell {
 	gen := ycsb.New(ycsb.YCSBC(sc.SkiplistRecords, sc.KeyMax, sc.Seed))
 	load := gen.Load()
 	out := map[string]map[int]Cell{}
@@ -204,26 +229,37 @@ func nativeGrid(sc Scale, structure string, progress io.Writer) map[string]map[i
 			streams[t] = nativeRequests(raw[t])
 		}
 		for _, v := range nativeVariants(sc) {
-			progressf(progress, "  %s %s threads=%d\n", structure, v.name, th)
-			out[v.name][th] = runNativeCell(sc, structure, v, load, streams)
+			progressf(progress, "  %s %s threads=%d\n", e.Name, v.name, th)
+			out[v.name][th] = runNativeCell(sc, e, v, load, streams)
 		}
 	}
 	return out
 }
 
-func runNativeGrid(sc Scale, structure string, progress io.Writer) Result {
-	grid := nativeGrid(sc, structure, progress)
+// fmtLatency renders a blocking cell's percentile triple in microseconds,
+// or "-" for batch cells (per-op latency is undefined with several calls
+// in flight).
+func fmtLatency(c Cell, batch bool) string {
+	if batch {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f/%.1f/%.1f",
+		float64(c.LatP50Nanos)/1e3, float64(c.LatP95Nanos)/1e3, float64(c.LatP99Nanos)/1e3)
+}
+
+func runNativeGrid(sc Scale, e store.Engine, progress io.Writer) Result {
+	grid := nativeGrid(sc, e, progress)
 	res := Result{
-		ID:     "native-" + structure,
-		Title:  fmt.Sprintf("Native %s (YCSB-C wall clock, %d partitions, scale %s)", structure, sc.Machine.Mem.NMPVaults, sc.Name),
-		Header: []string{"implementation", "threads", "Mops/s", "vs blocking@same"},
+		ID:     "native-" + e.Name,
+		Title:  fmt.Sprintf("Native %s (YCSB-C wall clock, %d partitions, scale %s)", e.Name, sc.Machine.Mem.NMPVaults, sc.Name),
+		Header: []string{"implementation", "threads", "Mops/s", "p50/p95/p99 us", "vs blocking@same"},
 	}
 	variants := nativeVariants(sc)
 	for _, v := range variants {
 		for _, th := range sc.ThreadCounts {
 			c := grid[v.name][th]
 			rel := c.MOpsPerSec / grid["blocking"][th].MOpsPerSec
-			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), f2(rel) + "x"})
+			res.Rows = append(res.Rows, []string{v.name, fmt.Sprint(th), f2(c.MOpsPerSec), fmtLatency(c, v.batch), f2(rel) + "x"})
 			res.Cells = append(res.Cells, c)
 		}
 	}
@@ -240,12 +276,4 @@ func runNativeGrid(sc Scale, structure string, progress io.Writer) Result {
 			fmt.Sprintf("scale %s sets window %d: the nonblocking variant degenerates to the blocking discipline and is omitted", sc.Name, sc.Window))
 	}
 	return res
-}
-
-func runNativeBTree(sc Scale, progress io.Writer) Result {
-	return runNativeGrid(sc, "btree", progress)
-}
-
-func runNativeSkiplist(sc Scale, progress io.Writer) Result {
-	return runNativeGrid(sc, "skiplist", progress)
 }

@@ -11,8 +11,30 @@ import (
 	"hybrids/internal/sim/machine"
 	"hybrids/internal/sim/memsys"
 	"hybrids/internal/sim/trace"
+	"hybrids/internal/store"
 	"hybrids/internal/ycsb"
 )
+
+// simParams maps a Scale onto the registry's engine sizing, with the
+// variant's window substituted (blocking variants run window 1 whatever
+// the scale's non-blocking budget is).
+func simParams(sc Scale, window int) store.SimParams {
+	return store.SimParams{
+		SkiplistRecords:    sc.SkiplistRecords,
+		SkiplistLevels:     sc.SkiplistLevels,
+		SkiplistNMPLevels:  sc.SkiplistNMPLevels,
+		BTreeRecords:       sc.BTreeRecords,
+		BTreeFill:          sc.BTreeFill,
+		BTreeNMPLevels:     sc.BTreeNMPLevels,
+		BSkiplistRecords:   sc.BSkiplistRecords,
+		BSkiplistLevels:    sc.BSkiplistLevels,
+		BSkiplistNMPLevels: sc.BSkiplistNMPLevels,
+		BSkiplistFill:      sc.BSkiplistFill,
+		KeyMax:             sc.KeyMax,
+		Window:             window,
+		Seed:               sc.Seed,
+	}
+}
 
 // Store is the typed interface every evaluated structure implements: the
 // operation entry point plus access to the machine-wide metrics registry
@@ -74,6 +96,14 @@ type Cell struct {
 	// native runtime's registry (core/p<i>/... instruments). Nil for
 	// simulated cells.
 	Metrics map[string]uint64 `json:"metrics,omitempty"`
+	// LatP50Nanos, LatP95Nanos and LatP99Nanos are the measured phase's
+	// per-operation wall-clock latency percentiles. Only native blocking
+	// cells set them (per-op latency is undefined with several calls in
+	// flight, and simulated cells report virtual time), so they are
+	// omitted from other cells' JSON.
+	LatP50Nanos uint64 `json:"lat_p50_ns,omitempty"`
+	LatP95Nanos uint64 `json:"lat_p95_ns,omitempty"`
+	LatP99Nanos uint64 `json:"lat_p99_ns,omitempty"`
 }
 
 // Throughput returns operations per kilocycle (clock-independent).
@@ -199,23 +229,27 @@ func skiplistNMPBased(sc Scale) variant {
 	}}
 }
 
-func skiplistHybrid(sc Scale, window int, async bool) variant {
+// engineHybrid builds any registered engine's simulated hybrid as a grid
+// variant: the one generic builder every HybriDS hybrid goes through, so
+// experiments never construct a hybrid by concrete type.
+func engineHybrid(e store.Engine, sc Scale, window int, async bool) variant {
 	name := "hybrid-blocking"
 	if async {
 		name = fmt.Sprintf("hybrid-nonblocking%d", window)
 	}
 	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) Runner {
-		s := skiplist.NewHybrid(m, skiplist.HybridConfig{
-			TotalLevels: sc.SkiplistLevels, NMPLevels: sc.SkiplistNMPLevels,
-			KeyMax: sc.KeyMax, Window: window, Seed: sc.Seed,
-		})
-		s.Build(skiplistPairs(load), sc.Seed+1)
+		s := e.NewSimHybrid(m, simParams(sc, window))
+		s.Build(load)
 		s.Start()
 		if async {
 			return Runner{Store: s, Batch: s}
 		}
 		return Runner{Store: s}
 	}}
+}
+
+func skiplistHybrid(sc Scale, window int, async bool) variant {
+	return engineHybrid(store.MustEngine("skiplist"), sc, window, async)
 }
 
 func skiplistVariants(sc Scale) []variant {
@@ -238,19 +272,7 @@ func btreeHostOnly(sc Scale) variant {
 }
 
 func btreeHybrid(sc Scale, window int, async bool) variant {
-	name := "hybrid-blocking"
-	if async {
-		name = fmt.Sprintf("hybrid-nonblocking%d", window)
-	}
-	return variant{name: name, build: func(m *machine.Machine, load []ycsb.Pair) Runner {
-		t := btree.NewHybrid(m, btree.HybridBTreeConfig{NMPLevels: sc.BTreeNMPLevels, Window: window})
-		t.Build(btreePairs(load), sc.BTreeFill)
-		t.Start()
-		if async {
-			return Runner{Store: t, Batch: t}
-		}
-		return Runner{Store: t}
-	}}
+	return engineHybrid(store.MustEngine("btree"), sc, window, async)
 }
 
 func btreeVariants(sc Scale) []variant {

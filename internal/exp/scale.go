@@ -36,6 +36,14 @@ type Scale struct {
 	BTreeFill      int
 	BTreeNMPLevels int
 
+	// BSkiplist parameters: records, list level count, NMP-side bottom
+	// levels (the top Levels-NMPLevels form the LLC-resident host
+	// router) and bulk-load entries per fat node.
+	BSkiplistRecords   int
+	BSkiplistLevels    int
+	BSkiplistNMPLevels int
+	BSkiplistFill      int
+
 	// KeyMax bounds the key space.
 	KeyMax uint32
 
@@ -90,6 +98,10 @@ func SmallScale() Scale {
 		BTreeRecords:      30_000_000,
 		BTreeFill:         8,
 		BTreeNMPLevels:    3, // host top 6 of 9 levels ~ 1 MB ~ LLC (paper's split)
+		BSkiplistRecords:  1 << 22,
+		BSkiplistLevels:   8, // 2^22 records / fill 8 -> ~8-level hierarchy
+		BSkiplistNMPLevels: 4, // host top 4 levels ~ 1.2k fat nodes ~ 150 KB << LLC
+		BSkiplistFill:     8,
 		KeyMax:            1 << 30,
 		OpsPerThread:      2000,
 		WarmupPerThread:   1000,
@@ -133,6 +145,9 @@ func TinyScale() Scale {
 	sc.SkiplistNMPLevels = 5
 	sc.BTreeRecords = 1 << 13
 	sc.BTreeNMPLevels = 2
+	sc.BSkiplistRecords = 1 << 12
+	sc.BSkiplistLevels = 5
+	sc.BSkiplistNMPLevels = 2
 	sc.KeyMax = 1 << 20
 	sc.OpsPerThread = 150
 	sc.WarmupPerThread = 50

@@ -14,6 +14,10 @@ import (
 // Config parameterizes a Server. The zero value is usable: every field
 // has a default.
 type Config struct {
+	// Store names the engine behind the served map (a registry name like
+	// "btree"); STATS reports it as server/store so clients can tell what
+	// structure they are measuring. Empty omits the line.
+	Store string
 	// Window is the maximum number of pipelined scalar requests one
 	// connection coalesces into a single core.ApplyBatchResults call (the
 	// §3.5 non-blocking window). Defaults to 16.
@@ -224,6 +228,10 @@ func (s *Server) StatsText() []byte {
 // combiner-owned counters are consistent only at quiescence and are
 // deliberately excluded from live snapshots.
 func (s *Server) statsLocked() []byte {
+	var out []byte
+	if s.cfg.Store != "" {
+		out = fmt.Appendf(out, "server/store %s\n", s.cfg.Store)
+	}
 	counters := []*metrics.Counter{
 		s.cBadReq, s.cBatchCount, s.cBatchSum, s.cAccepted, s.cClosed,
 		s.cRefused,
@@ -231,7 +239,6 @@ func (s *Server) statsLocked() []byte {
 		s.cOps[OpStats], s.cOps[OpUpdate],
 		s.cRejected, s.cRequests, s.cResponse, s.cScanned, s.cTimeouts,
 	}
-	var out []byte
 	for _, c := range counters {
 		out = fmt.Appendf(out, "%s %d\n", c.Name(), c.Value())
 	}

@@ -1,0 +1,276 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"hybrids/internal/core"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/hds"
+	"hybrids/internal/prng"
+	"hybrids/internal/sim/machine"
+	"hybrids/internal/ycsb"
+)
+
+// Conformance suite: every registered engine must (a) agree with a
+// sequential map oracle natively, with structural invariants intact,
+// (b) converge to identical final contents on the native runtime and the
+// cycle-level simulator for the same operation streams under every call
+// discipline — the registry's semantic contract — and (c) keep its native
+// Get path within the core.Future allocation discipline. A new engine
+// passes this suite by being registered; nothing here names a structure.
+
+const (
+	confThreads   = 2
+	confPerThread = 120
+	confKeyMax    = 1 << 12
+)
+
+// confParams sizes every engine small enough for simulated test machines
+// while keeping a real host/NMP split.
+func confParams(window int) SimParams {
+	return SimParams{
+		SkiplistRecords: 1 << 10, SkiplistLevels: 9, SkiplistNMPLevels: 4,
+		BTreeRecords: 1 << 10, BTreeFill: 8, BTreeNMPLevels: 2,
+		BSkiplistRecords: 1 << 10, BSkiplistLevels: 5, BSkiplistNMPLevels: 2, BSkiplistFill: 8,
+		KeyMax: confKeyMax, Window: window, Seed: 7,
+	}
+}
+
+func confMachine() *machine.Machine {
+	cfg := machine.Default()
+	cfg.Mem.HostMemSize = 16 << 20
+	cfg.Mem.NMPMemSize = 16 << 20
+	cfg.Mem.L2.Size = 64 << 10
+	cfg.Mem.L1.Size = 8 << 10
+	return machine.New(cfg)
+}
+
+// confData returns the initial contents (even keys) and per-thread op
+// streams. Each stream position touches its own key — inserts use fresh
+// odd keys, removes/updates/reads target distinct initial even keys — so
+// the final state is completion-order-independent and any interleaving of
+// the streams must converge to the same contents.
+func confData() (pairs []ycsb.Pair, streams [][]kv.Op) {
+	total := confThreads * confPerThread
+	for i := 1; i <= total; i++ {
+		pairs = append(pairs, ycsb.Pair{Key: uint32(2 * i), Value: uint32(2*i + 7)})
+	}
+	streams = make([][]kv.Op, confThreads)
+	for th := 0; th < confThreads; th++ {
+		for i := 0; i < confPerThread; i++ {
+			idx := th*confPerThread + i
+			even := uint32(2 * (idx + 1))
+			odd := uint32(2*idx + 1)
+			var op kv.Op
+			switch i % 4 {
+			case 0:
+				op = kv.Op{Kind: kv.Insert, Key: odd, Value: odd * 3}
+			case 1:
+				op = kv.Op{Kind: kv.Remove, Key: even}
+			case 2:
+				op = kv.Op{Kind: kv.Update, Key: even, Value: even * 5}
+			default:
+				op = kv.Op{Kind: kv.Read, Key: even}
+			}
+			streams[th] = append(streams[th], op)
+		}
+	}
+	return pairs, streams
+}
+
+// simDump drives confData's streams against an engine's simulated hybrid
+// (blocking or windowed) and returns the drained final contents.
+func simDump(t *testing.T, e Engine, window int, async bool) []KV {
+	t.Helper()
+	pairs, streams := confData()
+	m := confMachine()
+	s := e.NewSimHybrid(m, confParams(window))
+	s.Build(pairs)
+	s.Start()
+	for th := range streams {
+		th := th
+		m.SpawnHost(th, "drv", func(c *machine.Ctx) {
+			if async {
+				s.ApplyBatch(c, th, streams[th])
+			} else {
+				for _, op := range streams[th] {
+					s.Apply(c, th, op)
+				}
+			}
+		})
+	}
+	m.Run()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("%s sim invariants (window=%d async=%v): %v", e.Name, window, async, err)
+	}
+	return s.Dump()
+}
+
+// nativeDump runs the same streams against the real runtime — one
+// goroutine per stream, blocking (window<=1) or windowed non-blocking —
+// and returns the drained final contents.
+func nativeDump(t *testing.T, e Engine, window int) []core.KV {
+	t.Helper()
+	pairs, streams := confData()
+	h := core.New(core.Config{
+		Partitions: 4, KeyMax: confKeyMax,
+		NewStore: e.NewNative(Tuning{}),
+	})
+	load := make([]core.KV, len(pairs))
+	for i, p := range pairs {
+		load[i] = core.KV{Key: uint64(p.Key), Value: uint64(p.Value)}
+	}
+	h.Build(load)
+	var wg sync.WaitGroup
+	for th := range streams {
+		ops := make([]hds.Request, len(streams[th]))
+		for i, op := range streams[th] {
+			ops[i] = hds.Request{Kind: op.Kind, Key: uint64(op.Key), Value: uint64(op.Value)}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if window > 1 {
+				h.ApplyBatch(ops, window)
+				return
+			}
+			for _, req := range ops {
+				h.Apply(req)
+			}
+		}()
+	}
+	wg.Wait()
+	h.Close()
+	return h.Dump()
+}
+
+// TestEngineNativeSequentialOracle drives a deterministic mixed stream
+// against each engine's bare native store and a map oracle, then checks
+// structural invariants where the store exposes them.
+func TestEngineNativeSequentialOracle(t *testing.T) {
+	for _, e := range Engines() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			s := e.NewNative(Tuning{})(0)
+			oracle := map[uint64]uint64{}
+			rng := prng.New(4242)
+			for i := 0; i < 30_000; i++ {
+				key := uint64(rng.Uint32()%4096 + 1)
+				val := uint64(rng.Uint32())
+				switch rng.Intn(4) {
+				case 0:
+					wantV, want := oracle[key]
+					gotV, got := s.Get(key)
+					if got != want || (got && gotV != wantV) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", i, key, gotV, got, wantV, want)
+					}
+				case 1:
+					_, exists := oracle[key]
+					if got := s.Put(key, val); got != !exists {
+						t.Fatalf("op %d: Put(%d) = %v, oracle exists=%v", i, key, got, exists)
+					}
+					if !exists {
+						oracle[key] = val
+					}
+				case 2:
+					_, exists := oracle[key]
+					if got := s.Update(key, val); got != exists {
+						t.Fatalf("op %d: Update(%d) = %v, oracle exists=%v", i, key, got, exists)
+					}
+					if exists {
+						oracle[key] = val
+					}
+				default:
+					_, exists := oracle[key]
+					if got := s.Delete(key); got != exists {
+						t.Fatalf("op %d: Delete(%d) = %v, oracle exists=%v", i, key, got, exists)
+					}
+					delete(oracle, key)
+				}
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle %d", s.Len(), len(oracle))
+			}
+			if inv, ok := s.(interface{ CheckInvariants() error }); ok {
+				if err := inv.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				t.Errorf("%s native store exposes no CheckInvariants", e.Name)
+			}
+		})
+	}
+}
+
+// TestEngineCrossStackEquivalence runs the same operation streams through
+// each engine's simulated hybrid (blocking) and its native runtime at
+// blocking and windowed disciplines; all final contents must match pair
+// for pair.
+func TestEngineCrossStackEquivalence(t *testing.T) {
+	for _, e := range Engines() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			sim := simDump(t, e, 1, false)
+			if len(sim) == 0 {
+				t.Fatal("empty simulated dump")
+			}
+			for _, window := range []int{1, 4} {
+				got := nativeDump(t, e, window)
+				if len(got) != len(sim) {
+					t.Fatalf("window %d: native %d pairs, sim %d", window, len(got), len(sim))
+				}
+				for i := range sim {
+					if got[i].Key != uint64(sim[i].Key) || got[i].Value != uint64(sim[i].Value) {
+						t.Fatalf("window %d: pair %d native=%+v sim=%+v", window, i, got[i], sim[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineSimWindowEquivalence checks that each engine's simulated
+// hybrid converges to the blocking contents at every window depth.
+func TestEngineSimWindowEquivalence(t *testing.T) {
+	for _, e := range Engines() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			want := simDump(t, e, 1, false)
+			for _, w := range []int{2, 4} {
+				got := simDump(t, e, w, true)
+				if len(got) != len(want) {
+					t.Fatalf("window %d: %d pairs, want %d", w, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("window %d: pair %d = %+v, want %+v", w, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineGetAllocs bounds every engine's native Get-path allocations at
+// one per operation, matching the core runtime's one-Future-per-call
+// discipline (the B-skiplist's fat-node descent allocates nothing).
+func TestEngineGetAllocs(t *testing.T) {
+	for _, e := range Engines() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			s := e.NewNative(Tuning{})(0)
+			for k := uint64(1); k <= 4096; k++ {
+				s.Put(k, k*3)
+			}
+			key := uint64(1)
+			allocs := testing.AllocsPerRun(1000, func() {
+				s.Get(key)
+				key = key%4096 + 1
+			})
+			if allocs > 1 {
+				t.Fatalf("Get allocates %.1f objects/op, want <= 1", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"hybrids/internal/cds"
+	"hybrids/internal/core"
+	"hybrids/internal/dsim/bskiplist"
+	"hybrids/internal/dsim/btree"
+	"hybrids/internal/dsim/skiplist"
+	"hybrids/internal/metrics"
+	"hybrids/internal/sim/machine"
+	"hybrids/internal/ycsb"
+)
+
+// defaultSkipLevels is the native skiplist height cap when Tuning.Levels
+// is unset — tall enough for any daemon-scale key population.
+const defaultSkipLevels = 16
+
+// skipStore adapts cds.SkipList to the core.Store interface (Insert vs
+// Put naming).
+type skipStore struct{ s *cds.SkipList }
+
+func (s skipStore) Get(k uint64) (uint64, bool)                   { return s.s.Get(k) }
+func (s skipStore) Put(k, v uint64) bool                          { return s.s.Insert(k, v) }
+func (s skipStore) Update(k, v uint64) bool                       { return s.s.Update(k, v) }
+func (s skipStore) Delete(k uint64) bool                          { return s.s.Delete(k) }
+func (s skipStore) Len() int                                      { return s.s.Len() }
+func (s skipStore) Ascend(from uint64, fn func(k, v uint64) bool) { s.s.Ascend(from, fn) }
+
+// Instrument forwards to the underlying skiplist's structural counters,
+// so skiplist partitions register under core/p<i>/store like any other
+// engine (core.Instrumented).
+func (s skipStore) Instrument(reg *metrics.Registry, prefix string) { s.s.Instrument(reg, prefix) }
+
+// CheckInvariants forwards the skiplist's quiescent structural check, so
+// the conformance suite sees it through the core.Store value.
+func (s skipStore) CheckInvariants() error { return s.s.CheckInvariants() }
+
+// --- B+ tree --------------------------------------------------------------
+
+// simBTree wraps the simulated hybrid B+ tree as a SimHybrid: Build
+// captures the engine's bulk-load fill, Dump converts to registry pairs.
+type simBTree struct {
+	*btree.Hybrid
+	fill int
+}
+
+// Build bulk-loads the initial pairs at the configured fill (untimed).
+func (s simBTree) Build(load []ycsb.Pair) {
+	pairs := make([]btree.KV, len(load))
+	for i, p := range load {
+		pairs[i] = btree.KV{Key: p.Key, Value: p.Value}
+	}
+	s.Hybrid.Build(pairs, s.fill)
+}
+
+// Dump returns the final contents in ascending key order (untimed).
+func (s simBTree) Dump() []KV {
+	var out []KV
+	for _, p := range s.Hybrid.Dump() {
+		out = append(out, KV{Key: p.Key, Value: p.Value})
+	}
+	return out
+}
+
+func btreeEngine() Engine {
+	return Engine{
+		Name: "btree",
+		Desc: "B+ tree",
+		NewNative: func(Tuning) func(int) core.Store {
+			return func(int) core.Store { return cds.NewBTree() }
+		},
+		SimTuning: func(SimParams) Tuning { return Tuning{} },
+		NewSimHybrid: func(m *machine.Machine, p SimParams) SimHybrid {
+			h := btree.NewHybrid(m, btree.HybridBTreeConfig{
+				NMPLevels: p.BTreeNMPLevels, Window: p.Window,
+			})
+			return simBTree{Hybrid: h, fill: p.BTreeFill}
+		},
+		SimRecords: func(p SimParams) int { return p.BTreeRecords },
+	}
+}
+
+// --- Skiplist -------------------------------------------------------------
+
+// simSkiplist wraps the simulated hybrid skiplist as a SimHybrid: Build
+// captures the load-phase seed convention (structure seed + 1).
+type simSkiplist struct {
+	*skiplist.Hybrid
+	seed uint64
+}
+
+// Build bulk-loads the initial pairs (untimed), deriving tower heights
+// from the load-phase seed.
+func (s simSkiplist) Build(load []ycsb.Pair) {
+	pairs := make([]skiplist.KV, len(load))
+	for i, p := range load {
+		pairs[i] = skiplist.KV{Key: p.Key, Value: p.Value}
+	}
+	s.Hybrid.Build(pairs, s.seed+1)
+}
+
+// Dump returns the final contents in ascending key order (untimed).
+func (s simSkiplist) Dump() []KV {
+	var out []KV
+	for _, p := range s.Hybrid.Dump() {
+		out = append(out, KV{Key: p.Key, Value: p.Value})
+	}
+	return out
+}
+
+func skiplistEngine() Engine {
+	return Engine{
+		Name: "skiplist",
+		Desc: "skiplist",
+		NewNative: func(t Tuning) func(int) core.Store {
+			levels := t.Levels
+			if levels <= 0 {
+				levels = defaultSkipLevels
+			}
+			return func(int) core.Store { return skipStore{cds.NewSkipList(levels)} }
+		},
+		SimTuning: func(p SimParams) Tuning { return Tuning{Levels: p.SkiplistLevels} },
+		NewSimHybrid: func(m *machine.Machine, p SimParams) SimHybrid {
+			h := skiplist.NewHybrid(m, skiplist.HybridConfig{
+				TotalLevels: p.SkiplistLevels, NMPLevels: p.SkiplistNMPLevels,
+				KeyMax: p.KeyMax, Window: p.Window, Seed: p.Seed,
+			})
+			return simSkiplist{Hybrid: h, seed: p.Seed}
+		},
+		SimRecords: func(p SimParams) int { return p.SkiplistRecords },
+	}
+}
+
+// --- B-skiplist -----------------------------------------------------------
+
+// simBSkiplist wraps the simulated hybrid B-skiplist as a SimHybrid; its
+// Dump already returns registry-shaped pairs, so only Build adapts.
+type simBSkiplist struct {
+	*bskiplist.Hybrid
+}
+
+// Build bulk-loads the initial pairs (untimed).
+func (s simBSkiplist) Build(load []ycsb.Pair) {
+	pairs := make([]bskiplist.KV, len(load))
+	for i, p := range load {
+		pairs[i] = bskiplist.KV{Key: p.Key, Value: p.Value}
+	}
+	s.Hybrid.Build(pairs)
+}
+
+// Dump returns the final contents in ascending key order (untimed).
+func (s simBSkiplist) Dump() []KV {
+	var out []KV
+	for _, p := range s.Hybrid.Dump() {
+		out = append(out, KV{Key: p.Key, Value: p.Value})
+	}
+	return out
+}
+
+func bskiplistEngine() Engine {
+	return Engine{
+		Name: "bskiplist",
+		Desc: "cache-conscious B-skiplist",
+		NewNative: func(t Tuning) func(int) core.Store {
+			return func(int) core.Store { return cds.NewBSkipList(t.Levels) }
+		},
+		SimTuning: func(p SimParams) Tuning { return Tuning{Levels: p.BSkiplistLevels} },
+		NewSimHybrid: func(m *machine.Machine, p SimParams) SimHybrid {
+			h := bskiplist.NewHybrid(m, bskiplist.Config{
+				Levels: p.BSkiplistLevels, NMPLevels: p.BSkiplistNMPLevels,
+				Fill: p.BSkiplistFill, KeyMax: p.KeyMax, Window: p.Window,
+			})
+			return simBSkiplist{Hybrid: h}
+		},
+		SimRecords: func(p SimParams) int { return p.BSkiplistRecords },
+	}
+}

@@ -1,0 +1,148 @@
+// Package store is the engine registry: the single place a concurrent
+// ordered-map implementation is wired into the repository's two stacks.
+// Each Engine names one structure and declares how to build it natively
+// (a core.Store factory for the goroutine-combiner runtime) and how to
+// build its simulated HybriDS hybrid (host portion + NMP portion behind
+// the shared offload runtime). Every consumer — cmd/hybridsd's -store
+// flag, the native benchmark grids, the simulated experiment grids and
+// the cross-stack conformance suite — resolves engines only through
+// Engines/Lookup, so adding a structure is a one-package change: implement
+// the structure, append an Engine here, and it appears in the daemon, both
+// benchmark stacks and the conformance tests with no per-consumer code.
+package store
+
+import (
+	"sort"
+
+	"hybrids/internal/core"
+	"hybrids/internal/dsim/kv"
+	"hybrids/internal/metrics"
+	"hybrids/internal/sim/machine"
+	"hybrids/internal/ycsb"
+)
+
+// Tuning carries the per-engine knobs a daemon flag maps onto uniformly.
+type Tuning struct {
+	// Levels caps the native structure height (skiplist tower levels,
+	// B-skiplist list levels); 0 picks the engine's default. Engines
+	// whose height follows from fan-out (the B+ tree) ignore it.
+	Levels int
+}
+
+// SimParams fixes every engine's simulated sizing in one value, mirroring
+// the exp.Scale fields experiment grids sweep. Engines read only their
+// own fields, so one SimParams parameterizes any engine's hybrid.
+type SimParams struct {
+	// SkiplistRecords, SkiplistLevels and SkiplistNMPLevels size the
+	// hybrid skiplist (records, tower levels, NMP-side bottom levels).
+	SkiplistRecords   int
+	SkiplistLevels    int
+	SkiplistNMPLevels int
+
+	// BTreeRecords, BTreeFill and BTreeNMPLevels size the hybrid B+ tree
+	// (records, bulk-load fill per node, NMP-side level count).
+	BTreeRecords   int
+	BTreeFill      int
+	BTreeNMPLevels int
+
+	// BSkiplistRecords, BSkiplistLevels, BSkiplistNMPLevels and
+	// BSkiplistFill size the hybrid B-skiplist (records, list levels,
+	// NMP-side bottom levels, bulk-load entries per fat node).
+	BSkiplistRecords   int
+	BSkiplistLevels    int
+	BSkiplistNMPLevels int
+	BSkiplistFill      int
+
+	// KeyMax bounds the key space for range partitioning.
+	KeyMax uint32
+	// Window is the non-blocking in-flight budget per host thread
+	// (1 = blocking behaviour).
+	Window int
+	// Seed feeds deterministic structure randomness (tower heights) and,
+	// offset per phase, bulk-load randomness.
+	Seed uint64
+}
+
+// KV is one key-value pair of a simulated hybrid's contents.
+type KV struct {
+	// Key is the pair's key.
+	Key uint32
+	// Value is the pair's value.
+	Value uint32
+}
+
+// SimHybrid is the simulated face of an engine: a HybriDS hybrid on the
+// cycle-level machine, driveable by the experiment harness and the
+// conformance suite without knowing the concrete structure.
+type SimHybrid interface {
+	kv.Store
+	kv.AsyncStore
+	// Build bulk-loads the initial pairs (untimed). Call before Start.
+	Build(load []ycsb.Pair)
+	// Start spawns the NMP combiner daemons. Call once before Machine.Run.
+	Start()
+	// Dump returns the final contents in ascending key order (untimed).
+	Dump() []KV
+	// CheckInvariants validates structural invariants at quiescence.
+	CheckInvariants() error
+	// Metrics returns the owning machine's metrics registry.
+	Metrics() *metrics.Registry
+}
+
+// Engine is one registered structure: everything a consumer needs to
+// build it on either stack.
+type Engine struct {
+	// Name is the engine's registry key (-store flag value, experiment
+	// ID suffix, STATS label).
+	Name string
+	// Desc is a short human label ("B+ tree") for titles and help text.
+	Desc string
+	// NewNative returns the per-partition store factory the native
+	// runtime (internal/core) consumes.
+	NewNative func(t Tuning) func(partition int) core.Store
+	// SimTuning maps simulated sizing onto the native Tuning knobs, so
+	// native grids derive per-engine tuning from an experiment Scale.
+	SimTuning func(p SimParams) Tuning
+	// NewSimHybrid builds the engine's simulated hybrid on m, sized by p.
+	// The result is not yet loaded or started.
+	NewSimHybrid func(m *machine.Machine, p SimParams) SimHybrid
+	// SimRecords returns the engine's simulated load-set size under p.
+	SimRecords func(p SimParams) int
+}
+
+// Engines returns every registered engine in registration order (the
+// presentation order of grids and help text).
+func Engines() []Engine {
+	return []Engine{btreeEngine(), skiplistEngine(), bskiplistEngine()}
+}
+
+// Names returns the registered engine names in sorted order, for flag
+// help and error messages.
+func Names() []string {
+	var out []string
+	for _, e := range Engines() {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the engine registered under name.
+func Lookup(name string) (Engine, bool) {
+	for _, e := range Engines() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Engine{}, false
+}
+
+// MustEngine returns the engine registered under name, panicking on an
+// unknown name — for callers whose names are compiled in.
+func MustEngine(name string) Engine {
+	e, ok := Lookup(name)
+	if !ok {
+		panic("store: unknown engine " + name)
+	}
+	return e
+}
