@@ -48,7 +48,7 @@ func main() {
 		inflight     = flag.Int("inflight", 0, "per-connection in-flight response budget (default 4x window)")
 		maxConns     = flag.Int("maxconns", 0, "max concurrent connections (0 = unlimited)")
 		scanLimit    = flag.Int("scan-limit", 1024, "max pairs returned by one SCAN")
-		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client write deadline")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client write deadline (negative disables write deadlines)")
 	)
 	flag.Parse()
 

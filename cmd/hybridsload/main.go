@@ -9,6 +9,7 @@
 //	hybridsload [-addr 127.0.0.1:7070] [-conns 4] [-depth 16]
 //	            [-ops 20000] [-records 16384] [-keymax 1048576]
 //	            [-read 100 -insert 0 -remove 0] [-seed 1]
+//	            [-warmup 2048] [-max-allocs-per-op -1]
 //	            [-noload] [-markdown|-json] [-stats]
 //
 // Each connection keeps -depth requests in flight (a closed loop: every
@@ -17,6 +18,15 @@
 // over -records preloaded pairs; -insert/-remove switch to the uniform
 // read-insert-remove mix. -stats dumps the server's STATS snapshot to
 // stderr after the run.
+//
+// The measured phase is steady-state: every connection is dialed and
+// runs -warmup untimed operations first (filling pools and scratch
+// buffers on both sides), then all connections start the timed replay
+// together behind a gate. Client-process heap allocations across the
+// timed phase are counted (load/allocs) and averaged per operation;
+// -max-allocs-per-op N exits nonzero when the integer average exceeds N,
+// making the zero-allocation serving path a CI-checkable regression
+// gate.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -35,7 +46,7 @@ import (
 )
 
 // connStats is one connection's tally: per-status response counts and
-// the client-observed latency of every operation.
+// the client-observed latency of every measured operation.
 type connStats struct {
 	ok, miss, rejected, bad uint64
 	lats                    []time.Duration
@@ -58,52 +69,71 @@ func toRequest(op kv.Op) server.Request {
 	return r
 }
 
-// runConn replays ops on one connection with depth requests in flight.
-func runConn(addr string, ops []kv.Op, depth int, st *connStats) {
-	c, err := server.Dial(addr)
+// replay runs ops through c as a closed loop with depth requests in
+// flight. When st is nil the phase is untimed warmup (statuses and
+// latencies are discarded); otherwise send times come from sendTimes
+// (pre-sized by the caller so the measured phase does not grow it).
+func replay(c *server.Client, ops []kv.Op, depth int, sendTimes []time.Time, st *connStats) error {
+	if depth > len(ops) {
+		depth = len(ops)
+	}
+	next := 0
+	for ; next < depth; next++ {
+		if st != nil {
+			sendTimes = append(sendTimes, time.Now())
+		}
+		if err := c.Send(toRequest(ops[next])); err != nil {
+			return err
+		}
+	}
+	for done := 0; done < len(ops); done++ {
+		resp, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			st.lats = append(st.lats, time.Since(sendTimes[done]))
+			switch resp.Status {
+			case server.StatusOK:
+				st.ok++
+			case server.StatusMiss:
+				st.miss++
+			case server.StatusRejected:
+				st.rejected++
+			default:
+				st.bad++
+			}
+		}
+		if next < len(ops) {
+			if st != nil {
+				sendTimes = append(sendTimes, time.Now())
+			}
+			if err := c.Send(toRequest(ops[next])); err != nil {
+				return err
+			}
+			next++
+		}
+	}
+	return nil
+}
+
+// runConn owns one connection's lifecycle: untimed warmup, buffer
+// pre-sizing, then — once the start gate opens — the timed replay.
+func runConn(c *server.Client, warm, main []kv.Op, depth int, warmed *sync.WaitGroup, start <-chan struct{}, st *connStats) {
+	defer c.Close()
+	err := replay(c, warm, depth, nil, nil)
+	// Pre-size the measured phase's buffers before the gate so they are
+	// not counted as steady-state allocations.
+	sendTimes := make([]time.Time, 0, len(main))
+	st.lats = make([]time.Duration, 0, len(main))
+	warmed.Done()
 	if err != nil {
 		st.err = err
 		return
 	}
-	defer c.Close()
-	if depth > len(ops) {
-		depth = len(ops)
-	}
-	sendTimes := make([]time.Time, 0, len(ops))
-	next := 0
-	for ; next < depth; next++ {
-		sendTimes = append(sendTimes, time.Now())
-		if err := c.Send(toRequest(ops[next])); err != nil {
-			st.err = err
-			return
-		}
-	}
-	st.lats = make([]time.Duration, 0, len(ops))
-	for done := 0; done < len(ops); done++ {
-		resp, err := c.Recv()
-		if err != nil {
-			st.err = err
-			return
-		}
-		st.lats = append(st.lats, time.Since(sendTimes[done]))
-		switch resp.Status {
-		case server.StatusOK:
-			st.ok++
-		case server.StatusMiss:
-			st.miss++
-		case server.StatusRejected:
-			st.rejected++
-		default:
-			st.bad++
-		}
-		if next < len(ops) {
-			sendTimes = append(sendTimes, time.Now())
-			if err := c.Send(toRequest(ops[next])); err != nil {
-				st.err = err
-				return
-			}
-			next++
-		}
+	<-start
+	if err := replay(c, main, depth, sendTimes, st); err != nil {
+		st.err = err
 	}
 }
 
@@ -142,22 +172,27 @@ func pctl(sorted []time.Duration, p float64) time.Duration {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "hybridsd address")
-		conns    = flag.Int("conns", 4, "concurrent client connections")
-		depth    = flag.Int("depth", 16, "pipelined requests in flight per connection")
-		ops      = flag.Int("ops", 20000, "operations per connection")
-		records  = flag.Int("records", 16384, "preloaded records")
-		keyMax   = flag.Uint("keymax", 1<<20, "workload key-space bound (power of two, <= server -keymax)")
-		read     = flag.Int("read", 100, "read percentage")
-		insert   = flag.Int("insert", 0, "insert percentage (with -remove switches to the uniform mix)")
-		remove   = flag.Int("remove", 0, "remove percentage")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		noload   = flag.Bool("noload", false, "skip the preload phase (server already populated)")
-		markdown = flag.Bool("markdown", false, "emit a markdown table")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON")
-		stats    = flag.Bool("stats", false, "dump the server STATS snapshot to stderr after the run")
+		addr      = flag.String("addr", "127.0.0.1:7070", "hybridsd address")
+		conns     = flag.Int("conns", 4, "concurrent client connections")
+		depth     = flag.Int("depth", 16, "pipelined requests in flight per connection")
+		ops       = flag.Int("ops", 20000, "measured operations per connection")
+		records   = flag.Int("records", 16384, "preloaded records")
+		keyMax    = flag.Uint("keymax", 1<<20, "workload key-space bound (power of two, <= server -keymax)")
+		read      = flag.Int("read", 100, "read percentage")
+		insert    = flag.Int("insert", 0, "insert percentage (with -remove switches to the uniform mix)")
+		remove    = flag.Int("remove", 0, "remove percentage")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		warmup    = flag.Int("warmup", 2048, "untimed warmup operations per connection before the measured phase")
+		maxAllocs = flag.Int("max-allocs-per-op", -1, "fail when measured client allocations per op exceed this (integer average, like testing.AllocsPerRun); -1 disables")
+		noload    = flag.Bool("noload", false, "skip the preload phase (server already populated)")
+		markdown  = flag.Bool("markdown", false, "emit a markdown table")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON")
+		stats     = flag.Bool("stats", false, "dump the server STATS snapshot to stderr after the run")
 	)
 	flag.Parse()
+	if *warmup < 0 {
+		*warmup = 0
+	}
 
 	var cfg ycsb.Config
 	workload := "YCSB-C (100% zipfian reads)"
@@ -178,19 +213,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybridsload: preloaded %d records in %v\n", *records, time.Since(t0).Round(time.Millisecond))
 	}
 
-	streams := gen.Streams(*conns, *ops)
+	// Each connection's stream is warmup + measured ops replayed in
+	// order: the warmup is simply the stream's untimed prefix, so the
+	// whole sequence stays deterministic for a given seed.
+	streams := gen.Streams(*conns, *warmup+*ops)
+	clients := make([]*server.Client, *conns)
+	for i := range clients {
+		c, err := server.Dial(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dial conn %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		clients[i] = c
+	}
+
 	sts := make([]connStats, *conns)
-	var wg sync.WaitGroup
-	t0 := time.Now()
+	var warmed, wg sync.WaitGroup
+	start := make(chan struct{})
 	for i := 0; i < *conns; i++ {
+		warmed.Add(1)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			runConn(*addr, streams[i], *depth, &sts[i])
+			runConn(clients[i], streams[i][:*warmup], streams[i][*warmup:], *depth, &warmed, start, &sts[i])
 		}(i)
 	}
+	warmed.Wait()
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	close(start)
 	wg.Wait()
 	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	allocs := m1.Mallocs - m0.Mallocs
 
 	var all []time.Duration
 	var ok, miss, rejected, bad uint64
@@ -210,18 +267,24 @@ func main() {
 	mops := float64(total) / wall.Seconds() / 1e6
 	p50, p95, p99 := pctl(all, 0.50), pctl(all, 0.95), pctl(all, 0.99)
 	max := pctl(all, 1)
+	// Integer average, the same accounting testing.AllocsPerRun uses: a
+	// handful of fixed-cost allocations over a long run round to zero,
+	// a per-op allocation does not.
+	allocsPerOp := allocs / uint64(total)
 
 	us := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3) }
 	res := exp.Result{
 		ID:     "hybridsload",
 		Title:  fmt.Sprintf("hybridsd closed-loop load, %s", workload),
-		Header: []string{"conns", "depth", "ops", "Mops/s", "p50 µs", "p95 µs", "p99 µs", "max µs"},
+		Header: []string{"conns", "depth", "ops", "Mops/s", "p50 µs", "p95 µs", "p99 µs", "max µs", "allocs/op"},
 		Rows: [][]string{{
 			fmt.Sprint(*conns), fmt.Sprint(*depth), fmt.Sprint(total),
 			fmt.Sprintf("%.2f", mops), us(p50), us(p95), us(p99), us(max),
+			fmt.Sprint(allocsPerOp),
 		}},
 		Notes: []string{
 			fmt.Sprintf("statuses: %d ok, %d miss, %d rejected, %d bad", ok, miss, rejected, bad),
+			fmt.Sprintf("steady state: %d warmup ops/conn untimed; %d client heap allocations over the measured phase", *warmup, allocs),
 			"client-observed latency over TCP loopback; wall-clock throughput is machine-dependent",
 		},
 		Cells: []exp.Cell{{
@@ -231,14 +294,16 @@ func main() {
 			MOpsPerSec: mops,
 			WallNanos:  uint64(wall.Nanoseconds()),
 			Metrics: map[string]uint64{
-				"load/ok":        ok,
-				"load/miss":      miss,
-				"load/rejected":  rejected,
-				"load/bad":       bad,
-				"load/lat_p50ns": uint64(p50.Nanoseconds()),
-				"load/lat_p95ns": uint64(p95.Nanoseconds()),
-				"load/lat_p99ns": uint64(p99.Nanoseconds()),
-				"load/lat_maxns": uint64(max.Nanoseconds()),
+				"load/ok":            ok,
+				"load/miss":          miss,
+				"load/rejected":      rejected,
+				"load/bad":           bad,
+				"load/lat_p50ns":     uint64(p50.Nanoseconds()),
+				"load/lat_p95ns":     uint64(p95.Nanoseconds()),
+				"load/lat_p99ns":     uint64(p99.Nanoseconds()),
+				"load/lat_maxns":     uint64(max.Nanoseconds()),
+				"load/allocs":        allocs,
+				"load/allocs_per_op": allocsPerOp,
 			},
 		}},
 	}
@@ -267,6 +332,10 @@ func main() {
 		}
 	}
 
+	if *maxAllocs >= 0 && allocsPerOp > uint64(*maxAllocs) {
+		fmt.Fprintf(os.Stderr, "hybridsload: %d allocs/op exceeds -max-allocs-per-op %d\n", allocsPerOp, *maxAllocs)
+		os.Exit(1)
+	}
 	if bad > 0 {
 		os.Exit(1)
 	}

@@ -64,6 +64,83 @@ func (h *Hybrid) ApplyBatch(ops []hds.Request, window int) (applied, succeeded i
 	return h.ApplyBatchResults(ops, window, nil)
 }
 
+// Batcher is the reusable state behind windowed batch execution: the
+// per-partition ports, the generic in-flight hds.Window, and a table of
+// pre-boxed harvest tags. ApplyBatchResults builds one per call; callers
+// with a steady stream of batches (the serving layer keeps one per
+// connection) construct it once with NewBatcher and call Apply
+// repeatedly, which makes the steady-state batch path allocation-free. A
+// Batcher belongs to one goroutine; it is not safe for concurrent use.
+type Batcher struct {
+	h    *Hybrid
+	nats []*natPort
+	w    *hds.Window[struct{}, hds.Request, hds.Result]
+	tags []any
+}
+
+// NewBatcher returns a Batcher whose Apply keeps up to window operations
+// in flight. window <= 1 keeps one call in flight (blocking behaviour
+// through the same windowed path).
+func (h *Hybrid) NewBatcher(window int) *Batcher {
+	if window <= 0 {
+		window = 1
+	}
+	ports := make([]hds.Port[struct{}, hds.Request, hds.Result], len(h.parts))
+	nats := make([]*natPort, len(h.parts))
+	for p := range h.parts {
+		np := &natPort{h: h, part: p, futs: make([]*Future, window), rejected: make([]bool, window)}
+		nats[p] = np
+		ports[p] = np
+	}
+	return &Batcher{h: h, nats: nats, w: hds.NewWindow(0, window, ports, natPark)}
+}
+
+// tag returns idx boxed into an interface, memoized so repeated Apply
+// calls never re-box window tags (boxing an int above the runtime's
+// small-value cache allocates).
+func (b *Batcher) tag(idx int) any {
+	for len(b.tags) <= idx {
+		b.tags = append(b.tags, len(b.tags))
+	}
+	return b.tags[idx]
+}
+
+// Apply executes ops through the batcher's window with ApplyBatchResults
+// semantics: when out is non-nil it must hold len(ops) entries and
+// out[i] receives ops[i]'s Outcome. It returns the applied/succeeded
+// accounting of ApplyBatch. Steady-state calls perform no allocation.
+func (b *Batcher) Apply(ops []hds.Request, out []Outcome) (applied, succeeded int) {
+	if out != nil && len(out) != len(ops) {
+		panic("core: Batcher.Apply out length does not match ops")
+	}
+	h := b.h
+	next := 0
+	for next < len(ops) || !b.w.Empty() {
+		if next < len(ops) && !b.w.Full() {
+			op := ops[next]
+			b.w.Post(struct{}{}, h.Partition(op.Key), op, b.tag(next))
+			next++
+			continue
+		}
+		tag, res, pos := b.w.Harvest(struct{}{})
+		idx := tag.(int)
+		// Window position i of thread 0 is slot i of the target
+		// partition's port.
+		rejected := b.nats[h.Partition(ops[idx].Key)].rejected[pos]
+		if out != nil {
+			out[idx] = Outcome{Result: res, Rejected: rejected}
+		}
+		if rejected {
+			continue
+		}
+		applied++
+		if res.OK {
+			succeeded++
+		}
+	}
+	return applied, succeeded
+}
+
 // Outcome is one batched operation's result plus whether it reached a
 // combiner at all: Rejected marks publishes refused by a concurrent Close
 // (the store was never touched), which would otherwise be
@@ -81,43 +158,8 @@ type Outcome struct {
 // serving layer uses it to answer pipelined client requests in request
 // order while the window overlaps their executions.
 func (h *Hybrid) ApplyBatchResults(ops []hds.Request, window int, out []Outcome) (applied, succeeded int) {
-	if window <= 0 {
-		window = 1
-	}
 	if out != nil && len(out) != len(ops) {
 		panic("core: ApplyBatchResults out length does not match ops")
 	}
-	ports := make([]hds.Port[struct{}, hds.Request, hds.Result], len(h.parts))
-	nats := make([]*natPort, len(h.parts))
-	for p := range h.parts {
-		np := &natPort{h: h, part: p, futs: make([]*Future, window), rejected: make([]bool, window)}
-		nats[p] = np
-		ports[p] = np
-	}
-	w := hds.NewWindow(0, window, ports, natPark)
-	next := 0
-	for next < len(ops) || !w.Empty() {
-		if next < len(ops) && !w.Full() {
-			op := ops[next]
-			w.Post(struct{}{}, h.Partition(op.Key), op, next)
-			next++
-			continue
-		}
-		tag, res, pos := w.Harvest(struct{}{})
-		idx := tag.(int)
-		// Window position i of thread 0 is slot i of the target
-		// partition's port.
-		rejected := nats[h.Partition(ops[idx].Key)].rejected[pos]
-		if out != nil {
-			out[idx] = Outcome{Result: res, Rejected: rejected}
-		}
-		if rejected {
-			continue
-		}
-		applied++
-		if res.OK {
-			succeeded++
-		}
-	}
-	return applied, succeeded
+	return h.NewBatcher(window).Apply(ops, out)
 }

@@ -408,25 +408,32 @@ func (h *Hybrid) Dump() []KV {
 // visited one after another, not atomically. from may be 0 (scan from the
 // smallest key).
 func (h *Hybrid) Scan(from uint64, limit int) []KV {
+	return h.ScanAppend(nil, from, limit)
+}
+
+// ScanAppend is Scan appending into dst (which may be nil), returning the
+// extended slice. Callers with a reusable buffer avoid Scan's per-call
+// allocation; the pairs are appended after dst's existing contents.
+func (h *Hybrid) ScanAppend(dst []KV, from uint64, limit int) []KV {
 	if limit <= 0 {
-		return nil
+		return dst
 	}
-	var out []KV
-	for p := 0; p < len(h.parts) && len(out) < limit; p++ {
+	base := len(dst)
+	for p := 0; p < len(h.parts) && len(dst)-base < limit; p++ {
 		if hi := uint64(p+1) * h.span; from >= hi {
 			continue // partition's whole key range lies below from
 		}
 		h.barrier(p, func(s Store) {
 			s.Ascend(from, func(k, v uint64) bool {
-				if len(out) >= limit {
+				if len(dst)-base >= limit {
 					return false
 				}
-				out = append(out, KV{Key: k, Value: v})
+				dst = append(dst, KV{Key: k, Value: v})
 				return true
 			})
 		})
 	}
-	return out
+	return dst
 }
 
 // Build populates the partition stores directly — in parallel, one

@@ -9,9 +9,20 @@
 // time, so adding or reading metrics cannot perturb simulated behaviour.
 // A Registry is intended for single-goroutine use (the engine runs exactly
 // one actor at a time); it is not synchronized.
+//
+// Concurrent layers (the serving data plane) do not touch registry
+// instruments on their hot paths at all: each connection accumulates into
+// Local cells — single-writer atomics it owns — and folds the totals into
+// the shared registry only when it retires (Counter.Add plus
+// Histogram.Fold). A snapshotter that wants a live view sums the registry
+// base with Local.Load over the live owners; the fold API keeps the two
+// layers consistent without a lock anywhere near the data path.
 package metrics
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Counter is a monotonically increasing named event count.
 type Counter struct {
@@ -31,6 +42,12 @@ func (c *Counter) Add(n uint64) { c.v += n }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
 
+// NumBuckets is the number of shape buckets a Histogram keeps: one per
+// possible uint64 bit length (bucket 0 counts zero samples). Local
+// accumulators that are folded with Histogram.Fold size their bucket
+// arrays with it.
+const NumBuckets = 65
+
 // Histogram accumulates a distribution of uint64 samples: total sum and
 // count (registered in the owning Registry as "<name>/sum" and
 // "<name>/count", so snapshots carry them) plus power-of-two buckets for
@@ -40,7 +57,7 @@ type Histogram struct {
 	name    string
 	sum     *Counter
 	count   *Counter
-	buckets [65]uint64 // buckets[i] counts samples of bit-length i
+	buckets [NumBuckets]uint64 // buckets[i] counts samples of bit-length i
 }
 
 // Name returns the histogram's registered name.
@@ -71,6 +88,26 @@ func (h *Histogram) Mean() float64 {
 // [2^(i-1), 2^i) for i>0; bucket 0 counts zero samples).
 func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
 
+// Fold adds a locally accumulated distribution into the histogram: sum
+// and count go to the backing counters, buckets element-wise into the
+// shape buckets. Owners of Local accumulators call it once when they
+// retire, so a distribution observed off-registry (e.g. per-connection)
+// lands in the registry exactly as if every sample had been Observed.
+// A nil buckets folds sum/count only.
+func (h *Histogram) Fold(sum, count uint64, buckets *[NumBuckets]uint64) {
+	h.sum.Add(sum)
+	h.count.Add(count)
+	if buckets != nil {
+		for i, b := range buckets {
+			h.buckets[i] += b
+		}
+	}
+}
+
+// BucketIndex returns the bucket a sample falls in (its bit length), so
+// local accumulators can bucket samples exactly as Observe would.
+func BucketIndex(v uint64) int { return bitLen(v) }
+
 func bitLen(v uint64) int {
 	n := 0
 	for v != 0 {
@@ -79,6 +116,29 @@ func bitLen(v uint64) int {
 	}
 	return n
 }
+
+// Local is a single-writer counter cell for hot-path accumulation
+// outside the registry: exactly one goroutine increments it, while any
+// goroutine may Load a consistent snapshot concurrently. It is the
+// building block for per-connection (or per-core) metric accumulators
+// that fold into shared registry Counters only when the owner retires —
+// the data path then performs no shared-memory read-modify-write beyond
+// its own cacheline. Group Locals with Pad so independent writers never
+// share a line.
+type Local struct{ v atomic.Uint64 }
+
+// Inc adds one to the cell.
+func (l *Local) Inc() { l.v.Add(1) }
+
+// Add adds n to the cell.
+func (l *Local) Add(n uint64) { l.v.Add(n) }
+
+// Load returns the cell's current value. Safe from any goroutine.
+func (l *Local) Load() uint64 { return l.v.Load() }
+
+// Pad is one cache line of padding. Interleave it between groups of
+// Locals owned by different goroutines to prevent false sharing.
+type Pad [64]byte
 
 // Registry is a flat namespace of counters and histograms. Registration is
 // idempotent: asking for an existing name returns the same instrument, so

@@ -90,3 +90,61 @@ func TestHistogramMeanEmpty(t *testing.T) {
 		t.Fatalf("empty mean = %v", m)
 	}
 }
+
+// TestHistogramFoldMatchesObserve checks the fold API's contract: a
+// distribution accumulated off-registry and folded once must be
+// indistinguishable from the same samples Observed directly.
+func TestHistogramFoldMatchesObserve(t *testing.T) {
+	samples := []uint64{0, 1, 2, 3, 100, 1 << 40}
+	direct := NewRegistry().Histogram("h")
+	for _, v := range samples {
+		direct.Observe(v)
+	}
+
+	var sum, count uint64
+	var buckets [NumBuckets]uint64
+	for _, v := range samples {
+		sum += v
+		count++
+		buckets[BucketIndex(v)]++
+	}
+	folded := NewRegistry().Histogram("h")
+	folded.Fold(sum, count, &buckets)
+
+	if folded.Sum() != direct.Sum() || folded.Count() != direct.Count() {
+		t.Fatalf("fold sum/count = %d/%d, observe = %d/%d",
+			folded.Sum(), folded.Count(), direct.Sum(), direct.Count())
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if folded.Bucket(i) != direct.Bucket(i) {
+			t.Fatalf("bucket %d: fold %d, observe %d", i, folded.Bucket(i), direct.Bucket(i))
+		}
+	}
+
+	// A nil bucket fold adds sum/count only.
+	folded.Fold(10, 2, nil)
+	if folded.Sum() != direct.Sum()+10 || folded.Count() != direct.Count()+2 {
+		t.Fatalf("nil-bucket fold sum/count = %d/%d", folded.Sum(), folded.Count())
+	}
+}
+
+// TestLocalConcurrentLoad checks the Local cell's single-writer
+// contract: one goroutine increments while another loads, and the final
+// value is exact.
+func TestLocalConcurrentLoad(t *testing.T) {
+	var l Local
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			l.Inc()
+			l.Add(2)
+		}
+	}()
+	for l.Load() < 100 { // concurrent reads observe monotonic progress
+	}
+	<-done
+	if got := l.Load(); got != 3000 {
+		t.Fatalf("Local total = %d, want 3000", got)
+	}
+}

@@ -1,0 +1,101 @@
+package server
+
+import "sync/atomic"
+
+// byteArena is the connection's response staging buffer: a power-of-two
+// byte ring the reader encodes frames into and the writer drains with
+// single batched net.Conn writes. Positions are logical (monotonically
+// increasing); pos & mask is the physical offset. Frames never wrap: an
+// allocation that would straddle the physical end skips the dead tail
+// region instead, so every frame — and every run of adjacent frames — is
+// one contiguous slice of buf.
+//
+// The producer (reader goroutine) owns pos; the consumer (writer
+// goroutine) advances head as spans are written. Capacity discipline: no
+// frame may exceed half the arena (see Server.maxArenaFrame), which
+// bounds any skip below the frame size and guarantees an allocation
+// always fits once everything before it is consumed — the producer can
+// park on space but never deadlock. The parking protocol is the same
+// eventcount scheme respRing uses.
+type byteArena struct {
+	buf  []byte
+	mask uint64
+
+	head atomic.Uint64 // consumed logical position (writer-advanced)
+	pos  uint64        // allocated logical position (producer-owned)
+
+	prodParked atomic.Bool
+	wakeProd   chan struct{}
+}
+
+// newByteArena returns an arena of the given capacity (must be a power
+// of two).
+func newByteArena(capacity int) *byteArena {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("server: arena capacity must be a positive power of two")
+	}
+	return &byteArena{
+		buf:      make([]byte, capacity),
+		mask:     uint64(capacity - 1),
+		wakeProd: make(chan struct{}, 1),
+	}
+}
+
+// alloc reserves n contiguous bytes, blocking while the ring lacks space
+// (backpressure: space frees as the writer drains). It returns the
+// region to encode into and the logical end position a span must carry
+// so the writer's release frees it. Producer-side only; n must not
+// exceed half the capacity.
+func (a *byteArena) alloc(n int) ([]byte, uint64) {
+	pos := a.pos
+	size := uint64(len(a.buf))
+	if off := pos & a.mask; off+uint64(n) > size {
+		pos += size - off // skip the dead tail region: frames never wrap
+	}
+	end := pos + uint64(n)
+	for end-a.head.Load() > size {
+		a.prodParked.Store(true)
+		if end-a.head.Load() <= size {
+			a.prodParked.Store(false)
+			break
+		}
+		<-a.wakeProd
+		a.prodParked.Store(false)
+	}
+	a.pos = end
+	off := pos & a.mask
+	return a.buf[off : off+uint64(n) : off+uint64(n)], end
+}
+
+// mark returns the current logical allocation position — the end an
+// out-of-arena (ext) span carries so the writer's release store stays
+// monotonic. Producer-side only.
+func (a *byteArena) mark() uint64 { return a.pos }
+
+// release marks everything below end consumed. Consumer-side only; ends
+// are non-decreasing in span push order, so releasing the last written
+// span's end frees all of them.
+func (a *byteArena) release(end uint64) {
+	if end > a.head.Load() {
+		a.head.Store(end)
+	}
+	if a.prodParked.Load() {
+		select {
+		case a.wakeProd <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// reset returns the arena to its freshly constructed state so a pooled
+// arena can be handed to a new connection. Both goroutines of the
+// previous owner must have exited.
+func (a *byteArena) reset() {
+	a.head.Store(0)
+	a.pos = 0
+	a.prodParked.Store(false)
+	select {
+	case <-a.wakeProd: // drop a stale wake permit
+	default:
+	}
+}

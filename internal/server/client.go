@@ -16,10 +16,16 @@ type Client struct {
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
-	// sent holds the op codes of requests written but not yet answered,
-	// consumed FIFO by Recv.
-	sent []uint8
-	buf  []byte
+	// sent[sentHead:] holds the op codes of requests written but not yet
+	// answered, consumed FIFO by Recv. The head index (rather than
+	// re-slicing) lets the backing array reset and be reused once the
+	// pipeline drains, so a steady request/response rhythm never
+	// reallocates it.
+	sent     []uint8
+	sentHead int
+	buf      []byte
+	// body is ReadResponseBuf's frame scratch, reused across responses.
+	body []byte
 }
 
 // Dial connects to a server at the TCP address addr.
@@ -60,18 +66,26 @@ func (c *Client) Send(reqs ...Request) error {
 	return c.bw.Flush()
 }
 
-// Recv reads the response to the oldest unanswered request.
+// Recv reads the response to the oldest unanswered request. A SCAN
+// response's Pairs slice is pooled; the caller owns it and may release
+// it with PutPairs.
 func (c *Client) Recv() (Response, error) {
-	if len(c.sent) == 0 {
+	if c.sentHead == len(c.sent) {
 		return Response{}, fmt.Errorf("server: Recv with no request in flight")
 	}
-	op := c.sent[0]
-	c.sent = c.sent[1:]
-	return ReadResponse(c.br, op)
+	op := c.sent[c.sentHead]
+	c.sentHead++
+	if c.sentHead == len(c.sent) {
+		c.sent = c.sent[:0]
+		c.sentHead = 0
+	}
+	resp, body, err := ReadResponseBuf(c.br, op, c.body)
+	c.body = body
+	return resp, err
 }
 
 // Pending returns the number of requests awaiting a Recv.
-func (c *Client) Pending() int { return len(c.sent) }
+func (c *Client) Pending() int { return len(c.sent) - c.sentHead }
 
 // Pipeline sends all reqs, then collects all their responses in request
 // order. On error the returned slice holds the responses received
@@ -140,7 +154,9 @@ func (c *Client) scalar(r Request) (uint64, bool, error) {
 }
 
 // Scan returns up to limit pairs with keys >= from in ascending key
-// order (the server may clamp limit to its configured cap).
+// order (the server may clamp limit to its configured cap). The returned
+// slice is pooled: the caller owns it and may release it with PutPairs
+// when done.
 func (c *Client) Scan(from uint64, limit uint64) ([]Pair, error) {
 	resp, err := c.call(Request{Op: OpScan, Key: from, Value: limit})
 	if err != nil {

@@ -2,39 +2,86 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"net"
 	"sync"
 	"time"
 
 	"hybrids/internal/core"
 	"hybrids/internal/hds"
+	"hybrids/internal/metrics"
 )
 
-// pending is one completed response queued for the writer goroutine. op
-// is the request's operation code, which selects the payload encoding.
-type pending struct {
-	op   uint8
-	resp Response
+// connStats is a connection's metric accumulators: single-writer atomic
+// cells the hot path bumps instead of taking the server mutex. The
+// reader-owned and writer-owned groups are separated by cacheline
+// padding so the two goroutines never false-share. Totals are folded
+// into the server's registry when the connection closes; a live STATS
+// snapshot sums the registry base with Load over every open connection.
+type connStats struct {
+	_ metrics.Pad
+
+	// Reader-owned.
+	requests   metrics.Local
+	rejected   metrics.Local
+	badReq     metrics.Local
+	scanned    metrics.Local
+	batchSum   metrics.Local
+	batchCount metrics.Local
+	ops        [OpStats + 1]metrics.Local
+	// batchBuckets shapes the batch-size histogram. Plain (non-atomic)
+	// cells: only the reader writes them and they are read only at fold
+	// time, after both goroutines have exited — never by live STATS.
+	batchBuckets [metrics.NumBuckets]uint64
+
+	_ metrics.Pad
+
+	// Writer-owned.
+	responses metrics.Local
+	timeouts  metrics.Local
+
+	_ metrics.Pad
+}
+
+// serveTallies accumulates one serve call's counter deltas in plain
+// locals; they land in the connection's atomic cells in a single burst
+// at the end of the batch, so a STATS request coalesced into the batch
+// snapshots the state as of the batch's start (the pre-ring behaviour).
+type serveTallies struct {
+	bad        uint64
+	rejected   uint64
+	scanned    uint64
+	batchSum   uint64
+	batchCount uint64
+	ops        [OpStats + 1]uint64
 }
 
 // conn is one served connection: a reader goroutine (run) that decodes,
-// coalesces and executes requests, and a writer goroutine that encodes
-// and flushes responses in request order. The out channel's capacity is
-// the connection's in-flight budget — when the writer falls behind, the
-// reader blocks on the send and stops reading the socket.
+// coalesces and executes requests, encoding responses straight into the
+// connection's byte arena, and a writer goroutine that drains the span
+// ring with batched socket writes. The ring's capacity is the in-flight
+// budget — when the writer falls behind, the reader blocks pushing a
+// span and stops reading the socket. A steady-state scalar operation
+// touches no shared mutex and performs no heap allocation anywhere on
+// this path.
 type conn struct {
-	srv  *Server
-	nc   net.Conn
-	out  chan pending
-	stop chan struct{}
+	srv     *Server
+	nc      net.Conn
+	ring    *respRing
+	arena   *byteArena
+	batcher *core.Batcher
+	stop    chan struct{}
 	// drainOnce makes beginDrain idempotent (Shutdown may race the
 	// connection's own exit).
 	drainOnce sync.Once
 
 	// Reader-goroutine scratch, reused across batches.
+	hdr      [reqFrame]byte
 	reqs     []Request
 	ops      []hds.Request
 	outcomes []core.Outcome
+
+	stats connStats
 }
 
 // beginDrain tells the connection to stop reading new requests. The
@@ -51,24 +98,19 @@ func (c *conn) beginDrain() {
 
 // run is the connection's reader loop and lifecycle owner: it spawns the
 // writer, reads and serves request batches until the client disconnects
-// or a drain begins, then closes the out channel, waits for the writer
-// to flush, and deregisters the connection.
+// or a drain begins, then closes the span ring, waits for the writer to
+// drain it, and deregisters the connection.
 func (c *conn) run() {
-	s := c.srv
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		c.writeLoop()
 	}()
 	c.readLoop()
-	close(c.out)
+	c.ring.close()
 	<-writerDone
 	c.nc.Close()
-	s.mu.Lock()
-	delete(s.conns, c)
-	s.cClosed.Inc()
-	s.mu.Unlock()
-	s.wg.Done()
+	c.srv.connClosed(c)
 }
 
 // readLoop reads and serves batches until the client disconnects, a
@@ -85,7 +127,7 @@ func (c *conn) readLoop() {
 			return
 		default:
 		}
-		req, err := ReadRequest(br)
+		req, err := c.readRequest(br)
 		if err != nil {
 			return
 		}
@@ -95,7 +137,7 @@ func (c *conn) readLoop() {
 		// of buffered bytes cannot fail with an I/O error, so err here
 		// can only be a framing error.
 		for len(c.reqs) < window && br.Buffered() >= reqFrame {
-			req, err = ReadRequest(br)
+			req, err = c.readRequest(br)
 			if err != nil {
 				break
 			}
@@ -108,149 +150,245 @@ func (c *conn) readLoop() {
 	}
 }
 
+// readRequest decodes one request frame through the connection's header
+// scratch (a stack array would escape through the io.Reader and allocate
+// per call).
+func (c *conn) readRequest(br *bufio.Reader) (Request, error) {
+	return readRequestInto(br, &c.hdr)
+}
+
 // serve executes one coalesced batch and queues its responses in request
-// order. Runs of scalar operations go through a single
-// core.ApplyBatchResults window; SCAN and STATS act as batch boundaries
-// (a scan is a combiner barrier, a stats snapshot is server-local).
+// order. Runs of scalar operations go through a single window of the
+// connection's core.Batcher; SCAN and STATS act as batch boundaries (a
+// scan is a combiner barrier, a stats snapshot is server-local).
 func (c *conn) serve(reqs []Request) {
 	s := c.srv
-	var nBad, nRejected, nScanned uint64
-	var batchSizes []uint64
+	var t serveTallies
 
 	c.ops = c.ops[:0]
-	flush := func() {
-		if len(c.ops) == 0 {
-			return
-		}
-		if cap(c.outcomes) < len(c.ops) {
-			c.outcomes = make([]core.Outcome, len(c.ops))
-		}
-		out := c.outcomes[:len(c.ops)]
-		s.h.ApplyBatchResults(c.ops, s.cfg.Window, out)
-		for _, o := range out {
-			status := StatusOK
-			switch {
-			case o.Rejected:
-				status = StatusRejected
-				nRejected++
-			case !o.Result.OK:
-				status = StatusMiss
-			}
-			c.out <- pending{resp: Response{Status: status, Value: o.Result.Value}}
-		}
-		batchSizes = append(batchSizes, uint64(len(c.ops)))
-		c.ops = c.ops[:0]
-	}
-
 	for _, r := range reqs {
 		kind, known := kindOf(r.Op)
 		if known && r.Op != OpScan {
 			if r.Key == 0 || r.Key >= s.h.KeyMax() {
-				flush()
-				nBad++
-				c.out <- pending{resp: Response{Status: StatusBadRequest}}
+				c.flushOps(&t)
+				t.bad++
+				c.pushScalar(StatusBadRequest, 0)
 				continue
 			}
 			c.ops = append(c.ops, hds.Request{Kind: kind, Key: r.Key, Value: r.Value})
 			continue
 		}
-		flush()
+		c.flushOps(&t)
 		switch r.Op {
 		case OpScan:
-			limit := uint64(s.cfg.ScanLimit)
-			if r.Value < limit {
-				limit = r.Value
-			}
-			kvs := s.h.Scan(r.Key, int(limit))
-			pairs := make([]Pair, len(kvs))
-			for i, kv := range kvs {
-				pairs[i] = Pair{Key: kv.Key, Value: kv.Value}
-			}
-			nScanned += uint64(len(pairs))
-			c.out <- pending{op: OpScan, resp: Response{Status: StatusOK, Pairs: pairs}}
+			c.serveScan(r, &t)
 		case OpStats:
-			c.out <- pending{op: OpStats, resp: Response{Status: StatusOK, Stats: s.StatsText()}}
+			c.pushExt(AppendStatsResponse(nil, StatusOK, s.StatsText()))
 		default:
-			nBad++
-			c.out <- pending{resp: Response{Status: StatusBadRequest}}
+			t.bad++
+			c.pushScalar(StatusBadRequest, 0)
 		}
 	}
-	flush()
+	c.flushOps(&t)
 
-	s.mu.Lock()
-	s.cRequests.Add(uint64(len(reqs)))
 	for _, r := range reqs {
 		if r.Op >= 1 && r.Op <= OpStats {
-			s.cOps[r.Op].Inc()
+			t.ops[r.Op]++
 		}
 	}
-	for _, b := range batchSizes {
-		s.hBatch.Observe(b)
+	st := &c.stats
+	st.requests.Add(uint64(len(reqs)))
+	for op := 1; op <= int(OpStats); op++ {
+		if t.ops[op] != 0 {
+			st.ops[op].Add(t.ops[op])
+		}
 	}
-	s.cBadReq.Add(nBad)
-	s.cRejected.Add(nRejected)
-	s.cScanned.Add(nScanned)
-	s.mu.Unlock()
+	if t.batchCount != 0 {
+		st.batchSum.Add(t.batchSum)
+		st.batchCount.Add(t.batchCount)
+	}
+	if t.bad != 0 {
+		st.badReq.Add(t.bad)
+	}
+	if t.rejected != 0 {
+		st.rejected.Add(t.rejected)
+	}
+	if t.scanned != 0 {
+		st.scanned.Add(t.scanned)
+	}
 }
 
-// writeLoop encodes and flushes queued responses. It flushes only when
-// the queue momentarily empties (so pipelined responses share flushes)
-// and puts the configured write deadline on every flush: a client that
-// stops draining its socket is disconnected rather than allowed to pin
-// the connection's buffers forever. After a write failure the loop keeps
-// draining the queue without writing, so the reader never blocks on a
-// dead writer.
+// flushOps runs the pending scalar operations through the batcher's
+// window, then encodes the whole run of fixed-size response frames into
+// the arena in chunked passes — one alloc per chunk, one span per
+// response so the in-flight budget still counts responses.
+func (c *conn) flushOps(t *serveTallies) {
+	n := len(c.ops)
+	if n == 0 {
+		return
+	}
+	if cap(c.outcomes) < n {
+		c.outcomes = make([]core.Outcome, n)
+	}
+	out := c.outcomes[:n]
+	c.batcher.Apply(c.ops, out)
+	for i := 0; i < n; {
+		chunk := n - i
+		if chunk > c.srv.chunkFrames {
+			chunk = c.srv.chunkFrames
+		}
+		buf, end := c.arena.alloc(chunk * scalarRespFrame)
+		base := end - uint64(chunk*scalarRespFrame)
+		for j := 0; j < chunk; j++ {
+			o := out[i+j]
+			status := StatusOK
+			switch {
+			case o.Rejected:
+				status = StatusRejected
+				t.rejected++
+			case !o.Result.OK:
+				status = StatusMiss
+			}
+			putScalarResponse(buf[j*scalarRespFrame:(j+1)*scalarRespFrame], status, o.Result.Value)
+		}
+		for j := 0; j < chunk; j++ {
+			c.ring.push(span{
+				off: uint32((base + uint64(j*scalarRespFrame)) & c.arena.mask),
+				n:   scalarRespFrame,
+				end: base + uint64((j+1)*scalarRespFrame),
+			})
+		}
+		i += chunk
+	}
+	t.batchSum += uint64(n)
+	t.batchCount++
+	c.stats.batchBuckets[metrics.BucketIndex(uint64(n))]++
+	c.ops = c.ops[:0]
+}
+
+// pushScalar encodes one scalar response frame into the arena and queues
+// its span.
+func (c *conn) pushScalar(status uint8, value uint64) {
+	buf, end := c.arena.alloc(scalarRespFrame)
+	putScalarResponse(buf, status, value)
+	c.ring.push(span{off: uint32((end - scalarRespFrame) & c.arena.mask), n: scalarRespFrame, end: end})
+}
+
+// pushExt queues an out-of-arena frame (STATS, oversized SCAN). The span
+// carries the current arena mark so the writer's release position stays
+// monotonic.
+func (c *conn) pushExt(frame []byte) {
+	c.ring.push(span{ext: frame, end: c.arena.mark()})
+}
+
+// serveScan answers one SCAN request: the result is staged in a pooled
+// KV buffer, encoded into the arena when the frame fits (anything up to
+// half the arena), and into a heap frame otherwise.
+func (c *conn) serveScan(r Request, t *serveTallies) {
+	s := c.srv
+	limit := uint64(s.cfg.ScanLimit)
+	if r.Value < limit {
+		limit = r.Value
+	}
+	kvs := s.h.ScanAppend(kvPool.get(int(limit)), r.Key, int(limit))
+	t.scanned += uint64(len(kvs))
+	frame := lenBytes + 1 + 4 + 16*len(kvs)
+	if frame <= s.maxArenaFrame {
+		buf, end := c.arena.alloc(frame)
+		encodeScanKVs(buf, StatusOK, kvs)
+		c.ring.push(span{off: uint32((end - uint64(frame)) & c.arena.mask), n: uint32(frame), end: end})
+	} else {
+		ext := make([]byte, frame)
+		encodeScanKVs(ext, StatusOK, kvs)
+		c.pushExt(ext)
+	}
+	kvPool.put(kvs)
+}
+
+// encodeScanKVs encodes a SCAN response frame into dst, which must be
+// exactly lenBytes+1+4+16*len(kvs) long.
+func encodeScanKVs(dst []byte, status uint8, kvs []core.KV) {
+	binary.BigEndian.PutUint32(dst, uint32(1+4+16*len(kvs)))
+	dst[lenBytes] = status
+	binary.BigEndian.PutUint32(dst[lenBytes+1:], uint32(len(kvs)))
+	p := dst[lenBytes+5:]
+	for i, kv := range kvs {
+		binary.BigEndian.PutUint64(p[16*i:], kv.Key)
+		binary.BigEndian.PutUint64(p[16*i+8:], kv.Value)
+	}
+}
+
+// writeLoop drains the span ring: contiguous arena spans merge into
+// single socket writes, the write deadline is armed once per drained
+// batch (not per frame), and a failed connection keeps consuming and
+// releasing spans without writing so the reader never blocks on a dead
+// peer.
 func (c *conn) writeLoop() {
 	s := c.srv
-	bw := bufio.NewWriterSize(c.nc, 32<<10)
-	var buf []byte
-	var written uint64
+	r := c.ring
+	a := c.arena
 	failed := false
-	for p := range c.out {
-		if failed {
-			continue
+	for {
+		lo, hi, ok := r.wait()
+		if !ok {
+			return
 		}
-		switch p.op {
-		case OpScan:
-			buf = AppendScanResponse(buf[:0], p.resp.Status, p.resp.Pairs)
-		case OpStats:
-			buf = AppendStatsResponse(buf[:0], p.resp.Status, p.resp.Stats)
-		default:
-			buf = AppendScalarResponse(buf[:0], p.resp.Status, p.resp.Value)
-		}
-		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if _, err := bw.Write(buf); err != nil {
-			failed = c.writeFailed(err)
-			continue
-		}
-		written++
-		if len(c.out) == 0 {
+		if !failed && s.cfg.WriteTimeout > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			if err := bw.Flush(); err != nil {
-				failed = c.writeFailed(err)
+		}
+		var written uint64
+		for i := lo; i < hi; {
+			sp := r.at(i)
+			if failed {
+				sp.ext = nil
+				i++
+				continue
 			}
+			if sp.ext != nil {
+				if _, err := c.nc.Write(sp.ext); err != nil {
+					failed = true
+					c.writeFailed(err)
+				} else {
+					written++
+				}
+				sp.ext = nil
+				i++
+				continue
+			}
+			// Merge the run of physically adjacent arena spans into one
+			// write (a wrap skip or an ext span breaks the run).
+			off, n := sp.off, sp.n
+			cnt := uint64(1)
+			for j := i + 1; j < hi; j++ {
+				nx := r.at(j)
+				if nx.ext != nil || nx.off != off+n {
+					break
+				}
+				n += nx.n
+				cnt++
+			}
+			if _, err := c.nc.Write(a.buf[off : off+n]); err != nil {
+				failed = true
+				c.writeFailed(err)
+			} else {
+				written += cnt
+			}
+			i += cnt
+		}
+		a.release(r.at(hi-1).end)
+		r.release(hi)
+		if written != 0 {
+			c.stats.responses.Add(written)
 		}
 	}
-	if !failed {
-		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if err := bw.Flush(); err != nil {
-			c.writeFailed(err)
-		}
-	}
-	s.mu.Lock()
-	s.cResponse.Add(written)
-	s.mu.Unlock()
 }
 
 // writeFailed records a write error, counts deadline expiries as
 // slow-client timeouts, and closes the socket so the reader's next read
-// fails too. Always returns true (the writer's failed state).
-func (c *conn) writeFailed(err error) bool {
+// fails too.
+func (c *conn) writeFailed(err error) {
 	if ne, ok := err.(net.Error); ok && ne.Timeout() {
-		c.srv.mu.Lock()
-		c.srv.cTimeouts.Inc()
-		c.srv.mu.Unlock()
+		c.stats.timeouts.Inc()
 	}
 	c.nc.Close()
-	return true
 }

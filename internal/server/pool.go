@@ -1,0 +1,85 @@
+package server
+
+import (
+	"math/bits"
+	"sync"
+
+	"hybrids/internal/core"
+)
+
+// Size-classed slice pools for SCAN buffers: the server stages scan
+// results in pooled []core.KV buffers and the client decodes pairs into
+// pooled []Pair buffers, so repeated scans recycle their backing arrays
+// instead of allocating fresh ones per response. Classes are power-of-two
+// capacities from poolMinShift up; a request beyond the largest class
+// falls through to a plain allocation.
+const (
+	poolMinShift = 5  // smallest class: 32 elements
+	poolClasses  = 16 // largest class: 32 << 15 = 1M elements
+)
+
+// slicePool is a size-classed free list of slices of T. get returns a
+// zero-length slice with at least the requested capacity; put files a
+// slice back under its capacity's class (non-class capacities are
+// dropped, so only slices that came from get recycle).
+type slicePool[T any] struct {
+	classes [poolClasses]sync.Pool
+}
+
+// classFor returns the class index whose capacity (poolMinShift+i bits)
+// is the smallest holding n elements, or -1 when n exceeds every class.
+func classFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - poolMinShift
+	if c < 0 {
+		c = 0
+	}
+	if c >= poolClasses {
+		return -1
+	}
+	return c
+}
+
+// get returns a zero-length slice with capacity >= n.
+func (p *slicePool[T]) get(n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		return make([]T, 0, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		return (*(v.(*[]T)))[:0]
+	}
+	return make([]T, 0, 1<<(poolMinShift+c))
+}
+
+// put recycles s for a future get. Slices whose capacity is not an exact
+// class size are dropped.
+func (p *slicePool[T]) put(s []T) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	i := bits.Len(uint(c)) - 1 - poolMinShift
+	if i < 0 || i >= poolClasses {
+		return
+	}
+	s = s[:0]
+	p.classes[i].Put(&s)
+}
+
+var (
+	// kvPool recycles the server-side scan staging buffers.
+	kvPool slicePool[core.KV]
+	// pairPool recycles client-side decoded SCAN pair slices.
+	pairPool slicePool[Pair]
+)
+
+// PutPairs returns a SCAN result slice to the decode pool. Responses
+// decoded by ReadResponse, ReadResponseBuf and Client.Scan carry pooled
+// Pairs slices the caller owns; callers done with one may hand it back
+// here so the next scan decode reuses the array. Releasing is optional —
+// a slice that is never returned is simply collected — but a released
+// slice must not be used afterwards.
+func PutPairs(p []Pair) { pairPool.put(p) }

@@ -87,12 +87,14 @@ type Response struct {
 }
 
 // Wire geometry. Every frame is a big-endian uint32 byte length followed
-// by that many payload bytes; request payloads are exactly reqBody bytes.
+// by that many payload bytes; request payloads are exactly reqBody bytes
+// and scalar response frames are exactly scalarRespFrame bytes.
 const (
-	lenBytes     = 4
-	reqBody      = 1 + 8 + 8 // op, key, value
-	reqFrame     = lenBytes + reqBody
-	maxRespFrame = 1 << 26 // decoder sanity bound, far above any real response
+	lenBytes        = 4
+	reqBody         = 1 + 8 + 8 // op, key, value
+	reqFrame        = lenBytes + reqBody
+	scalarRespFrame = lenBytes + 1 + 8 // length, status, value
+	maxRespFrame    = 1 << 26 // decoder sanity bound, far above any real response
 )
 
 // kindOf maps a data operation code to its hds.Kind. ok is false for
@@ -128,6 +130,13 @@ func AppendRequest(buf []byte, r Request) []byte {
 // resynchronized) and closes the connection.
 func ReadRequest(r io.Reader) (Request, error) {
 	var hdr [reqFrame]byte
+	return readRequestInto(r, &hdr)
+}
+
+// readRequestInto is ReadRequest through caller-owned header scratch, so
+// the serving hot path reads frames without the stack array escaping
+// through the io.Reader interface (which would allocate per call).
+func readRequestInto(r io.Reader, hdr *[reqFrame]byte) (Request, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Request{}, err
 	}
@@ -147,6 +156,15 @@ func AppendScalarResponse(buf []byte, status uint8, value uint64) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, 1+8)
 	buf = append(buf, status)
 	return binary.BigEndian.AppendUint64(buf, value)
+}
+
+// putScalarResponse encodes a scalar response frame into dst, which must
+// be exactly scalarRespFrame bytes (the serving path pre-allocates whole
+// runs of them in the arena).
+func putScalarResponse(dst []byte, status uint8, value uint64) {
+	binary.BigEndian.PutUint32(dst, 1+8)
+	dst[lenBytes] = status
+	binary.BigEndian.PutUint64(dst[lenBytes+1:], value)
 }
 
 // AppendScanResponse appends a SCAN response frame: status byte, a uint32
@@ -172,44 +190,64 @@ func AppendStatsResponse(buf []byte, status uint8, text []byte) []byte {
 
 // ReadResponse reads one response frame, decoding the payload by the op
 // of the request it answers (responses arrive strictly in request order,
-// so pipelining clients replay their sent ops FIFO).
+// so pipelining clients replay their sent ops FIFO). A SCAN response's
+// Pairs slice comes from the decode pool; the caller owns it and may
+// release it with PutPairs.
 func ReadResponse(r io.Reader, op uint8) (Response, error) {
-	var hdr [lenBytes]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Response{}, err
+	resp, _, err := ReadResponseBuf(r, op, nil)
+	return resp, err
+}
+
+// ReadResponseBuf is ReadResponse with frame scratch reuse: scratch (may
+// be nil) holds the frame payload during decoding and is returned, grown
+// as needed, for the next call — so scalar responses are decoded with no
+// allocation at all. Payloads that outlive the call are still copied out
+// of the scratch: SCAN pairs into a pooled slice the caller owns (see
+// PutPairs) and STATS text into a fresh slice.
+func ReadResponseBuf(r io.Reader, op uint8, scratch []byte) (Response, []byte, error) {
+	if cap(scratch) < lenBytes {
+		scratch = make([]byte, 0, 512)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	hdr := scratch[:lenBytes]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Response{}, scratch, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
 	if n < 1 || n > maxRespFrame {
-		return Response{}, fmt.Errorf("server: response frame length %d out of range", n)
+		return Response{}, scratch, fmt.Errorf("server: response frame length %d out of range", n)
 	}
-	body := make([]byte, n)
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, 0, n)
+	}
+	body := scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Response{}, err
+		return Response{}, scratch, err
 	}
 	resp := Response{Status: body[0]}
 	body = body[1:]
 	switch op {
 	case OpScan:
 		if len(body) < 4 {
-			return Response{}, fmt.Errorf("server: scan response truncated (%d bytes)", len(body))
+			return Response{}, scratch, fmt.Errorf("server: scan response truncated (%d bytes)", len(body))
 		}
 		count := binary.BigEndian.Uint32(body)
 		body = body[4:]
 		if uint64(len(body)) != uint64(count)*16 {
-			return Response{}, fmt.Errorf("server: scan response %d pairs but %d payload bytes", count, len(body))
+			return Response{}, scratch, fmt.Errorf("server: scan response %d pairs but %d payload bytes", count, len(body))
 		}
-		resp.Pairs = make([]Pair, count)
-		for i := range resp.Pairs {
-			resp.Pairs[i].Key = binary.BigEndian.Uint64(body[16*i:])
-			resp.Pairs[i].Value = binary.BigEndian.Uint64(body[16*i+8:])
+		pairs := pairPool.get(int(count))[:count]
+		for i := range pairs {
+			pairs[i].Key = binary.BigEndian.Uint64(body[16*i:])
+			pairs[i].Value = binary.BigEndian.Uint64(body[16*i+8:])
 		}
+		resp.Pairs = pairs
 	case OpStats:
-		resp.Stats = body
+		resp.Stats = append([]byte(nil), body...)
 	default:
 		if len(body) != 8 {
-			return Response{}, fmt.Errorf("server: scalar response body %d bytes, want 8", len(body))
+			return Response{}, scratch, fmt.Errorf("server: scalar response body %d bytes, want 8", len(body))
 		}
 		resp.Value = binary.BigEndian.Uint64(body)
 	}
-	return resp, nil
+	return resp, scratch, nil
 }

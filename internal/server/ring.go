@@ -1,0 +1,145 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"hybrids/internal/metrics"
+)
+
+// span is one queued response frame: either a contiguous region of the
+// connection's byte arena (ext nil) or an out-of-arena payload for frames
+// too large to stage there (STATS, oversized SCANs). end is the arena's
+// logical position that becomes free once this span has been written;
+// ends are non-decreasing in push order (ext spans carry the arena mark
+// at push time), so the writer releases the arena with a single store of
+// the last span's end.
+type span struct {
+	off uint32 // arena byte offset (ext == nil)
+	n   uint32 // frame length in bytes (ext == nil)
+	end uint64 // arena logical position freed once written
+	ext []byte // out-of-arena frame; nil for arena spans
+}
+
+// respRing is the connection's response queue: a fixed-capacity
+// single-producer (reader goroutine) single-consumer (writer goroutine)
+// ring of spans replacing the old per-response channel. The cursors are
+// lock-free — a push and a drain never contend on anything wider than
+// their own cacheline — and the ring's capacity is the connection's
+// in-flight budget: a full ring blocks the reader, which stops reading
+// the socket, which pushes back on the client through TCP flow control,
+// exactly like the old channel's capacity did.
+//
+// Parking uses an eventcount-style protocol: a side about to block
+// publishes its parked flag, rechecks the cursors, and only then waits
+// on its one-permit wake channel; the other side checks the flag after
+// every cursor move. Go's atomics are sequentially consistent, so the
+// store-flag/recheck vs. move-cursor/check-flag pair can never both miss
+// (Dekker), and a stale permit left in a channel merely causes one extra
+// recheck.
+type respRing struct {
+	spans []span
+	mask  uint64
+
+	_    metrics.Pad
+	head atomic.Uint64 // consumer cursor: next span to drain
+	_    metrics.Pad
+	tail atomic.Uint64 // producer cursor: next slot to fill
+	_    metrics.Pad
+
+	closed     atomic.Bool
+	consParked atomic.Bool
+	prodParked atomic.Bool
+	wakeCons   chan struct{}
+	wakeProd   chan struct{}
+}
+
+// newRespRing returns a ring with the given capacity (must be a power of
+// two).
+func newRespRing(capacity int) *respRing {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("server: ring capacity must be a positive power of two")
+	}
+	return &respRing{
+		spans:    make([]span, capacity),
+		mask:     uint64(capacity - 1),
+		wakeCons: make(chan struct{}, 1),
+		wakeProd: make(chan struct{}, 1),
+	}
+}
+
+// push appends one span, blocking while the ring is full (the in-flight
+// budget backpressure). Producer-side only.
+func (r *respRing) push(sp span) {
+	tail := r.tail.Load()
+	for tail-r.head.Load() == uint64(len(r.spans)) {
+		r.prodParked.Store(true)
+		if tail-r.head.Load() != uint64(len(r.spans)) {
+			r.prodParked.Store(false)
+			break
+		}
+		<-r.wakeProd
+		r.prodParked.Store(false)
+	}
+	r.spans[tail&r.mask] = sp
+	r.tail.Store(tail + 1)
+	if r.consParked.Load() {
+		select {
+		case r.wakeCons <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wait blocks until at least one span is queued and returns the
+// drainable cursor range [lo, hi). ok is false once the ring is closed
+// and fully drained. Consumer-side only.
+func (r *respRing) wait() (lo, hi uint64, ok bool) {
+	lo = r.head.Load()
+	for {
+		if hi = r.tail.Load(); hi != lo {
+			return lo, hi, true
+		}
+		if r.closed.Load() {
+			// close happens after the producer's last push, so one more
+			// tail recheck decides between a final batch and done.
+			if r.tail.Load() == lo {
+				return 0, 0, false
+			}
+			continue
+		}
+		r.consParked.Store(true)
+		if r.tail.Load() != lo || r.closed.Load() {
+			r.consParked.Store(false)
+			continue
+		}
+		<-r.wakeCons
+		r.consParked.Store(false)
+	}
+}
+
+// at returns the span at cursor i (valid between wait and release).
+func (r *respRing) at(i uint64) *span { return &r.spans[i&r.mask] }
+
+// release hands cursors [head, hi) back to the producer. Consumer-side
+// only.
+func (r *respRing) release(hi uint64) {
+	r.head.Store(hi)
+	if r.prodParked.Load() {
+		select {
+		case r.wakeProd <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// close marks the ring closed (no further pushes); the consumer drains
+// what remains and then wait reports done. Producer-side only.
+func (r *respRing) close() {
+	r.closed.Store(true)
+	if r.consParked.Load() {
+		select {
+		case r.wakeCons <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRespRingOrderAndBackpressure pushes more spans than the ring
+// holds from one goroutine while the consumer drains in order, checking
+// FIFO delivery, the full-ring producer block, and close-then-drain.
+func TestRespRingOrderAndBackpressure(t *testing.T) {
+	r := newRespRing(4)
+	const total = 100
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			r.push(span{end: uint64(i)})
+		}
+		r.close()
+	}()
+	next := uint64(0)
+	for {
+		lo, hi, ok := r.wait()
+		if !ok {
+			break
+		}
+		if hi-lo > 4 {
+			t.Errorf("drain window %d spans, ring holds 4", hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			if got := r.at(i).end; got != next {
+				t.Fatalf("span %d out of order: end %d, want %d", i, got, next)
+			}
+			next++
+		}
+		r.release(hi)
+	}
+	if next != total {
+		t.Fatalf("drained %d spans, want %d", next, total)
+	}
+	<-done
+}
+
+// TestRespRingProducerBlocks checks that a push into a full ring blocks
+// until the consumer releases, rather than overwriting or dropping.
+func TestRespRingProducerBlocks(t *testing.T) {
+	r := newRespRing(2)
+	r.push(span{end: 1})
+	r.push(span{end: 2})
+	pushed := make(chan struct{})
+	go func() {
+		r.push(span{end: 3}) // must block: ring full
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push into a full ring did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lo, hi, ok := r.wait()
+	if !ok || hi-lo != 2 {
+		t.Fatalf("wait = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	r.release(hi)
+	select {
+	case <-pushed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked push never resumed after release")
+	}
+}
+
+// TestByteArenaWrapSkip checks the no-wrap discipline: an allocation
+// that would straddle the physical end skips the dead tail, stays
+// contiguous, and the skipped region is reclaimed by the same release
+// that frees the frame.
+func TestByteArenaWrapSkip(t *testing.T) {
+	a := newByteArena(64)
+	buf1, end1 := a.alloc(24)
+	if len(buf1) != 24 || end1 != 24 {
+		t.Fatalf("alloc1 len %d end %d", len(buf1), end1)
+	}
+	if _, end2 := a.alloc(24); end2 != 48 {
+		t.Fatalf("alloc2 end %d, want 48", end2)
+	}
+	a.release(48) // consume both frames
+	// 16 bytes remain before the physical end; a 24-byte frame must skip
+	// them and land at physical offset 0 with a logically advanced end.
+	buf3, end3 := a.alloc(24)
+	if end3 != 64+24 {
+		t.Fatalf("alloc3 end %d, want %d (skip + frame)", end3, 64+24)
+	}
+	if &buf3[0] != &a.buf[0] {
+		t.Fatal("alloc3 did not wrap to physical offset 0")
+	}
+}
+
+// TestByteArenaBlocksUntilRelease checks producer parking on space: an
+// allocation that does not fit the unconsumed window blocks until the
+// consumer releases enough bytes.
+func TestByteArenaBlocksUntilRelease(t *testing.T) {
+	a := newByteArena(64)
+	if _, end := a.alloc(32); end != 32 {
+		t.Fatal("setup alloc")
+	}
+	a.alloc(32) // arena now full
+	got := make(chan uint64, 1)
+	go func() {
+		_, end := a.alloc(32) // must block until 32 bytes free
+		got <- end
+	}()
+	select {
+	case end := <-got:
+		t.Fatalf("alloc into a full arena returned end %d without blocking", end)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.release(32)
+	select {
+	case end := <-got:
+		if end != 96 {
+			t.Fatalf("blocked alloc end %d, want 96", end)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked alloc never resumed after release")
+	}
+}

@@ -25,24 +25,32 @@ type Config struct {
 	// Inflight is the per-connection in-flight budget: the number of
 	// completed responses that may await the writer goroutine before the
 	// reader stops reading the socket (backpressure propagates to the
-	// client through TCP flow control). Defaults to 4x Window.
+	// client through TCP flow control). It is the capacity of the
+	// connection's response span ring and is rounded up to a power of
+	// two. Defaults to 4x Window.
 	Inflight int
 	// MaxConns caps concurrently served connections; connections accepted
 	// beyond the cap are closed immediately and counted in
 	// server/conns_refused. 0 means unlimited.
 	MaxConns int
-	// WriteTimeout is the per-flush deadline on response writes. A client
-	// that does not drain its responses within it is disconnected and
-	// counted in server/write_timeouts. Defaults to 10s.
+	// WriteTimeout is the deadline armed once per writer drain batch. A
+	// client that does not drain its responses within it is disconnected
+	// and counted in server/write_timeouts. 0 defaults to 10s; a negative
+	// value disables write deadlines entirely (useful over in-memory
+	// pipes, whose deadline timers allocate).
 	WriteTimeout time.Duration
 	// ScanLimit caps the pairs returned by one SCAN request (the client's
 	// requested count is clamped to it), bounding response frames and the
-	// time a scan barrier occupies combiners. Defaults to 1024.
+	// time a scan barrier occupies combiners. It also sizes the
+	// per-connection response arena so a maximal scan frame stages there
+	// without falling back to the heap. Defaults to 1024.
 	ScanLimit int
 	// Metrics receives the server's instruments (server/...); nil creates
-	// a private registry. Unlike the core runtime's per-combiner
-	// instruments, every server/ instrument is guarded by the server's
-	// mutex, so the STATS request can read them while serving traffic.
+	// a private registry. Connections accumulate per-op counts in their
+	// own cacheline-padded atomic cells and fold them into these
+	// instruments under the server's mutex when they close; a STATS
+	// snapshot sums the folded base with the live connections' cells, so
+	// the data path itself never takes the mutex.
 	Metrics *metrics.Registry
 }
 
@@ -55,8 +63,20 @@ type Server struct {
 	h   *core.Hybrid
 	cfg Config
 
-	// mu guards the connection set, the lifecycle state and every
-	// server/ instrument (the metrics registry itself is unsynchronized).
+	// Derived data-plane geometry, fixed at construction.
+	ringCap       int // span ring capacity: Inflight rounded up to 2^k
+	arenaCap      int // response arena bytes (power of two)
+	maxArenaFrame int // largest frame staged in the arena: arenaCap/2
+	chunkFrames   int // scalar frames encoded per arena alloc
+
+	// arenaPool recycles connection arenas (all sized arenaCap).
+	arenaPool sync.Pool
+
+	// mu guards the connection set, the lifecycle state and the folded
+	// base values of the server/ instruments (the registry itself is
+	// unsynchronized). The per-operation data path never takes it:
+	// connections accumulate into their own connStats cells and fold
+	// under mu only when they close.
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
@@ -87,7 +107,7 @@ func New(h *core.Hybrid, cfg Config) *Server {
 	if cfg.Inflight <= 0 {
 		cfg.Inflight = 4 * cfg.Window
 	}
-	if cfg.WriteTimeout <= 0 {
+	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
 	if cfg.ScanLimit <= 0 {
@@ -123,7 +143,29 @@ func New(h *core.Hybrid, cfg Config) *Server {
 	} {
 		s.cOps[op] = reg.Counter("server/ops/" + name)
 	}
+	// Data-plane geometry: the span ring holds the in-flight budget, the
+	// arena is sized so a maximal SCAN frame (and, for headroom, two of
+	// them) stages in place, and no staged frame may exceed half the
+	// arena — that caps any wrap skip below the frame size, so an
+	// allocation always fits once earlier frames are drained.
+	s.ringCap = nextPow2(cfg.Inflight)
+	scanFrame := lenBytes + 1 + 4 + 16*cfg.ScanLimit
+	s.arenaCap = nextPow2(max(64<<10, 2*scanFrame))
+	if s.arenaCap > 1<<20 {
+		s.arenaCap = 1 << 20
+	}
+	s.maxArenaFrame = s.arenaCap / 2
+	s.chunkFrames = s.maxArenaFrame / scalarRespFrame
 	return s
+}
+
+// nextPow2 returns the smallest power of two >= n (and at least 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // ListenAndServe listens on the TCP address addr and serves until
@@ -168,10 +210,12 @@ func (s *Server) Serve(ln net.Listener) error {
 			continue
 		}
 		c := &conn{
-			srv:  s,
-			nc:   nc,
-			out:  make(chan pending, s.cfg.Inflight),
-			stop: make(chan struct{}),
+			srv:     s,
+			nc:      nc,
+			ring:    newRespRing(s.ringCap),
+			arena:   s.getArena(),
+			batcher: s.h.NewBatcher(s.cfg.Window),
+			stop:    make(chan struct{}),
 		}
 		s.conns[c] = struct{}{}
 		s.cAccepted.Inc()
@@ -215,6 +259,41 @@ func (s *Server) Shutdown() {
 	s.wg.Wait()
 }
 
+// getArena returns a pooled (reset) or freshly built connection arena.
+func (s *Server) getArena() *byteArena {
+	if v := s.arenaPool.Get(); v != nil {
+		a := v.(*byteArena)
+		a.reset()
+		return a
+	}
+	return newByteArena(s.arenaCap)
+}
+
+// connClosed deregisters a finished connection: its locally accumulated
+// metrics fold into the registry base under the server mutex (the only
+// place the mutex and per-op counts ever meet) and its arena returns to
+// the pool. Called by the connection's own reader goroutine after the
+// writer has exited, so every cell is final.
+func (s *Server) connClosed(c *conn) {
+	st := &c.stats
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.cClosed.Inc()
+	s.cRequests.Add(st.requests.Load())
+	s.cResponse.Add(st.responses.Load())
+	s.cRejected.Add(st.rejected.Load())
+	s.cBadReq.Add(st.badReq.Load())
+	s.cTimeouts.Add(st.timeouts.Load())
+	s.cScanned.Add(st.scanned.Load())
+	s.hBatch.Fold(st.batchSum.Load(), st.batchCount.Load(), &st.batchBuckets)
+	for op := 1; op <= int(OpStats); op++ {
+		s.cOps[op].Add(st.ops[op].Load())
+	}
+	s.mu.Unlock()
+	s.arenaPool.Put(c.arena)
+	s.wg.Done()
+}
+
 // StatsText renders the server's instruments as sorted "name value"
 // lines — the STATS response payload. Safe to call while serving.
 func (s *Server) StatsText() []byte {
@@ -223,24 +302,47 @@ func (s *Server) StatsText() []byte {
 	return s.statsLocked()
 }
 
-// statsLocked builds the STATS payload; callers hold s.mu. Only the
-// mutex-guarded server/ instruments are read — the core runtime's
-// combiner-owned counters are consistent only at quiescence and are
-// deliberately excluded from live snapshots.
+// statsLocked builds the STATS payload; callers hold s.mu. Each counter
+// is the folded registry base plus the live connections' local cells
+// (single-writer atomics, safe to Load concurrently) — so the snapshot
+// reflects in-flight traffic without the data path ever taking the
+// mutex. The core runtime's combiner-owned counters are consistent only
+// at quiescence and are deliberately excluded.
 func (s *Server) statsLocked() []byte {
 	var out []byte
 	if s.cfg.Store != "" {
 		out = fmt.Appendf(out, "server/store %s\n", s.cfg.Store)
 	}
-	counters := []*metrics.Counter{
-		s.cBadReq, s.cBatchCount, s.cBatchSum, s.cAccepted, s.cClosed,
-		s.cRefused,
-		s.cOps[OpDelete], s.cOps[OpGet], s.cOps[OpPut], s.cOps[OpScan],
-		s.cOps[OpStats], s.cOps[OpUpdate],
-		s.cRejected, s.cRequests, s.cResponse, s.cScanned, s.cTimeouts,
+	rows := []struct {
+		c    *metrics.Counter
+		live func(*connStats) *metrics.Local
+	}{
+		{s.cBadReq, func(st *connStats) *metrics.Local { return &st.badReq }},
+		{s.cBatchCount, func(st *connStats) *metrics.Local { return &st.batchCount }},
+		{s.cBatchSum, func(st *connStats) *metrics.Local { return &st.batchSum }},
+		{s.cAccepted, nil},
+		{s.cClosed, nil},
+		{s.cRefused, nil},
+		{s.cOps[OpDelete], func(st *connStats) *metrics.Local { return &st.ops[OpDelete] }},
+		{s.cOps[OpGet], func(st *connStats) *metrics.Local { return &st.ops[OpGet] }},
+		{s.cOps[OpPut], func(st *connStats) *metrics.Local { return &st.ops[OpPut] }},
+		{s.cOps[OpScan], func(st *connStats) *metrics.Local { return &st.ops[OpScan] }},
+		{s.cOps[OpStats], func(st *connStats) *metrics.Local { return &st.ops[OpStats] }},
+		{s.cOps[OpUpdate], func(st *connStats) *metrics.Local { return &st.ops[OpUpdate] }},
+		{s.cRejected, func(st *connStats) *metrics.Local { return &st.rejected }},
+		{s.cRequests, func(st *connStats) *metrics.Local { return &st.requests }},
+		{s.cResponse, func(st *connStats) *metrics.Local { return &st.responses }},
+		{s.cScanned, func(st *connStats) *metrics.Local { return &st.scanned }},
+		{s.cTimeouts, func(st *connStats) *metrics.Local { return &st.timeouts }},
 	}
-	for _, c := range counters {
-		out = fmt.Appendf(out, "%s %d\n", c.Name(), c.Value())
+	for _, r := range rows {
+		v := r.c.Value()
+		if r.live != nil {
+			for c := range s.conns {
+				v += r.live(&c.stats).Load()
+			}
+		}
+		out = fmt.Appendf(out, "%s %d\n", r.c.Name(), v)
 	}
 	return out
 }
