@@ -8,16 +8,25 @@
 // (btree, skiplist, bskiplist, ...); -levels tunes engine height
 // uniformly where the engine supports it.
 //
+// The -admin-addr flag (off by default) starts the HTTP management
+// plane of internal/admin on a second listener: Prometheus /metrics,
+// /metrics.json, live GET/POST /config, /conns, /partitions (see
+// docs/ADMIN.md). -slow-op enables structured slow-op logging to stderr
+// for batches slower than the threshold.
+//
 // Usage:
 //
 //	hybridsd [-addr :7070] [-partitions 8] [-keymax 4194304]
 //	         [-store btree] [-window 16] [-inflight 64]
 //	         [-maxconns 0] [-scan-limit 1024] [-write-timeout 10s]
 //	         [-mailbox 64] [-levels 0]
+//	         [-admin-addr 127.0.0.1:7071] [-slow-op 0]
 //
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
 // answers every request already read from every connection, then closes
-// the map and prints the final server metrics to stderr.
+// the map and prints the final server metrics to stderr. The admin
+// listener closes last, so the drained totals stay scrapeable through
+// the shutdown sequence.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybrids/internal/admin"
 	"hybrids/internal/core"
 	"hybrids/internal/metrics"
 	"hybrids/internal/server"
@@ -49,6 +59,8 @@ func main() {
 		maxConns     = flag.Int("maxconns", 0, "max concurrent connections (0 = unlimited)")
 		scanLimit    = flag.Int("scan-limit", 1024, "max pairs returned by one SCAN")
 		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client write deadline (negative disables write deadlines)")
+		adminAddr    = flag.String("admin-addr", "", "HTTP management-plane listen address (empty = disabled; bind to localhost)")
+		slowOp       = flag.Duration("slow-op", 0, "log batches slower than this threshold as JSON lines on stderr (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -73,6 +85,8 @@ func main() {
 		MaxConns:     *maxConns,
 		ScanLimit:    *scanLimit,
 		WriteTimeout: *writeTimeout,
+		SlowOp:       *slowOp,
+		SlowOpLog:    os.Stderr,
 		Metrics:      reg,
 	})
 
@@ -83,6 +97,30 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "hybridsd: serving %s/%d partitions on %s (window %d)\n",
 		eng.Name, *partitions, ln.Addr(), *window)
+
+	var adm *admin.Server
+	admErrCh := make(chan error, 1)
+	if *adminAddr != "" {
+		adm = admin.New(admin.Config{
+			Server: srv,
+			Hybrid: h,
+			Static: map[string]string{
+				"addr":       ln.Addr().String(),
+				"store":      eng.Name,
+				"partitions": fmt.Sprint(*partitions),
+				"keymax":     fmt.Sprint(*keyMax),
+				"mailbox":    fmt.Sprint(*mailbox),
+				"scan_limit": fmt.Sprint(*scanLimit),
+			},
+		})
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "admin listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hybridsd: admin plane on http://%s (docs/ADMIN.md)\n", aln.Addr())
+		go func() { admErrCh <- adm.Serve(aln) }()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
@@ -102,4 +140,10 @@ func main() {
 	}
 	h.Close()
 	fmt.Fprintf(os.Stderr, "hybridsd: drained, %d keys stored\n%s", h.Len(), srv.StatsText())
+	// The admin plane closes last so the drained totals stay scrapeable
+	// until the very end of the shutdown sequence.
+	if adm != nil {
+		adm.Close()
+		<-admErrCh
+	}
 }

@@ -11,6 +11,7 @@
 //	            [-read 100 -insert 0 -remove 0] [-seed 1]
 //	            [-warmup 2048] [-max-allocs-per-op -1]
 //	            [-noload] [-markdown|-json] [-stats]
+//	            [-scrape http://127.0.0.1:7071]
 //
 // Each connection keeps -depth requests in flight (a closed loop: every
 // response received triggers the next send), so concurrency is
@@ -27,15 +28,25 @@
 // -max-allocs-per-op N exits nonzero when the integer average exceeds N,
 // making the zero-allocation serving path a CI-checkable regression
 // gate.
+//
+// -scrape URL points at a hybridsd admin plane (-admin-addr): the
+// measured phase is bracketed by two /metrics.json scrapes and the
+// server/* counter deltas are merged into the report's metrics, pairing
+// client-observed numbers with server-side truth. Reports always carry a
+// meta block with run provenance (Go version, platform, GOMAXPROCS, VCS
+// revision when built from a checkout).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -162,6 +173,55 @@ func preload(addr string, pairs []ycsb.Pair) error {
 	return nil
 }
 
+// scrapeCounters pulls the server's counter snapshot from a hybridsd
+// admin plane (GET <base>/metrics.json) so a load report can carry
+// server-side truth next to the client-observed numbers.
+func scrapeCounters(base string) (map[string]uint64, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(strings.TrimSuffix(base, "/") + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics.json: %s", resp.Status)
+	}
+	var doc struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Counters, nil
+}
+
+// provenance collects the run's build and runtime facts for the report's
+// meta block: Go version, platform, GOMAXPROCS, and — when the binary
+// carries build info — the VCS revision, commit time, and dirty flag.
+func provenance() map[string]string {
+	meta := map[string]string{
+		"go":         runtime.Version(),
+		"os_arch":    runtime.GOOS + "/" + runtime.GOARCH,
+		"gomaxprocs": fmt.Sprint(runtime.GOMAXPROCS(0)),
+		"commit":     "unknown",
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				meta["commit"] = s.Value
+			case "vcs.time":
+				meta["commit_time"] = s.Value
+			case "vcs.modified":
+				meta["dirty"] = s.Value
+			}
+		}
+	}
+	return meta
+}
+
 // pctl returns the p'th percentile of sorted latencies.
 func pctl(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
@@ -188,6 +248,7 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit a markdown table")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON")
 		stats     = flag.Bool("stats", false, "dump the server STATS snapshot to stderr after the run")
+		scrape    = flag.String("scrape", "", "hybridsd admin-plane base URL; merges measured-phase server/* counter deltas into the report")
 	)
 	flag.Parse()
 	if *warmup < 0 {
@@ -240,6 +301,16 @@ func main() {
 	}
 	warmed.Wait()
 
+	// Scrapes stay outside the ReadMemStats bracket: the HTTP client's
+	// allocations must not pollute the allocs/op gate.
+	var pre map[string]uint64
+	if *scrape != "" {
+		var err error
+		if pre, err = scrapeCounters(*scrape); err != nil {
+			fmt.Fprintf(os.Stderr, "scrape: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
@@ -248,6 +319,14 @@ func main() {
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 	allocs := m1.Mallocs - m0.Mallocs
+	var post map[string]uint64
+	if *scrape != "" {
+		var err error
+		if post, err = scrapeCounters(*scrape); err != nil {
+			fmt.Fprintf(os.Stderr, "scrape: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var all []time.Duration
 	var ok, miss, rejected, bad uint64
@@ -306,6 +385,20 @@ func main() {
 				"load/allocs_per_op": allocsPerOp,
 			},
 		}},
+		Meta: provenance(),
+	}
+	if post != nil {
+		// Measured-phase deltas of the server's own counters, so the
+		// report pairs client-observed latency with server-side truth
+		// (requests actually served, batches coalesced, write timeouts).
+		for name, v := range post {
+			if !strings.HasPrefix(name, "server/") {
+				continue
+			}
+			res.Cells[0].Metrics[name] = v - pre[name]
+		}
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("server/* metrics are measured-phase deltas scraped from %s", *scrape))
 	}
 
 	switch {

@@ -1,0 +1,72 @@
+package admin_test
+
+import (
+	"testing"
+
+	"hybrids/internal/core"
+	"hybrids/internal/server"
+)
+
+// TestServePathAllocsWithAdmin re-pins the data plane's zero-allocation
+// contract with the management plane enabled and scraping: steady-state
+// pipelined operations still perform no heap allocation anywhere on the
+// serving path while admin handlers have run (and continue to run
+// between measured rounds). The scrapes themselves allocate — in the
+// admin goroutine's HTTP machinery, off the data path — so they happen
+// outside the measured rounds; what this test proves is that wiring the
+// admin plane (tunables pointer load at accept, atomic batch-bucket
+// cells, export hooks) costs the hot path nothing.
+func TestServePathAllocsWithAdmin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	ha := newHarness(t, server.Config{Window: 16},
+		core.Config{Partitions: 4, KeyMax: 1 << 16})
+
+	// Exercise every admin endpoint first so their lazy initialization
+	// (mux, encoders) is out of the way.
+	for _, path := range []string{"/metrics", "/metrics.json", "/config", "/conns", "/partitions"} {
+		ha.get(t, path)
+	}
+
+	cl, err := server.Dial(ha.addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	const resident = 128
+	for k := uint64(1); k <= resident; k++ {
+		if ok, err := cl.Put(k, k*3); err != nil || !ok {
+			t.Fatalf("preload Put(%d) = %v, %v", k, ok, err)
+		}
+	}
+
+	const depth = 16
+	reqs := make([]server.Request, depth)
+	for i := range reqs {
+		reqs[i] = server.Request{Op: server.OpGet, Key: uint64(i%resident) + 1}
+	}
+	round := func() {
+		if err := cl.Send(reqs...); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		for i := range reqs {
+			resp, err := cl.Recv()
+			if err != nil {
+				t.Fatalf("recv: %v", err)
+			}
+			if resp.Status != server.StatusOK || resp.Value != reqs[i].Key*3 {
+				t.Fatalf("get %d -> %+v", reqs[i].Key, resp)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(100, round); avg != 0 {
+		t.Errorf("pipelined scalar round allocated %v times with admin enabled, want 0", avg)
+	}
+
+	// The plane is still live and consistent after the measurement.
+	ha.get(t, "/metrics")
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hybrids/internal/metrics"
+)
+
+// PartitionStats is one partition's management-plane snapshot, read by
+// the partition's own combiner through the barrier path — so every field
+// is consistent with each other and with request order, even while
+// traffic flows. After Close the quiescent stores are read directly.
+type PartitionStats struct {
+	// Partition is the partition index.
+	Partition int `json:"partition"`
+	// Ops counts data operations the combiner has applied.
+	Ops uint64 `json:"ops"`
+	// Built counts pairs loaded by Build (bypassing the mailbox).
+	Built uint64 `json:"built"`
+	// Batches counts combine rounds; BatchOps sums their sizes, so mean
+	// combine batch = BatchOps/Batches.
+	Batches uint64 `json:"batches"`
+	// BatchOps sums combine-round batch sizes.
+	BatchOps uint64 `json:"batch_ops"`
+	// MailboxSum sums observed mailbox depths at combine-round starts
+	// (mean depth = MailboxSum/Batches); the saturation signal.
+	MailboxSum uint64 `json:"mailbox_sum"`
+	// QueueLen is the mailbox's queued request count at the snapshot.
+	QueueLen int `json:"queue_len"`
+	// StoreLen is the partition store's pair count.
+	StoreLen int `json:"store_len"`
+	// Store maps the partition store's structural instrument names
+	// (core/p<i>/store/...) to their values; empty when the engine
+	// exposes none.
+	Store map[string]uint64 `json:"store,omitempty"`
+}
+
+// PartitionStats snapshots partition p in request order: the read runs
+// on p's combiner after every operation published before it (the same
+// barrier Len and Dump use), which is also what makes it race-free —
+// the combiner is the only writer of its instruments. Safe to call
+// concurrently with traffic and after Close.
+func (h *Hybrid) PartitionStats(p int) PartitionStats {
+	part := h.parts[p]
+	storePrefix := fmt.Sprintf("core/p%d/store/", p)
+	var out PartitionStats
+	h.barrier(p, func(s Store) {
+		out = PartitionStats{
+			Partition:  p,
+			Ops:        part.cOps.Value(),
+			Built:      part.cBuilt.Value(),
+			Batches:    part.hBatch.Count(),
+			BatchOps:   part.hBatch.Sum(),
+			MailboxSum: part.hMailbox.Sum(),
+			QueueLen:   len(part.reqs),
+			StoreLen:   s.Len(),
+		}
+		for _, name := range h.reg.Names() {
+			if strings.HasPrefix(name, storePrefix) {
+				if out.Store == nil {
+					out.Store = make(map[string]uint64)
+				}
+				c, _ := h.reg.LookupCounter(name)
+				out.Store[strings.TrimPrefix(name, storePrefix)] = c.Value()
+			}
+		}
+	})
+	return out
+}
+
+// ExportMetrics captures every core/p<i>/ instrument in the runtime's
+// registry — counters (histogram sum/count components excluded) and
+// histograms with their shape buckets — partition by partition through
+// the barrier path, so each partition's values are read by its own
+// combiner and the export never races the data path. Partitions are
+// visited one after another, not atomically (the same contract as Len
+// and Scan). Safe during traffic and after Close.
+func (h *Hybrid) ExportMetrics() (metrics.Snapshot, []metrics.HistSnapshot) {
+	names := h.reg.Names()
+	histNames := h.reg.HistNames()
+	counters := make(metrics.Snapshot)
+	var hists []metrics.HistSnapshot
+	for p := range h.parts {
+		prefix := fmt.Sprintf("core/p%d/", p)
+		h.barrier(p, func(Store) {
+			for _, name := range names {
+				if !strings.HasPrefix(name, prefix) || h.reg.IsHistComponent(name) {
+					continue
+				}
+				c, _ := h.reg.LookupCounter(name)
+				counters[name] = c.Value()
+			}
+			for _, name := range histNames {
+				if !strings.HasPrefix(name, prefix) {
+					continue
+				}
+				hist, _ := h.reg.LookupHistogram(name)
+				hists = append(hists, hist.Snapshot())
+			}
+		})
+	}
+	return counters, hists
+}

@@ -32,6 +32,7 @@ var checked = []string{
 	"internal/exp",
 	"internal/server",
 	"internal/store",
+	"internal/admin",
 }
 
 // TestExportedIdentifiersDocumented parses every non-test file of the

@@ -194,6 +194,116 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// HistNames returns every registered histogram name in sorted order.
+func (r *Registry) HistNames() []string {
+	out := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupCounter returns the counter registered under name without
+// creating it. Unlike Counter it never mutates the registry, so it is
+// safe to call concurrently with other lookups once registration has
+// quiesced (all instruments are created at construction time).
+func (r *Registry) LookupCounter(name string) (*Counter, bool) {
+	c, ok := r.counters[name]
+	return c, ok
+}
+
+// LookupHistogram returns the histogram registered under name without
+// creating it (see LookupCounter for the concurrency contract).
+func (r *Registry) LookupHistogram(name string) (*Histogram, bool) {
+	h, ok := r.hists[name]
+	return h, ok
+}
+
+// IsHistComponent reports whether counter name is the backing /sum or
+// /count counter of a registered histogram. Exporters use it to avoid
+// double-reporting a histogram's sum and count as free-standing
+// counters.
+func (r *Registry) IsHistComponent(name string) bool {
+	for _, suffix := range [...]string{"/sum", "/count"} {
+		if base, ok := cutSuffix(name, suffix); ok {
+			if _, isHist := r.hists[base]; isHist {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cutSuffix returns s without the suffix and whether it was present.
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+// HistSnapshot is a point-in-time copy of one histogram: its sum, count
+// and power-of-two shape buckets. It is the unit management-plane
+// exporters carry histogram state in (Prometheus mapping, JSON
+// introspection), keeping the type distinction between counters and
+// histograms that a flat Snapshot loses.
+type HistSnapshot struct {
+	// Name is the histogram's registered name.
+	Name string
+	// Sum is the total of all observed samples.
+	Sum uint64
+	// Count is the number of observed samples.
+	Count uint64
+	// Buckets counts samples by bit length (Buckets[i] holds samples in
+	// [2^(i-1), 2^i); Buckets[0] counts zeros).
+	Buckets [NumBuckets]uint64
+}
+
+// Mean returns the snapshot's average sample, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{Name: h.name, Sum: h.Sum(), Count: h.Count(), Buckets: h.buckets}
+}
+
+// Export is a typed point-in-time copy of a whole registry: plain
+// counters (histogram /sum and /count components excluded) plus every
+// histogram with its shape. Unlike Snapshot, an Export carries enough
+// type information to map instruments onto exposition formats that
+// distinguish counters from histograms.
+type Export struct {
+	// Counters holds every free-standing counter's value.
+	Counters Snapshot
+	// Hists holds every histogram's snapshot, sorted by name.
+	Hists []HistSnapshot
+}
+
+// Export captures the registry's typed state. Like Snapshot it must not
+// race instrument writers: call it from the owning goroutine, or from a
+// context that has synchronized with every writer (the serving layers
+// export through their own synchronized wrappers instead).
+func (r *Registry) Export() Export {
+	out := Export{Counters: make(Snapshot, len(r.counters))}
+	for name, c := range r.counters {
+		if r.IsHistComponent(name) {
+			continue
+		}
+		out.Counters[name] = c.v
+	}
+	out.Hists = make([]HistSnapshot, 0, len(r.hists))
+	for _, name := range r.HistNames() {
+		out.Hists = append(out.Hists, r.hists[name].Snapshot())
+	}
+	return out
+}
+
 // Snapshot captures every counter's current value.
 func (r *Registry) Snapshot() Snapshot {
 	out := make(Snapshot, len(r.counters))

@@ -26,13 +26,15 @@ type connStats struct {
 	rejected   metrics.Local
 	badReq     metrics.Local
 	scanned    metrics.Local
+	slowOps    metrics.Local
 	batchSum   metrics.Local
 	batchCount metrics.Local
 	ops        [OpStats + 1]metrics.Local
-	// batchBuckets shapes the batch-size histogram. Plain (non-atomic)
-	// cells: only the reader writes them and they are read only at fold
-	// time, after both goroutines have exited — never by live STATS.
-	batchBuckets [metrics.NumBuckets]uint64
+	// batchBuckets shapes the batch-size histogram: Local cells written
+	// only by the reader (one Inc per coalesced batch, on reader-owned
+	// lines) so the management plane can fold a live histogram across
+	// open connections without racing the data path.
+	batchBuckets [metrics.NumBuckets]metrics.Local
 
 	_ metrics.Pad
 
@@ -54,6 +56,12 @@ type serveTallies struct {
 	batchSum   uint64
 	batchCount uint64
 	ops        [OpStats + 1]uint64
+	// timed is set when slow-op sampling is armed for this serve call;
+	// offloadNanos then accumulates the time spent waiting on the core
+	// runtime (batcher windows and scan barriers) — the native analogue
+	// of the simulator's offload-wait attribution bucket.
+	timed        bool
+	offloadNanos time.Duration
 }
 
 // conn is one served connection: a reader goroutine (run) that decodes,
@@ -65,8 +73,15 @@ type serveTallies struct {
 // touches no shared mutex and performs no heap allocation anywhere on
 // this path.
 type conn struct {
-	srv     *Server
-	nc      net.Conn
+	srv *Server
+	nc  net.Conn
+	// tun is the live configuration captured at accept: the connection
+	// serves its whole life under these values, so a concurrent
+	// SetTunables never races the data path (new connections pick up the
+	// new tunables).
+	tun     *Tunables
+	remote  string
+	opened  time.Time
 	ring    *respRing
 	arena   *byteArena
 	batcher *core.Batcher
@@ -117,7 +132,7 @@ func (c *conn) run() {
 // framing error poisons the stream, or a drain begins.
 func (c *conn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 32<<10)
-	window := c.srv.cfg.Window
+	window := c.tun.Window
 	for {
 		// A drain may have been signalled while serving the previous
 		// batch; the deadline kick only fails *reads*, so check before
@@ -164,6 +179,16 @@ func (c *conn) readRequest(br *bufio.Reader) (Request, error) {
 func (c *conn) serve(reqs []Request) {
 	s := c.srv
 	var t serveTallies
+
+	// Slow-op sampling: one time.Now per batch when armed, zero timing
+	// calls when the threshold is 0 (the default), so the zero-allocation
+	// zero-overhead contract is untouched unless an operator opts in.
+	slow := c.tun.SlowOp
+	var start time.Time
+	if slow > 0 {
+		t.timed = true
+		start = time.Now()
+	}
 
 	c.ops = c.ops[:0]
 	for _, r := range reqs {
@@ -216,6 +241,12 @@ func (c *conn) serve(reqs []Request) {
 	if t.scanned != 0 {
 		st.scanned.Add(t.scanned)
 	}
+	if t.timed {
+		if total := time.Since(start); total >= slow {
+			st.slowOps.Inc()
+			s.logSlowOp(c, len(reqs), &t, total)
+		}
+	}
 }
 
 // flushOps runs the pending scalar operations through the batcher's
@@ -231,7 +262,13 @@ func (c *conn) flushOps(t *serveTallies) {
 		c.outcomes = make([]core.Outcome, n)
 	}
 	out := c.outcomes[:n]
-	c.batcher.Apply(c.ops, out)
+	if t.timed {
+		applyStart := time.Now()
+		c.batcher.Apply(c.ops, out)
+		t.offloadNanos += time.Since(applyStart)
+	} else {
+		c.batcher.Apply(c.ops, out)
+	}
 	for i := 0; i < n; {
 		chunk := n - i
 		if chunk > c.srv.chunkFrames {
@@ -262,7 +299,7 @@ func (c *conn) flushOps(t *serveTallies) {
 	}
 	t.batchSum += uint64(n)
 	t.batchCount++
-	c.stats.batchBuckets[metrics.BucketIndex(uint64(n))]++
+	c.stats.batchBuckets[metrics.BucketIndex(uint64(n))].Inc()
 	c.ops = c.ops[:0]
 }
 
@@ -290,7 +327,14 @@ func (c *conn) serveScan(r Request, t *serveTallies) {
 	if r.Value < limit {
 		limit = r.Value
 	}
-	kvs := s.h.ScanAppend(kvPool.get(int(limit)), r.Key, int(limit))
+	var kvs []core.KV
+	if t.timed {
+		scanStart := time.Now()
+		kvs = s.h.ScanAppend(kvPool.get(int(limit)), r.Key, int(limit))
+		t.offloadNanos += time.Since(scanStart)
+	} else {
+		kvs = s.h.ScanAppend(kvPool.get(int(limit)), r.Key, int(limit))
+	}
 	t.scanned += uint64(len(kvs))
 	frame := lenBytes + 1 + 4 + 16*len(kvs)
 	if frame <= s.maxArenaFrame {
@@ -324,7 +368,6 @@ func encodeScanKVs(dst []byte, status uint8, kvs []core.KV) {
 // releasing spans without writing so the reader never blocks on a dead
 // peer.
 func (c *conn) writeLoop() {
-	s := c.srv
 	r := c.ring
 	a := c.arena
 	failed := false
@@ -333,8 +376,8 @@ func (c *conn) writeLoop() {
 		if !ok {
 			return
 		}
-		if !failed && s.cfg.WriteTimeout > 0 {
-			c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if !failed && c.tun.WriteTimeout > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(c.tun.WriteTimeout))
 		}
 		var written uint64
 		for i := lo; i < hi; {

@@ -3,8 +3,11 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybrids/internal/core"
@@ -52,6 +55,17 @@ type Config struct {
 	// snapshot sums the folded base with the live connections' cells, so
 	// the data path itself never takes the mutex.
 	Metrics *metrics.Registry
+	// SlowOp is the initial slow-operation logging threshold: a served
+	// batch whose wall-clock time reaches it emits one structured JSON
+	// line to SlowOpLog (schema: docs/ADMIN.md). 0 disables sampling —
+	// and with it every timing call on the serve path. Reconfigurable
+	// live through SetTunables.
+	SlowOp time.Duration
+	// SlowOpLog receives slow-op JSON lines (one Write per line); nil
+	// discards them. The writer is called outside the server mutex under
+	// a dedicated log mutex, so a slow log sink stalls only other slow-op
+	// emissions, never the data path or STATS.
+	SlowOpLog io.Writer
 }
 
 // Server serves the binary protocol over TCP on behalf of one
@@ -63,14 +77,24 @@ type Server struct {
 	h   *core.Hybrid
 	cfg Config
 
-	// Derived data-plane geometry, fixed at construction.
-	ringCap       int // span ring capacity: Inflight rounded up to 2^k
+	// tun is the live-reconfigurable configuration (see Tunables): one
+	// atomic pointer, swapped whole by SetTunables, captured whole by
+	// each connection at accept.
+	tun atomic.Pointer[Tunables]
+
+	// Derived data-plane geometry, fixed at construction (the arena is
+	// pooled server-wide, so its size cannot follow live reconfiguration;
+	// ScanLimit is therefore not a Tunable).
 	arenaCap      int // response arena bytes (power of two)
 	maxArenaFrame int // largest frame staged in the arena: arenaCap/2
 	chunkFrames   int // scalar frames encoded per arena alloc
 
 	// arenaPool recycles connection arenas (all sized arenaCap).
 	arenaPool sync.Pool
+
+	// logMu serializes slow-op log line writes (never held together with
+	// mu).
+	logMu sync.Mutex
 
 	// mu guards the connection set, the lifecycle state and the folded
 	// base values of the server/ instruments (the registry itself is
@@ -92,6 +116,8 @@ type Server struct {
 	cBadReq     *metrics.Counter
 	cTimeouts   *metrics.Counter
 	cScanned    *metrics.Counter
+	cSlowOps    *metrics.Counter
+	cEpoch      *metrics.Counter
 	hBatch      *metrics.Histogram
 	cBatchSum   *metrics.Counter
 	cBatchCount *metrics.Counter
@@ -99,17 +125,22 @@ type Server struct {
 }
 
 // New returns a server over h. The hybrid map must outlive the server
-// (Shutdown before h.Close for a loss-free drain).
+// (Shutdown before h.Close for a loss-free drain). Reconfigurable fields
+// outside their bounds are clamped to the defaults rather than rejected,
+// matching the zero-value-usable Config contract.
 func New(h *core.Hybrid, cfg Config) *Server {
-	if cfg.Window <= 0 {
-		cfg.Window = 16
+	tun, err := Tunables{
+		Window:       cfg.Window,
+		Inflight:     cfg.Inflight,
+		MaxConns:     cfg.MaxConns,
+		WriteTimeout: cfg.WriteTimeout,
+		SlowOp:       cfg.SlowOp,
+	}.normalize()
+	if err != nil {
+		tun, _ = Tunables{}.normalize()
 	}
-	if cfg.Inflight <= 0 {
-		cfg.Inflight = 4 * cfg.Window
-	}
-	if cfg.WriteTimeout == 0 {
-		cfg.WriteTimeout = 10 * time.Second
-	}
+	cfg.Window, cfg.Inflight = tun.Window, tun.Inflight
+	cfg.MaxConns, cfg.WriteTimeout, cfg.SlowOp = tun.MaxConns, tun.WriteTimeout, tun.SlowOp
 	if cfg.ScanLimit <= 0 {
 		cfg.ScanLimit = 1024
 	}
@@ -130,25 +161,25 @@ func New(h *core.Hybrid, cfg Config) *Server {
 		cBadReq:   reg.Counter("server/bad_requests"),
 		cTimeouts: reg.Counter("server/write_timeouts"),
 		cScanned:  reg.Counter("server/scan_pairs"),
+		cSlowOps:  reg.Counter("server/slow_ops"),
+		cEpoch:    reg.Counter("server/config_epoch"),
 		hBatch:    reg.Histogram("server/batch"),
 	}
+	s.tun.Store(&tun)
 	// Histogram registers its backing counters in the registry; fetching
 	// them by name here (registration is idempotent) lets STATS read
 	// sum/count without reaching back into the registry per request.
 	s.cBatchSum = reg.Counter("server/batch/sum")
 	s.cBatchCount = reg.Counter("server/batch/count")
-	for op, name := range map[uint8]string{
-		OpGet: "get", OpPut: "put", OpUpdate: "update",
-		OpDelete: "delete", OpScan: "scan", OpStats: "stats",
-	} {
+	for op, name := range opNames {
 		s.cOps[op] = reg.Counter("server/ops/" + name)
 	}
-	// Data-plane geometry: the span ring holds the in-flight budget, the
-	// arena is sized so a maximal SCAN frame (and, for headroom, two of
-	// them) stages in place, and no staged frame may exceed half the
-	// arena — that caps any wrap skip below the frame size, so an
-	// allocation always fits once earlier frames are drained.
-	s.ringCap = nextPow2(cfg.Inflight)
+	// Data-plane geometry: the arena is sized so a maximal SCAN frame
+	// (and, for headroom, two of them) stages in place, and no staged
+	// frame may exceed half the arena — that caps any wrap skip below the
+	// frame size, so an allocation always fits once earlier frames are
+	// drained. (Each connection's span ring is sized at accept from the
+	// live Inflight tunable.)
 	scanFrame := lenBytes + 1 + 4 + 16*cfg.ScanLimit
 	s.arenaCap = nextPow2(max(64<<10, 2*scanFrame))
 	if s.arenaCap > 1<<20 {
@@ -202,8 +233,9 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		tun := s.tun.Load()
 		s.mu.Lock()
-		if s.draining || (s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns) {
+		if s.draining || (tun.MaxConns > 0 && len(s.conns) >= tun.MaxConns) {
 			s.cRefused.Inc()
 			s.mu.Unlock()
 			nc.Close()
@@ -212,9 +244,12 @@ func (s *Server) Serve(ln net.Listener) error {
 		c := &conn{
 			srv:     s,
 			nc:      nc,
-			ring:    newRespRing(s.ringCap),
+			tun:     tun,
+			remote:  nc.RemoteAddr().String(),
+			opened:  time.Now(),
+			ring:    newRespRing(nextPow2(tun.Inflight)),
 			arena:   s.getArena(),
-			batcher: s.h.NewBatcher(s.cfg.Window),
+			batcher: s.h.NewBatcher(tun.Window),
 			stop:    make(chan struct{}),
 		}
 		s.conns[c] = struct{}{}
@@ -285,7 +320,12 @@ func (s *Server) connClosed(c *conn) {
 	s.cBadReq.Add(st.badReq.Load())
 	s.cTimeouts.Add(st.timeouts.Load())
 	s.cScanned.Add(st.scanned.Load())
-	s.hBatch.Fold(st.batchSum.Load(), st.batchCount.Load(), &st.batchBuckets)
+	s.cSlowOps.Add(st.slowOps.Load())
+	var buckets [metrics.NumBuckets]uint64
+	for i := range st.batchBuckets {
+		buckets[i] = st.batchBuckets[i].Load()
+	}
+	s.hBatch.Fold(st.batchSum.Load(), st.batchCount.Load(), &buckets)
 	for op := 1; op <= int(OpStats); op++ {
 		s.cOps[op].Add(st.ops[op].Load())
 	}
@@ -302,24 +342,22 @@ func (s *Server) StatsText() []byte {
 	return s.statsLocked()
 }
 
-// statsLocked builds the STATS payload; callers hold s.mu. Each counter
-// is the folded registry base plus the live connections' local cells
-// (single-writer atomics, safe to Load concurrently) — so the snapshot
-// reflects in-flight traffic without the data path ever taking the
-// mutex. The core runtime's combiner-owned counters are consistent only
-// at quiescence and are deliberately excluded.
-func (s *Server) statsLocked() []byte {
-	var out []byte
-	if s.cfg.Store != "" {
-		out = fmt.Appendf(out, "server/store %s\n", s.cfg.Store)
-	}
-	rows := []struct {
-		c    *metrics.Counter
-		live func(*connStats) *metrics.Local
-	}{
+// statRow pairs a registry counter with the accessor for its live
+// per-connection cell (nil for counters maintained centrally).
+type statRow struct {
+	c    *metrics.Counter
+	live func(*connStats) *metrics.Local
+}
+
+// statRows returns the server's counter rows in sorted-name order. The
+// table is rebuilt per snapshot (snapshots are rare); the data path
+// never touches it.
+func (s *Server) statRows() []statRow {
+	return []statRow{
 		{s.cBadReq, func(st *connStats) *metrics.Local { return &st.badReq }},
 		{s.cBatchCount, func(st *connStats) *metrics.Local { return &st.batchCount }},
 		{s.cBatchSum, func(st *connStats) *metrics.Local { return &st.batchSum }},
+		{s.cEpoch, nil},
 		{s.cAccepted, nil},
 		{s.cClosed, nil},
 		{s.cRefused, nil},
@@ -333,16 +371,153 @@ func (s *Server) statsLocked() []byte {
 		{s.cRequests, func(st *connStats) *metrics.Local { return &st.requests }},
 		{s.cResponse, func(st *connStats) *metrics.Local { return &st.responses }},
 		{s.cScanned, func(st *connStats) *metrics.Local { return &st.scanned }},
+		{s.cSlowOps, func(st *connStats) *metrics.Local { return &st.slowOps }},
 		{s.cTimeouts, func(st *connStats) *metrics.Local { return &st.timeouts }},
 	}
-	for _, r := range rows {
-		v := r.c.Value()
-		if r.live != nil {
-			for c := range s.conns {
-				v += r.live(&c.stats).Load()
-			}
+}
+
+// liveValueLocked sums one row's registry base with every open
+// connection's local cell; callers hold s.mu.
+func (s *Server) liveValueLocked(r statRow) uint64 {
+	v := r.c.Value()
+	if r.live != nil {
+		for c := range s.conns {
+			v += r.live(&c.stats).Load()
 		}
-		out = fmt.Appendf(out, "%s %d\n", r.c.Name(), v)
 	}
+	return v
+}
+
+// statsLocked builds the STATS payload; callers hold s.mu. Each counter
+// is the folded registry base plus the live connections' local cells
+// (single-writer atomics, safe to Load concurrently) — so the snapshot
+// reflects in-flight traffic without the data path ever taking the
+// mutex. The core runtime's combiner-owned counters are consistent only
+// at quiescence and are deliberately excluded.
+func (s *Server) statsLocked() []byte {
+	var out []byte
+	if s.cfg.Store != "" {
+		out = fmt.Appendf(out, "server/store %s\n", s.cfg.Store)
+	}
+	for _, r := range s.statRows() {
+		out = fmt.Appendf(out, "%s %d\n", r.c.Name(), s.liveValueLocked(r))
+	}
+	return out
+}
+
+// Store returns the configured engine name ("" when not set).
+func (s *Server) Store() string { return s.cfg.Store }
+
+// ExportMetrics captures every server/ instrument live: the counter map
+// (histogram sum/count components excluded) and the server/batch
+// histogram, each the folded registry base plus a sum over the open
+// connections' cells. It is the management plane's scrape hook — safe to
+// call at any time, including while serving and after Shutdown.
+func (s *Server) ExportMetrics() (metrics.Snapshot, []metrics.HistSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counters := make(metrics.Snapshot)
+	var batch metrics.HistSnapshot
+	for _, r := range s.statRows() {
+		v := s.liveValueLocked(r)
+		switch r.c {
+		case s.cBatchSum:
+			batch.Sum = v
+		case s.cBatchCount:
+			batch.Count = v
+		default:
+			counters[r.c.Name()] = v
+		}
+	}
+	// Histogram shape: registry base (folds happen under s.mu, so the
+	// read is consistent) plus the live connections' atomic bucket cells.
+	batch.Name = s.hBatch.Name()
+	for i := range batch.Buckets {
+		batch.Buckets[i] = s.hBatch.Bucket(i)
+		for c := range s.conns {
+			batch.Buckets[i] += c.stats.batchBuckets[i].Load()
+		}
+	}
+	return counters, []metrics.HistSnapshot{batch}
+}
+
+// ConnInfo is one live connection's management-plane snapshot: identity,
+// the tunables it captured at accept, and its per-connection counters
+// (loaded from the same padded cells the data path accumulates into).
+type ConnInfo struct {
+	// Remote is the connection's remote address.
+	Remote string `json:"remote"`
+	// AgeSeconds is the time since accept.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Window is the coalescing window captured at accept.
+	Window int `json:"window"`
+	// Inflight is the in-flight response budget captured at accept.
+	Inflight int `json:"inflight"`
+	// Requests counts requests fully read from the socket.
+	Requests uint64 `json:"requests"`
+	// Responses counts response frames written.
+	Responses uint64 `json:"responses"`
+	// Rejected counts operations answered Rejected.
+	Rejected uint64 `json:"rejected"`
+	// BadRequests counts operations answered BadRequest.
+	BadRequests uint64 `json:"bad_requests"`
+	// ScanPairs counts pairs returned across the connection's SCANs.
+	ScanPairs uint64 `json:"scan_pairs"`
+	// SlowOps counts batches that crossed the slow-op threshold.
+	SlowOps uint64 `json:"slow_ops"`
+	// WriteTimeouts counts write-deadline expiries (0 or 1).
+	WriteTimeouts uint64 `json:"write_timeouts"`
+	// Batches counts coalesced serve batches; BatchOps sums their sizes
+	// (mean batch size = BatchOps/Batches).
+	Batches uint64 `json:"batches"`
+	// BatchOps sums the sizes of the connection's serve batches.
+	BatchOps uint64 `json:"batch_ops"`
+	// Ops maps protocol op name (get, put, update, delete, scan, stats)
+	// to the connection's request count for it.
+	Ops map[string]uint64 `json:"ops"`
+}
+
+// opNames maps protocol op codes to their lowercase wire names.
+var opNames = map[uint8]string{
+	OpGet: "get", OpPut: "put", OpUpdate: "update",
+	OpDelete: "delete", OpScan: "scan", OpStats: "stats",
+}
+
+// ConnsInfo snapshots every live connection for the management plane,
+// sorted by age (oldest first) then remote address.
+func (s *Server) ConnsInfo() []ConnInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	out := make([]ConnInfo, 0, len(s.conns))
+	for c := range s.conns {
+		st := &c.stats
+		info := ConnInfo{
+			Remote:        c.remote,
+			AgeSeconds:    now.Sub(c.opened).Seconds(),
+			Window:        c.tun.Window,
+			Inflight:      c.tun.Inflight,
+			Requests:      st.requests.Load(),
+			Responses:     st.responses.Load(),
+			Rejected:      st.rejected.Load(),
+			BadRequests:   st.badReq.Load(),
+			ScanPairs:     st.scanned.Load(),
+			SlowOps:       st.slowOps.Load(),
+			WriteTimeouts: st.timeouts.Load(),
+			Batches:       st.batchCount.Load(),
+			BatchOps:      st.batchSum.Load(),
+			Ops:           make(map[string]uint64, len(opNames)),
+		}
+		for op, name := range opNames {
+			info.Ops[name] = st.ops[op].Load()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AgeSeconds != out[j].AgeSeconds {
+			return out[i].AgeSeconds > out[j].AgeSeconds
+		}
+		return out[i].Remote < out[j].Remote
+	})
 	return out
 }

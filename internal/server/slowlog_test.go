@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"hybrids/internal/core"
+	"hybrids/internal/sim/trace"
+)
+
+// syncBuffer lets the test read the slow-op stream while the reader
+// goroutines write it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// slowOpLine mirrors the documented slow-op record schema.
+type slowOpLine struct {
+	T       string            `json:"t"`
+	TS      time.Time         `json:"ts"`
+	Conn    string            `json:"conn"`
+	Ops     int               `json:"ops"`
+	TotalNS int64             `json:"total_ns"`
+	Attr    map[string]uint64 `json:"attr"`
+}
+
+// TestSlowOpLog drives traffic with a 1ns threshold (every batch is
+// slow) and checks each emitted line parses as the documented JSON
+// schema: type tag, RFC3339 timestamp, remote address, op count, total,
+// and an attribution map carrying exactly the simulator's six bucket
+// names whose observable components sum to the total.
+func TestSlowOpLog(t *testing.T) {
+	var log syncBuffer
+	s, _, addr := newTestServer(t,
+		Config{Window: 4, SlowOp: time.Nanosecond, SlowOpLog: &log},
+		core.Config{Partitions: 2, KeyMax: 1 << 12})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	for i := uint64(1); i <= 64; i++ {
+		if _, err := c.Put(i, i); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	c.Close()
+	s.Shutdown()
+
+	names := make(map[string]bool, trace.NumBuckets)
+	for b := trace.Bucket(0); b < trace.NumBuckets; b++ {
+		names[b.String()] = true
+	}
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(log.Bytes()))
+	for sc.Scan() {
+		lines++
+		var rec slowOpLine
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v\n%s", lines, err, sc.Bytes())
+		}
+		if rec.T != "slow_op" || rec.Conn == "" || rec.Ops <= 0 || rec.TotalNS <= 0 || rec.TS.IsZero() {
+			t.Fatalf("line %d: bad record %+v", lines, rec)
+		}
+		if len(rec.Attr) != int(trace.NumBuckets) {
+			t.Fatalf("line %d: %d attr buckets, want %d", lines, len(rec.Attr), trace.NumBuckets)
+		}
+		var sum uint64
+		for name, v := range rec.Attr {
+			if !names[name] {
+				t.Fatalf("line %d: unknown attr bucket %q", lines, name)
+			}
+			sum += v
+		}
+		if sum != uint64(rec.TotalNS) {
+			t.Fatalf("line %d: attr sum %d != total_ns %d", lines, sum, rec.TotalNS)
+		}
+	}
+	if lines == 0 {
+		t.Fatalf("no slow-op lines emitted at a 1ns threshold")
+	}
+	if got := statValue(t, s.StatsText(), "server/slow_ops"); got != uint64(lines) {
+		t.Fatalf("server/slow_ops = %d, %d lines logged", got, lines)
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tunables is the live-reconfigurable subset of Config: the knobs an
+// operator may change on a running server through the management plane
+// (POST /config on the admin listener) without a restart. A connection
+// captures the tunables current at accept time and keeps them for its
+// lifetime, so reconfiguration is race-free by construction: existing
+// connections finish under the values they started with, new connections
+// pick up the new values, and the swap itself is one atomic pointer
+// store. Every successful swap increments the server/config_epoch
+// counter.
+type Tunables struct {
+	// Window is the per-connection request coalescing window (see
+	// Config.Window). Normalized to 16 when <= 0.
+	Window int
+	// Inflight is the per-connection in-flight response budget (see
+	// Config.Inflight). Normalized to 4x Window when <= 0; the span ring
+	// capacity is the next power of two.
+	Inflight int
+	// MaxConns caps concurrently served connections (see
+	// Config.MaxConns); 0 means unlimited. Applied at accept time, so
+	// lowering it never disconnects existing clients.
+	MaxConns int
+	// WriteTimeout is the slow-client write deadline (see
+	// Config.WriteTimeout). Normalized to 10s when 0; negative disables
+	// write deadlines.
+	WriteTimeout time.Duration
+	// SlowOp is the slow-operation logging threshold: a served batch
+	// whose wall-clock time reaches it emits one structured JSON line to
+	// the server's slow-op log (see Config.SlowOpLog). 0 disables
+	// sampling and its timing overhead entirely.
+	SlowOp time.Duration
+}
+
+// normalize applies the documented defaults and bounds-checks the
+// result.
+func (t Tunables) normalize() (Tunables, error) {
+	if t.Window <= 0 {
+		t.Window = 16
+	}
+	if t.Inflight <= 0 {
+		t.Inflight = 4 * t.Window
+	}
+	if t.WriteTimeout == 0 {
+		t.WriteTimeout = 10 * time.Second
+	}
+	if t.Window > maxWindow {
+		return t, fmt.Errorf("server: window %d exceeds maximum %d", t.Window, maxWindow)
+	}
+	if t.Inflight > maxInflight {
+		return t, fmt.Errorf("server: inflight %d exceeds maximum %d", t.Inflight, maxInflight)
+	}
+	if t.MaxConns < 0 {
+		return t, fmt.Errorf("server: maxconns %d is negative", t.MaxConns)
+	}
+	if t.SlowOp < 0 {
+		return t, fmt.Errorf("server: slow-op threshold %v is negative", t.SlowOp)
+	}
+	return t, nil
+}
+
+// Sanity bounds on reconfigurable sizes: large enough for any sane
+// deployment, small enough that a fat-fingered POST /config cannot make
+// every new connection allocate a gigantic ring.
+const (
+	maxWindow   = 1 << 16
+	maxInflight = 1 << 20
+)
+
+// Tunables returns the server's current live configuration.
+func (s *Server) Tunables() Tunables {
+	return *s.tun.Load()
+}
+
+// SetTunables validates, normalizes and atomically publishes a new live
+// configuration, returning the normalized result. New connections pick
+// the values up immediately; existing connections keep the tunables they
+// captured at accept. On success the server/config_epoch counter
+// increments (under the server mutex, like every registry fold), so
+// scrapers can tell republishes apart.
+func (s *Server) SetTunables(t Tunables) (Tunables, error) {
+	t, err := t.normalize()
+	if err != nil {
+		return t, err
+	}
+	s.mu.Lock()
+	s.tun.Store(&t)
+	s.cEpoch.Inc()
+	s.mu.Unlock()
+	return t, nil
+}
