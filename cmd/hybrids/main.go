@@ -38,24 +38,26 @@ import (
 	"os"
 	"runtime"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/exp"
 )
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "experiment id (or 'all')")
-		scale    = flag.String("scale", "small", "scale: quick, tiny, small, or paper")
-		list     = flag.Bool("list", false, "list experiments")
-		markdown = flag.Bool("markdown", false, "emit markdown tables")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics)")
-		ops      = flag.Int("ops", 0, "override measured ops per thread")
-		warmup   = flag.Int("warmup", -1, "override warmup ops per thread")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "grid cells to measure concurrently (results are identical at any setting)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		native   = flag.Bool("native", false, "run the native (wall-clock) benchmarks instead of the simulator")
-		attr     = flag.Bool("attr", false, "print per-operation latency attribution tables (buckets also land in -json cells)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON capture of the first measured cell to this file (open in Perfetto)")
-		traceCap = flag.Int("trace-events", 0, "per-track trace ring capacity (default 65536; older events fall off first)")
+		expID        = flag.String("exp", "", "experiment id (or 'all')")
+		scale        = flag.String("scale", "small", "scale: quick, tiny, small, or paper")
+		list         = flag.Bool("list", false, "list experiments")
+		markdown     = flag.Bool("markdown", false, "emit markdown tables")
+		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON (per-cell metrics)")
+		ops          = flag.Int("ops", 0, "override measured ops per thread")
+		warmup       = flag.Int("warmup", -1, "override warmup ops per thread")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "grid cells to measure concurrently (results are identical at any setting)")
+		quiet        = flag.Bool("q", false, "suppress progress output")
+		native       = flag.Bool("native", false, "run the native (wall-clock) benchmarks instead of the simulator")
+		attr         = flag.Bool("attr", false, "print per-operation latency attribution tables (buckets also land in -json cells)")
+		boundaryMode = flag.String("boundary", "static", "host/NMP boundary policy: static (the paper's fixed splits) or adaptive (grids run at the split the feedback policy converges to)")
+		traceOut     = flag.String("trace", "", "write a Chrome trace_event JSON capture of the first measured cell to this file (open in Perfetto)")
+		traceCap     = flag.Int("trace-events", 0, "per-track trace ring capacity (default 65536; older events fall off first)")
 	)
 	flag.Parse()
 
@@ -108,6 +110,21 @@ func main() {
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil
+	}
+
+	if _, err := boundary.ParsePolicy(*boundaryMode); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	if *boundaryMode == "adaptive" && !*native {
+		// Converge the feedback policy first, then run the requested
+		// grids at the split it lands on instead of the paper's static
+		// crossover. With -boundary static (the default) nothing here
+		// runs and outputs stay byte-identical.
+		fmt.Fprintf(os.Stderr, "converging adaptive boundary (static crossover: nmp=%d)...\n", sc.SkiplistNMPLevels)
+		conv := exp.AdaptBoundary(sc, progress)
+		fmt.Fprintf(os.Stderr, "adaptive boundary converged at nmp=%d\n", conv.NMP)
+		sc.SkiplistNMPLevels = conv.NMP
 	}
 
 	var results []exp.Result

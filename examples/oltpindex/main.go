@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/skiplist"
 	"hybrids/internal/sim/machine"
@@ -50,7 +51,7 @@ func main() {
 				window = 4
 			}
 			s := skiplist.NewHybrid(m, skiplist.HybridConfig{
-				TotalLevels: levels, NMPLevels: levels / 2,
+				Split:  boundary.Split{Total: levels, NMP: levels / 2},
 				KeyMax: keyMax, Window: window, Seed: 7,
 			})
 			s.Build(pairs, 99)

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/btree"
 	"hybrids/internal/sim/machine"
 	"hybrids/internal/ycsb"
@@ -35,7 +36,7 @@ func main() {
 	}
 
 	m := machine.New(machine.Default())
-	t := btree.NewHybrid(m, btree.HybridBTreeConfig{NMPLevels: 3, Window: 1})
+	t := btree.NewHybrid(m, btree.HybridBTreeConfig{Split: boundary.Split{NMP: 3}, Window: 1})
 	t.Build(pairs, 8)
 	t.Start()
 

@@ -1,0 +1,194 @@
+package admin_test
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hybrids/internal/admin"
+	"hybrids/internal/boundary"
+	"hybrids/internal/cds"
+	"hybrids/internal/core"
+	"hybrids/internal/metrics"
+	"hybrids/internal/server"
+)
+
+// newBoundaryHarness is newHarness plus a wired boundary manager: the
+// Rebalance hook swaps every partition store to a B-skiplist of the
+// requested height and publishes the split, mirroring hybridsd's funnel.
+func newBoundaryHarness(t *testing.T, token string) (*harness, *boundary.Manager) {
+	t.Helper()
+	cfg := server.Config{Window: 4, Metrics: metrics.NewRegistry()}
+	h := core.New(core.Config{Partitions: 2, KeyMax: 1 << 12})
+	srv := server.New(h, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	mgr := boundary.NewManager(boundary.Static{}, boundary.Plan{Splits: map[string]boundary.Split{
+		"bskiplist": {Total: 8, NMP: 2},
+	}}, nil)
+	rebalance := func(levels int) error {
+		if err := h.Rebalance(func(int) core.Store { return cds.NewBSkipList(levels) }); err != nil {
+			return err
+		}
+		mgr.Publish("bskiplist", boundary.Split{Total: levels, NMP: 2})
+		return nil
+	}
+	adm := admin.New(admin.Config{
+		Server:    srv,
+		Hybrid:    h,
+		Boundary:  mgr,
+		Rebalance: rebalance,
+		Token:     token,
+		Static:    map[string]string{"addr": ln.Addr().String()},
+	})
+	web := httptest.NewServer(adm.Handler())
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		h.Close()
+		web.Close()
+	})
+	return &harness{h: h, srv: srv, adm: adm, web: web, addr: ln.Addr().String()}, mgr
+}
+
+// postJSON POSTs body to path with optional bearer token, returning the
+// status code and body.
+func postJSON(t *testing.T, ha *harness, path, body, token string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ha.web.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// boundaryDoc mirrors the GET/POST /boundary response schema.
+type boundaryDoc struct {
+	Policy     string                    `json:"policy"`
+	Epoch      uint64                    `json:"epoch"`
+	Migrations uint64                    `json:"migrations"`
+	Splits     map[string]boundary.Split `json:"splits"`
+}
+
+func TestBoundaryRoundTrip(t *testing.T) {
+	ha, mgr := newBoundaryHarness(t, "")
+	ha.load(t, 256)
+
+	var before boundaryDoc
+	ha.getJSON(t, "/boundary", &before)
+	if before.Policy != "static" || before.Epoch != 0 {
+		t.Fatalf("initial boundary: %+v", before)
+	}
+	if s := before.Splits["bskiplist"]; s.Total != 8 || s.NMP != 2 {
+		t.Fatalf("initial split: %+v", s)
+	}
+
+	code, body := postJSON(t, ha, "/boundary", `{"levels": 12}`, "")
+	if code != http.StatusOK {
+		t.Fatalf("POST /boundary: %d\n%s", code, body)
+	}
+	var after boundaryDoc
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatalf("POST /boundary response: %v", err)
+	}
+	if after.Epoch != 1 || after.Migrations != 1 {
+		t.Fatalf("after POST: %+v", after)
+	}
+	if s := after.Splits["bskiplist"]; s.Total != 12 || s.NMP != 2 {
+		t.Fatalf("migrated split: %+v", s)
+	}
+	if mgr.Plan().Split("bskiplist").Total != 12 {
+		t.Fatalf("manager plan not updated: %+v", mgr.Plan())
+	}
+	// The data plane survived the migration: every key is still served.
+	if got := ha.h.Len(); got != 256 {
+		t.Fatalf("Len = %d after migration, want 256", got)
+	}
+
+	// The boundary metrics land in the merged export.
+	var md metricsDoc
+	ha.getJSON(t, "/metrics.json", &md)
+	if md.Counters["boundary/migrations"] != 1 || md.Counters["boundary/epoch"] != 1 {
+		t.Fatalf("boundary counters not merged: %v", md.Counters)
+	}
+
+	// Malformed bodies are rejected without moving the epoch.
+	if code, _ := postJSON(t, ha, "/boundary", `{"bogus": 1}`, ""); code != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", code)
+	}
+	if code, _ := postJSON(t, ha, "/boundary", `{}`, ""); code != http.StatusBadRequest {
+		t.Fatalf("missing levels accepted: %d", code)
+	}
+	var final boundaryDoc
+	ha.getJSON(t, "/boundary", &final)
+	if final.Epoch != 1 {
+		t.Fatalf("epoch moved on rejected POST: %d", final.Epoch)
+	}
+}
+
+func TestBoundaryNotEnabled(t *testing.T) {
+	ha := newHarness(t, server.Config{Window: 4},
+		core.Config{Partitions: 2, KeyMax: 1 << 12})
+	resp, err := http.Get(ha.web.URL + "/boundary")
+	if err != nil {
+		t.Fatalf("GET /boundary: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /boundary without a manager: %d, want 404", resp.StatusCode)
+	}
+	if code, _ := postJSON(t, ha, "/boundary", `{"levels": 8}`, ""); code != http.StatusNotFound {
+		t.Fatalf("POST /boundary without a manager: %d, want 404", code)
+	}
+}
+
+func TestAdminBearerToken(t *testing.T) {
+	ha, _ := newBoundaryHarness(t, "s3cret")
+
+	// Reads stay open.
+	var doc boundaryDoc
+	ha.getJSON(t, "/boundary", &doc)
+
+	// Mutations without (or with the wrong) token are refused.
+	for _, tok := range []string{"", "wrong"} {
+		if code, _ := postJSON(t, ha, "/boundary", `{"levels": 12}`, tok); code != http.StatusUnauthorized {
+			t.Fatalf("POST /boundary token %q: %d, want 401", tok, code)
+		}
+		if code, _ := postJSON(t, ha, "/config", `{"window": 2}`, tok); code != http.StatusUnauthorized {
+			t.Fatalf("POST /config token %q: %d, want 401", tok, code)
+		}
+	}
+	// A refused mutation changed nothing.
+	ha.getJSON(t, "/boundary", &doc)
+	if doc.Epoch != 0 {
+		t.Fatalf("epoch moved on unauthorized POST: %d", doc.Epoch)
+	}
+
+	// The right token unlocks both mutating endpoints.
+	if code, body := postJSON(t, ha, "/boundary", `{"levels": 12}`, "s3cret"); code != http.StatusOK {
+		t.Fatalf("authorized POST /boundary: %d\n%s", code, body)
+	}
+	if code, body := postJSON(t, ha, "/config", `{"window": 2}`, "s3cret"); code != http.StatusOK {
+		t.Fatalf("authorized POST /config: %d\n%s", code, body)
+	}
+}

@@ -1,0 +1,192 @@
+package boundary
+
+import (
+	"testing"
+)
+
+func TestSplitValidate(t *testing.T) {
+	cases := []struct {
+		s  Split
+		ok bool
+	}{
+		{Split{Total: 16, NMP: 4}, true},
+		{Split{Total: 2, NMP: 1}, true},
+		{Split{Total: 0, NMP: 3}, true}, // derived-height engine
+		{Split{Total: 16, NMP: 0}, false},
+		{Split{Total: 16, NMP: 16}, false},
+		{Split{Total: 16, NMP: 17}, false},
+		{Split{Total: 0, NMP: 0}, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+	if got := (Split{Total: 16, NMP: 4}).Host(); got != 12 {
+		t.Errorf("Host() = %d, want 12", got)
+	}
+	if got := (Split{Total: 0, NMP: 3}).Host(); got != 0 {
+		t.Errorf("derived-height Host() = %d, want 0", got)
+	}
+}
+
+func TestPlanNext(t *testing.T) {
+	p := Plan{Splits: map[string]Split{"skiplist": {Total: 16, NMP: 4}}}
+	next := p.Next("skiplist", Split{Total: 16, NMP: 5})
+	if next.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", next.Epoch)
+	}
+	if got := next.Split("skiplist"); got != (Split{Total: 16, NMP: 5}) {
+		t.Fatalf("next split = %+v", got)
+	}
+	// The original plan is untouched (plans are immutable).
+	if got := p.Split("skiplist"); got != (Split{Total: 16, NMP: 4}) {
+		t.Fatalf("original plan mutated: %+v", got)
+	}
+	// Next on a fresh engine adds it without dropping others.
+	two := next.Next("btree", Split{NMP: 2})
+	if two.Epoch != 2 || len(two.Splits) != 2 {
+		t.Fatalf("two-engine plan: %+v", two)
+	}
+}
+
+func TestStaticNeverMoves(t *testing.T) {
+	pol := Static{}
+	cur := Split{Total: 16, NMP: 4}
+	next, move := pol.Decide(cur, Sample{DRAM: 0.99, Ops: 1 << 20})
+	if move || next != cur {
+		t.Fatalf("static moved: %+v", next)
+	}
+}
+
+func TestAdaptiveShrinksHostOnDRAMPressure(t *testing.T) {
+	pol := NewAdaptive()
+	cur := Split{Total: 16, NMP: 4}
+	s := Sample{Engine: "skiplist", DRAM: 0.6, Ops: 1 << 12}
+	next, move := pol.Decide(cur, s)
+	if !move || next.NMP != 5 {
+		t.Fatalf("expected NMP 4->5 under DRAM pressure, got %+v move=%v", next, move)
+	}
+	// Cooldown: the very next window is skipped even under pressure.
+	if _, move := pol.Decide(next, s); move {
+		t.Fatal("moved during cooldown")
+	}
+	// After the cooldown the pressure moves it again.
+	if got, move := pol.Decide(next, s); !move || got.NMP != 6 {
+		t.Fatalf("post-cooldown move: %+v move=%v", got, move)
+	}
+	if pol.Moves() != 2 {
+		t.Fatalf("Moves() = %d, want 2", pol.Moves())
+	}
+}
+
+func TestAdaptiveGrowsHostWhenOffloadDominated(t *testing.T) {
+	pol := NewAdaptive()
+	cur := Split{Total: 16, NMP: 6}
+	s := Sample{Engine: "skiplist", OffloadWait: 0.5, NMPSerial: 0.2, DRAM: 0.02, Ops: 1 << 12}
+	next, move := pol.Decide(cur, s)
+	if !move || next.NMP != 5 {
+		t.Fatalf("expected NMP 6->5 when offload-dominated, got %+v move=%v", next, move)
+	}
+}
+
+func TestAdaptiveHoldsInsideHysteresisBand(t *testing.T) {
+	pol := NewAdaptive()
+	cur := Split{Total: 16, NMP: 4}
+	// Moderate everything: no threshold crossed.
+	s := Sample{DRAM: 0.2, OffloadWait: 0.3, Ops: 1 << 12}
+	for i := 0; i < 4; i++ {
+		if _, move := pol.Decide(cur, s); move {
+			t.Fatalf("moved inside hysteresis band (round %d)", i)
+		}
+	}
+}
+
+func TestAdaptiveIgnoresThinWindows(t *testing.T) {
+	pol := NewAdaptive()
+	cur := Split{Total: 16, NMP: 4}
+	if _, move := pol.Decide(cur, Sample{DRAM: 0.9, Ops: 3}); move {
+		t.Fatal("moved on a window below MinOps")
+	}
+	d, w, _ := pol.Smoothed()
+	if d != 0 || w != 0 {
+		t.Fatal("thin window folded into EWMAs")
+	}
+}
+
+func TestAdaptiveRespectsFloors(t *testing.T) {
+	pol := NewAdaptive()
+	// NMP already at MinNMP: an offload-dominated profile cannot push below.
+	cur := Split{Total: 16, NMP: 1}
+	if _, move := pol.Decide(cur, Sample{OffloadWait: 0.9, DRAM: 0.01, Ops: 1 << 12}); move {
+		t.Fatal("moved below MinNMP")
+	}
+	// One host level left: DRAM pressure cannot consume it.
+	pol = NewAdaptive()
+	cur = Split{Total: 16, NMP: 15}
+	if _, move := pol.Decide(cur, Sample{DRAM: 0.9, Ops: 1 << 12}); move {
+		t.Fatal("consumed the last host level")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy("static"); err != nil || p.Name() != "static" {
+		t.Fatalf("static: %v %v", p, err)
+	}
+	if p, err := ParsePolicy("adaptive"); err != nil || p.Name() != "adaptive" {
+		t.Fatalf("adaptive: %v %v", p, err)
+	}
+	if _, err := ParsePolicy("chaotic"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestManagerPublishObserveExport(t *testing.T) {
+	mgr := NewManager(NewAdaptive(), Plan{Splits: map[string]Split{
+		"skiplist": {Total: 16, NMP: 4},
+	}}, nil)
+	if got := mgr.Plan(); got.Epoch != 0 || got.Split("skiplist").NMP != 4 {
+		t.Fatalf("initial plan: %+v", got)
+	}
+
+	// A DRAM-pressured observation proposes a move; Publish records it.
+	next, move := mgr.Observe(Sample{Engine: "skiplist", DRAM: 0.6, Ops: 1 << 12})
+	if !move || next.NMP != 5 {
+		t.Fatalf("Observe: %+v move=%v", next, move)
+	}
+	plan := mgr.Publish("skiplist", next)
+	if plan.Epoch != 1 || mgr.Plan().Split("skiplist").NMP != 5 {
+		t.Fatalf("after publish: %+v", mgr.Plan())
+	}
+	if mgr.Migrations() != 1 {
+		t.Fatalf("Migrations() = %d, want 1", mgr.Migrations())
+	}
+
+	counters, hists := mgr.Export()
+	if counters["boundary/epoch"] != 1 || counters["boundary/migrations"] != 1 {
+		t.Fatalf("exported counters: %v", counters)
+	}
+	byName := map[string]bool{}
+	for _, h := range hists {
+		byName[h.Name] = true
+	}
+	for _, want := range []string{"boundary/host_levels", "boundary/input/host_cache",
+		"boundary/input/offload_wait", "boundary/input/rtt"} {
+		if !byName[want] {
+			t.Fatalf("exported hists missing %s (got %v)", want, byName)
+		}
+	}
+}
+
+func TestPerMilleClamps(t *testing.T) {
+	if perMille(-0.5) != 0 || perMille(0) != 0 {
+		t.Fatal("negative/zero share")
+	}
+	if perMille(2.0) != 1000 || perMille(1.0) != 1000 {
+		t.Fatal("overflow share")
+	}
+	if got := perMille(0.25); got != 250 {
+		t.Fatalf("perMille(0.25) = %d", got)
+	}
+}

@@ -1,0 +1,133 @@
+package boundary
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hybrids/internal/metrics"
+)
+
+// Manager publishes the live boundary Plan for a running process and
+// instruments every decision. The hot-path contract is the same one
+// server.Tunables uses: Plan() is a single atomic.Pointer load — no lock
+// anywhere near a data path — while movers (the admin plane's POST
+// /boundary, the adaptive ticker) serialize through a mutex to decide,
+// publish and record.
+//
+// Metric family (registered eagerly, exported via Export for the admin
+// plane's merge):
+//
+//	boundary/epoch        counter  plan publications
+//	boundary/migrations   counter  publications that moved a split
+//	boundary/host_levels  hist     host-level count at each publication
+//	boundary/input/host_cache  hist  per-mille host-cache share fed to Decide
+//	boundary/input/offload_wait hist per-mille offload-dominated share fed to Decide
+//	boundary/input/rtt    hist     offload round-trip fed to Decide (cycles/ns)
+type Manager struct {
+	plan atomic.Pointer[Plan]
+
+	mu  sync.Mutex
+	pol Policy
+	reg *metrics.Registry
+
+	cEpoch      *metrics.Counter
+	cMigrations *metrics.Counter
+	hHostLevels *metrics.Histogram
+	hInCache    *metrics.Histogram
+	hInWait     *metrics.Histogram
+	hInRTT      *metrics.Histogram
+}
+
+// NewManager publishes initial as epoch 0 under pol. The instruments
+// register in reg (nil creates a private registry, reachable only via
+// Export).
+func NewManager(pol Policy, initial Plan, reg *metrics.Registry) *Manager {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m := &Manager{
+		pol:         pol,
+		reg:         reg,
+		cEpoch:      reg.Counter("boundary/epoch"),
+		cMigrations: reg.Counter("boundary/migrations"),
+		hHostLevels: reg.Histogram("boundary/host_levels"),
+		hInCache:    reg.Histogram("boundary/input/host_cache"),
+		hInWait:     reg.Histogram("boundary/input/offload_wait"),
+		hInRTT:      reg.Histogram("boundary/input/rtt"),
+	}
+	initial.Epoch = 0
+	m.plan.Store(&initial)
+	return m
+}
+
+// Plan returns the live plan: one atomic load, safe on any hot path. The
+// returned Plan is shared and must not be mutated.
+func (m *Manager) Plan() *Plan { return m.plan.Load() }
+
+// Policy returns the manager's policy.
+func (m *Manager) Policy() Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pol
+}
+
+// Migrations returns the number of publications that moved a split.
+func (m *Manager) Migrations() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cMigrations.Value()
+}
+
+// Publish replaces engine's split in the live plan, advancing the epoch
+// and recording the migration. The caller has already applied the split
+// to the running structure (a rebalance); Publish only makes it the
+// plan of record.
+func (m *Manager) Publish(engine string, s Split) *Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := m.plan.Load().Next(engine, s)
+	m.plan.Store(&next)
+	m.cEpoch.Inc()
+	m.cMigrations.Inc()
+	if h := s.Host(); h > 0 {
+		m.hHostLevels.Observe(uint64(h))
+	}
+	return &next
+}
+
+// Observe feeds one observation window to the policy against the live
+// plan's split for the sample's engine, recording the decision inputs.
+// It returns the split the policy wants next and whether that is a move;
+// the caller performs the structural rebalance and then Publish.
+func (m *Manager) Observe(s Sample) (Split, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hInCache.Observe(perMille(s.HostCache))
+	m.hInWait.Observe(perMille(s.OffloadWait + s.NMPSerial))
+	if s.RTT > 0 {
+		m.hInRTT.Observe(uint64(s.RTT))
+	}
+	return m.pol.Decide(m.plan.Load().Split(s.Engine), s)
+}
+
+// Export captures the boundary instruments for management-plane merges
+// (counters with histogram components excluded, plus histogram
+// snapshots) under the decision mutex, so a scrape never races a mover.
+func (m *Manager) Export() (metrics.Snapshot, []metrics.HistSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.reg.Export()
+	return e.Counters, e.Hists
+}
+
+// perMille converts a [0,1] share to integer per-mille for histogram
+// observation, clamping wild inputs.
+func perMille(share float64) uint64 {
+	if share <= 0 {
+		return 0
+	}
+	if share >= 1 {
+		return 1000
+	}
+	return uint64(share * 1000)
+}

@@ -371,6 +371,38 @@ func (h *Hybrid) barrier(p int, fn func(s Store)) {
 	fut.Wait()
 }
 
+// Rebalance swaps every partition's store for a fresh one built by
+// factory, migrating the live contents — the native mirror of the
+// simulated hybrids' boundary rebalance. Each partition's swap runs as a
+// combiner barrier: it executes on the combiner goroutine in request
+// order, so operations published before the swap apply to the old store
+// and operations published after apply to the new one, with no request
+// lost or reordered. Partitions migrate one after another, not
+// atomically, exactly like Dump's visibility. Structural instruments of
+// the new store re-register under the partition's existing metric names
+// (registration is idempotent), so counters stay monotone across the
+// swap. Rebalance fails after Close.
+func (h *Hybrid) Rebalance(factory func(partition int) Store) error {
+	if h.Closed() {
+		return fmt.Errorf("core: rebalance after Close")
+	}
+	for p := range h.parts {
+		part := h.parts[p]
+		next := factory(p)
+		h.barrier(p, func(old Store) {
+			old.Ascend(0, func(k, v uint64) bool {
+				next.Put(k, v)
+				return true
+			})
+			part.store = next
+			if ins, ok := next.(Instrumented); ok {
+				ins.Instrument(h.reg, fmt.Sprintf("core/p%d/store", p))
+			}
+		})
+	}
+	return nil
+}
+
 // Len sums the partition store sizes. Each partition's count is read by
 // its combiner in request order, so the result is a per-partition
 // linearizable size (exact at quiescence).

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hybrids/internal/cds"
+)
+
+func TestHybridRebalancePreservesContents(t *testing.T) {
+	h := newTest(4)
+	defer h.Close()
+	const n = 5000
+	for k := uint64(1); k <= n; k++ {
+		if !h.Put(k, k*3) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	// Migrate every partition from the default B+ tree to B-skiplists of a
+	// different height — the native analogue of moving the boundary.
+	if err := h.Rebalance(func(int) Store { return cds.NewBSkipList(8) }); err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d after rebalance, want %d", h.Len(), n)
+	}
+	for k := uint64(1); k <= n; k += 7 {
+		if v, ok := h.Get(k); !ok || v != k*3 {
+			t.Fatalf("Get(%d) = (%d,%v) after rebalance", k, v, ok)
+		}
+	}
+	// The map still mutates normally on the new stores.
+	if !h.Delete(1) || h.Put(1, 0) == false {
+		t.Fatal("mutations after rebalance broken")
+	}
+}
+
+func TestHybridRebalanceUnderLoad(t *testing.T) {
+	h := newTest(4)
+	defer h.Close()
+	const threads = 4
+	const perThread = 3000
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		th := th
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(th*perThread) + 1
+			for i := uint64(0); i < perThread; i++ {
+				if !h.Put(base+i, base+i) {
+					t.Errorf("Put(%d) failed", base+i)
+					return
+				}
+			}
+		}()
+	}
+	// Rebalance concurrently with the writers: every partition swap runs
+	// on the combiner goroutine in request order, so no write is lost.
+	done := make(chan error, 1)
+	go func() {
+		done <- h.Rebalance(func(int) Store { return cds.NewBSkipList(12) })
+	}()
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if h.Len() != threads*perThread {
+		t.Fatalf("Len = %d, want %d", h.Len(), threads*perThread)
+	}
+	for th := 0; th < threads; th++ {
+		base := uint64(th*perThread) + 1
+		for i := uint64(0); i < perThread; i += 101 {
+			if v, ok := h.Get(base + i); !ok || v != base+i {
+				t.Fatalf("Get(%d) = (%d,%v)", base+i, v, ok)
+			}
+		}
+	}
+}
+
+func TestHybridRebalanceAfterClose(t *testing.T) {
+	h := newTest(2)
+	h.Close()
+	if err := h.Rebalance(func(int) Store { return cds.NewBTree() }); err == nil {
+		t.Fatal("Rebalance after Close succeeded")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/prng"
 	"hybrids/internal/sim/machine"
@@ -28,7 +29,7 @@ func testMachine() *machine.Machine {
 
 func buildHybrid(m *machine.Machine, pairs []KV, window int) *Hybrid {
 	s := NewHybrid(m, Config{
-		Levels: testLevels, NMPLevels: testNMPLevels, Fill: testFill,
+		Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, Fill: testFill,
 		KeyMax: testKeyMax, Window: window,
 	})
 	s.Build(pairs)

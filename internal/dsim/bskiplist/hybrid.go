@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/offload"
@@ -29,21 +30,17 @@ type Hybrid struct {
 	rt        *offload.Runtime
 	hostHeads [][]uint32 // hostHeads[p][j]: router head of host level j
 
-	levels    int
-	nmpLevels int
-	fill      int
+	split boundary.Split
+	fill  int
 }
 
 // Config parameterizes the hybrid B-skiplist.
 type Config struct {
-	// Levels is the per-partition level count (leaves plus routing
-	// levels); extra levels above the natural hierarchy cost one head
-	// node each, missing ones only lengthen top-level walks.
-	Levels int
-	// NMPLevels is how many bottom levels live NMP-side; the remaining
-	// Levels-NMPLevels top levels form the host router, sized to fit
-	// the LLC.
-	NMPLevels int
+	// Split is the host/NMP boundary: Split.Total is the per-partition
+	// level count (leaves plus routing levels), Split.NMP how many
+	// bottom levels live NMP-side; the remaining Split.Host() top
+	// levels form the host router, sized to fit the LLC.
+	Split boundary.Split
 	// Fill is the bulk-load entry count per fat node (of EntryMax
 	// slots); the slack absorbs post-build inserts.
 	Fill int
@@ -56,30 +53,36 @@ type Config struct {
 
 // NewHybrid creates the structure; Build must run before Start.
 func NewHybrid(m *machine.Machine, cfg Config) *Hybrid {
-	if cfg.NMPLevels <= 0 || cfg.NMPLevels >= cfg.Levels {
-		panic("bskiplist: NMPLevels must split the structure")
+	if cfg.Split.Total <= 0 || cfg.Split.Validate() != nil {
+		panic("bskiplist: split must partition the structure")
 	}
 	if cfg.Fill < 2 || cfg.Fill > EntryMax {
 		panic("bskiplist: build fill must be in [2, EntryMax]")
 	}
-	parts := m.Cfg.Mem.NMPVaults
 	t := &Hybrid{
-		m:         m,
-		part:      kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: parts},
-		rt:        offload.New(m, offload.Config{Window: cfg.Window}),
-		levels:    cfg.Levels,
-		nmpLevels: cfg.NMPLevels,
-		fill:      cfg.Fill,
+		m:    m,
+		part: kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: m.Cfg.Mem.NMPVaults},
+		rt:   offload.New(m, offload.Config{Window: cfg.Window}),
+		fill: cfg.Fill,
 	}
-	ram := m.Mem.RAM
-	hostLevels := cfg.Levels - cfg.NMPLevels
-	for p := 0; p < parts; p++ {
-		l := newSeqBList(ram, m.Mem.NMPAlloc[p], cfg.NMPLevels)
+	t.layout(cfg.Split)
+	return t
+}
+
+// layout (re)creates the empty per-partition NMP levels and the host
+// router heads at split, from fresh allocations.
+func (t *Hybrid) layout(split boundary.Split) {
+	ram := t.m.Mem.RAM
+	host := split.Host()
+	t.lists = t.lists[:0]
+	t.hostHeads = t.hostHeads[:0]
+	for p := 0; p < t.m.Cfg.Mem.NMPVaults; p++ {
+		l := newSeqBList(ram, t.m.Mem.NMPAlloc[p], split.NMP)
 		t.lists = append(t.lists, l)
-		heads := make([]uint32, hostLevels)
-		below := l.heads[cfg.NMPLevels-1]
-		for j := 0; j < hostLevels; j++ {
-			h := buildFat(ram, m.Mem.HostAlloc, 0, 1)
+		heads := make([]uint32, host)
+		below := l.heads[split.NMP-1]
+		for j := 0; j < host; j++ {
+			h := buildFat(ram, t.m.Mem.HostAlloc, 0, 1)
 			ram.Store32(keyAddr(h, 0), 0)
 			ram.Store32(payAddr(h, 0), below)
 			heads[j] = h
@@ -87,7 +90,37 @@ func NewHybrid(m *machine.Machine, cfg Config) *Hybrid {
 		}
 		t.hostHeads = append(t.hostHeads, heads)
 	}
-	return t
+	t.split = split
+}
+
+// Split returns the current host/NMP boundary.
+func (t *Hybrid) Split() boundary.Split { return t.split }
+
+// Rebalance moves the host/NMP boundary to next: a drained-epoch
+// transition executed at quiescence (no requests posted or in flight).
+// Live pairs are dumped from the authoritative leaves, the NMP levels
+// and host router are rebuilt at the new split from fresh allocations
+// (the old portions' bump-allocated memory is abandoned), and the
+// running combiner daemons are retargeted through the offload runtime's
+// handler indirection. Total levels cannot change, only the boundary
+// moves.
+func (t *Hybrid) Rebalance(next boundary.Split) error {
+	if next.Total != t.split.Total {
+		return fmt.Errorf("bskiplist: rebalance cannot change total levels (%d -> %d)", t.split.Total, next.Total)
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	if next == t.split {
+		return nil
+	}
+	pairs := t.Dump()
+	t.layout(next)
+	t.Build(pairs)
+	for p := range t.lists {
+		t.rt.Republish(p, t.lists[p].handler())
+	}
+	return nil
 }
 
 // Build bulk-loads pairs (untimed): each partition's NMP levels are
@@ -203,7 +236,7 @@ func (t *Hybrid) CheckInvariants() error {
 				return errf("partition %d holds out-of-range key %d", p, pair.Key)
 			}
 		}
-		below, err := checkLevel(ram, l.heads[t.nmpLevels-1], t.nmpLevels-1, false)
+		below, err := checkLevel(ram, l.heads[t.split.NMP-1], t.split.NMP-1, false)
 		if err != nil {
 			return fmt.Errorf("partition %d: %w", p, err)
 		}
@@ -212,11 +245,11 @@ func (t *Hybrid) CheckInvariants() error {
 			for _, n := range below {
 				members[n.addr] = true
 			}
-			nodes, err := checkLevel(ram, head, t.nmpLevels+j, true)
+			nodes, err := checkLevel(ram, head, t.split.NMP+j, true)
 			if err != nil {
 				return fmt.Errorf("partition %d router: %w", p, err)
 			}
-			if err := checkRouting(ram, nodes, t.nmpLevels+j, members); err != nil {
+			if err := checkRouting(ram, nodes, t.split.NMP+j, members); err != nil {
 				return fmt.Errorf("partition %d router: %w", p, err)
 			}
 			below = nodes

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/prng"
 	"hybrids/internal/sim/machine"
@@ -132,7 +133,7 @@ func buildStore(t *testing.T, name string, m *machine.Machine, pairs []KV) testS
 		s.Build(pairs, testFill)
 		return s
 	case "hybrid":
-		s := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 1})
+		s := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 1})
 		s.Build(pairs, testFill)
 		s.Start()
 		return s
@@ -371,7 +372,7 @@ func TestConcurrentTailInsertsExerciseBoundarySplits(t *testing.T) {
 	// LOCK_PATH conversations racing with each other.
 	pairs := initialPairs(500)
 	m := testMachine()
-	s := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 1})
+	s := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 1})
 	s.Build(pairs, testFill)
 	s.Start()
 	o := oracle{}
@@ -442,7 +443,7 @@ func TestHybridAsyncBatchMatchesOracleOnDistinctKeys(t *testing.T) {
 		}
 	}
 	m := testMachine()
-	s := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 4})
+	s := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 4})
 	s.Build(pairs, testFill)
 	s.Start()
 	got := 0
@@ -464,7 +465,7 @@ func TestHybridAsyncBatchMatchesOracleOnDistinctKeys(t *testing.T) {
 func TestHybridAsyncConcurrentWithSplits(t *testing.T) {
 	pairs := initialPairs(800)
 	m := testMachine()
-	s := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 4})
+	s := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 4})
 	s.Build(pairs, testFill)
 	s.Start()
 	const threads = 8

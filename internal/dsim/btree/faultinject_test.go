@@ -3,6 +3,7 @@ package btree
 import (
 	"testing"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/sim/machine"
 	"hybrids/internal/sim/memsys"
@@ -17,7 +18,7 @@ func boundaryTarget(m *machine.Machine, h *Hybrid, key uint32) (begin, parent ui
 	ram := m.Mem.RAM
 	root, height := h.host.rootInfo(ram)
 	curr := root
-	for level := height - 1; level > h.nmpLevels; level-- {
+	for level := height - 1; level > h.split.NMP; level-- {
 		slots := metaSlots(ram.Load32(metaAddr(curr)))
 		i := 0
 		for i < slots-1 && key > ram.Load32(keyAddr(curr, i)) {
@@ -37,7 +38,7 @@ func boundaryTarget(m *machine.Machine, h *Hybrid, key uint32) (begin, parent ui
 func TestHybridParentSeqnumAheadForcesRetryThenSucceeds(t *testing.T) {
 	pairs := initialPairs(2000)
 	m := testMachine()
-	h := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 1})
+	h := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 1})
 	h.Build(pairs, testFill)
 	h.Start()
 
@@ -67,7 +68,7 @@ func TestHybridParentSeqnumAheadForcesRetryThenSucceeds(t *testing.T) {
 func TestHybridSiblingSplitRefreshesRecordedParentSeqnum(t *testing.T) {
 	pairs := initialPairs(2000)
 	m := testMachine()
-	h := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 1})
+	h := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 1})
 	h.Build(pairs, testFill)
 	h.Start()
 
@@ -95,7 +96,7 @@ func TestHybridSiblingSplitRefreshesRecordedParentSeqnum(t *testing.T) {
 func TestHybridRemoveRetriesWhileLeafLocked(t *testing.T) {
 	pairs := initialPairs(2000)
 	m := testMachine()
-	h := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 1})
+	h := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 1})
 	h.Build(pairs, testFill)
 	h.Start()
 
@@ -138,20 +139,20 @@ func TestHybridRemoveRetriesWhileLeafLocked(t *testing.T) {
 func TestHybridBoundaryPointerTagsMatchPartitions(t *testing.T) {
 	pairs := initialPairs(3000)
 	m := testMachine()
-	h := NewHybrid(m, HybridBTreeConfig{NMPLevels: testNMPLevels, Window: 1})
+	h := NewHybrid(m, HybridBTreeConfig{Split: boundary.Split{NMP: testNMPLevels}, Window: 1})
 	h.Build(pairs, testFill)
 	ram := m.Mem.RAM
 	root, height := h.host.rootInfo(ram)
 	var walk func(node uint32, level int)
 	checked := 0
 	walk = func(node uint32, level int) {
-		if level < h.nmpLevels {
+		if level < h.split.NMP {
 			return
 		}
 		slots := metaSlots(ram.Load32(metaAddr(node)))
 		for i := 0; i < slots; i++ {
 			ptr := ram.Load32(ptrAddr(node, i))
-			if level == h.nmpLevels {
+			if level == h.split.NMP {
 				n, tag := untag(ptr)
 				owner, ok := m.Mem.IsNMPMem(memsys.Addr(n))
 				if !ok || owner != tag {

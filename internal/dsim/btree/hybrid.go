@@ -1,6 +1,9 @@
 package btree
 
 import (
+	"fmt"
+
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/offload"
@@ -20,14 +23,17 @@ type Hybrid struct {
 	trees []*nmpTree
 	rt    *offload.Runtime
 
-	nmpLevels int
+	split boundary.Split
+	fill  int
 }
 
 // HybridBTreeConfig parameterizes the hybrid B+ tree.
 type HybridBTreeConfig struct {
-	// NMPLevels is the number of bottom tree levels pushed to NMP
-	// partitions; the host-managed remainder is sized to fit the LLC.
-	NMPLevels int
+	// Split is the host/NMP boundary: Split.NMP bottom tree levels are
+	// pushed to NMP partitions, the host-managed remainder is sized to
+	// fit the LLC. The tree's total height follows from fan-out, so
+	// Split.Total is 0 (derived).
+	Split boundary.Split
 	// Window is the in-flight NMP call budget per host thread for
 	// ApplyBatch (1 = blocking behaviour).
 	Window int
@@ -35,29 +41,68 @@ type HybridBTreeConfig struct {
 
 // NewHybrid creates the structure; Build must run before Start.
 func NewHybrid(m *machine.Machine, cfg HybridBTreeConfig) *Hybrid {
-	if cfg.NMPLevels <= 0 {
-		panic("btree: NMPLevels must be positive")
+	if cfg.Split.NMP <= 0 || cfg.Split.Total != 0 {
+		panic("btree: split must place >= 1 NMP level and derive the total from fan-out")
 	}
-	parts := m.Cfg.Mem.NMPVaults
 	t := &Hybrid{
-		m:         m,
-		host:      newHostCore(m, cfg.NMPLevels),
-		rt:        offload.New(m, offload.Config{Window: cfg.Window}),
-		nmpLevels: cfg.NMPLevels,
+		m:  m,
+		rt: offload.New(m, offload.Config{Window: cfg.Window}),
 	}
-	for p := 0; p < parts; p++ {
-		t.trees = append(t.trees, newNMPTree(cfg.NMPLevels, m.Mem.NMPAlloc[p]))
-	}
+	t.layout(cfg.Split)
 	return t
 }
 
+// layout (re)creates the host core and empty per-partition NMP trees at
+// split, from fresh allocations.
+func (t *Hybrid) layout(split boundary.Split) {
+	t.host = newHostCore(t.m, split.NMP)
+	t.trees = t.trees[:0]
+	for p := 0; p < t.m.Cfg.Mem.NMPVaults; p++ {
+		t.trees = append(t.trees, newNMPTree(split.NMP, t.m.Mem.NMPAlloc[p]))
+	}
+	t.split = split
+}
+
+// Split returns the current host/NMP boundary.
+func (t *Hybrid) Split() boundary.Split { return t.split }
+
+// Rebalance moves the host/NMP boundary to next: a drained-epoch
+// transition executed at quiescence (no requests posted or in flight).
+// Live pairs are dumped, the tree is rebuilt at the new split with the
+// original bulk-load fill (the old tree's bump-allocated memory is
+// abandoned), and the running combiner daemons are retargeted through
+// the offload runtime's handler indirection.
+func (t *Hybrid) Rebalance(next boundary.Split) error {
+	if next.Total != 0 {
+		return fmt.Errorf("btree: total height is derived from fan-out (got total %d)", next.Total)
+	}
+	if next.NMP < 1 {
+		return fmt.Errorf("btree: NMP levels must be >= 1 (got %d)", next.NMP)
+	}
+	if t.fill == 0 {
+		return fmt.Errorf("btree: rebalance requires a prior Build")
+	}
+	if next == t.split {
+		return nil
+	}
+	pairs := t.Dump()
+	fill := t.fill
+	t.layout(next)
+	t.Build(pairs, fill)
+	for p := range t.trees {
+		t.rt.Republish(p, t.trees[p].handler())
+	}
+	return nil
+}
+
 // Build bulk-loads pairs (§3.4: "the initial B+ tree is constructed over
-// an existing database table"), pushing the bottom NMPLevels levels down
+// an existing database table"), pushing the bottom Split.NMP levels down
 // into partition memory and tagging boundary pointers with partition IDs.
 func (t *Hybrid) Build(pairs []KV, fill int) {
-	hooks := hybridHooks(t.m.Mem.HostAlloc, t.m.Mem.NMPAlloc, t.nmpLevels, fill, len(dedupCount(pairs)))
+	hooks := hybridHooks(t.m.Mem.HostAlloc, t.m.Mem.NMPAlloc, t.split.NMP, fill, len(dedupCount(pairs)))
 	root, height := bulkBuild(t.m.Mem.RAM, pairs, fill, hooks)
 	t.host.setRoot(root, height)
+	t.fill = fill
 }
 
 // dedupCount returns pairs deduplicated by key (build sizing must match
@@ -133,7 +178,7 @@ func (ad btAdapter) Prepare(c *machine.Ctx, op kv.Op, st *btState, attempt int, 
 		return fc.Request{}, 0, hds.PrepareRestart, false
 	}
 	st.p, st.part, st.phase = p, part, 0
-	req := fc.Request{Key: op.Key, Value: op.Value, NMPPtr: begin, Aux: p.seqs[t.nmpLevels]}
+	req := fc.Request{Key: op.Key, Value: op.Value, NMPPtr: begin, Aux: p.seqs[t.split.NMP]}
 	switch op.Kind {
 	case kv.Read:
 		req.Op = fc.OpRead
@@ -156,7 +201,7 @@ func (ad btAdapter) Finish(c *machine.Ctx, op kv.Op, st *btState, resp fc.Respon
 		if !resp.Success {
 			panic("btree: RESUME_INSERT failed")
 		}
-		t.host.insertChain(c, &st.p, t.nmpLevels, resp.Value, taggedPtr(resp.Ptr, st.part), &st.ls)
+		t.host.insertChain(c, &st.p, t.split.NMP, resp.Value, taggedPtr(resp.Ptr, st.part), &st.ls)
 		t.host.unlock(c, st.ls)
 		return hds.Verdict[fc.Request]{Kind: hds.OpDone, OK: true, Gate: hds.GateRelease}
 	case 2: // UNLOCK_PATH acknowledged: restart the whole insert
@@ -198,11 +243,11 @@ func (t *Hybrid) ApplyBatch(c *machine.Ctx, thread int, ops []kv.Op) int {
 }
 
 // Dump returns live pairs in key order (untimed).
-func (t *Hybrid) Dump() []KV { return dumpTree(t.m, t.host, t.trees, t.nmpLevels) }
+func (t *Hybrid) Dump() []KV { return dumpTree(t.m, t.host, t.trees, t.split.NMP) }
 
 // CheckInvariants validates host and NMP structural invariants, partition
 // placement, and boundary-pointer tags (untimed).
-func (t *Hybrid) CheckInvariants() error { return checkTree(t.m, t.host, t.trees, t.nmpLevels) }
+func (t *Hybrid) CheckInvariants() error { return checkTree(t.m, t.host, t.trees, t.split.NMP) }
 
 // Delays aggregates offload delay instrumentation across partitions.
 func (t *Hybrid) Delays() fc.Delays { return t.rt.Delays() }

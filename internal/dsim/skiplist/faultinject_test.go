@@ -3,6 +3,7 @@ package skiplist
 import (
 	"testing"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/sim/machine"
 )
@@ -64,7 +65,7 @@ func tallKeys(m *machine.Machine, s *Hybrid) []uint32 {
 func TestHybridRetryOnDeletedBeginNode(t *testing.T) {
 	pairs := initialPairs(testN)
 	m := testMachine()
-	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 1, Seed: 7})
+	s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 1, Seed: 7})
 	s.Build(pairs, 99)
 	s.Start()
 
@@ -119,7 +120,7 @@ func TestHybridRetryOnDeletedBeginNode(t *testing.T) {
 func TestHybridStaleShortcutCleanupUnlinksHostNode(t *testing.T) {
 	pairs := initialPairs(testN)
 	m := testMachine()
-	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 1, Seed: 7})
+	s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 1, Seed: 7})
 	s.Build(pairs, 99)
 	s.Start()
 
@@ -161,7 +162,7 @@ func TestHybridStaleShortcutCleanupUnlinksHostNode(t *testing.T) {
 func TestHybridStaleShortcutCleanupNonBlocking(t *testing.T) {
 	pairs := initialPairs(testN)
 	m := testMachine()
-	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 4, Seed: 7})
+	s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 4, Seed: 7})
 	s.Build(pairs, 99)
 	s.Start()
 

@@ -1,8 +1,10 @@
 package skiplist
 
 import (
+	"fmt"
 	"sort"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/fc"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/dsim/offload"
@@ -37,20 +39,19 @@ type Hybrid struct {
 	lists []*seqList
 	rt    *offload.Runtime
 
-	totalLevels int
-	hostLevels  int
-	nmpLevels   int
-	rngs        []*prng.Source
+	split boundary.Split
+	seed  uint64
+	epoch uint64
+	rngs  []*prng.Source
 }
 
 // HybridConfig parameterizes the hybrid skiplist.
 type HybridConfig struct {
-	// TotalLevels is the full skiplist height (log2 N).
-	TotalLevels int
-	// NMPLevels is how many bottom levels live NMP-side; the remaining
-	// TotalLevels-NMPLevels top levels form the host-managed portion,
-	// sized so that it fits the LLC (§3.3).
-	NMPLevels int
+	// Split is the host/NMP boundary: Split.Total is the full skiplist
+	// height (log2 N), Split.NMP how many bottom levels live NMP-side;
+	// the remaining Split.Host() top levels form the host-managed
+	// portion, sized so that it fits the LLC (§3.3).
+	Split boundary.Split
 	// KeyMax bounds the key space for range partitioning.
 	KeyMax uint32
 	// Window is the number of in-flight NMP calls per host thread used
@@ -62,26 +63,63 @@ type HybridConfig struct {
 
 // NewHybrid creates the structure; call Start to spawn the NMP combiners.
 func NewHybrid(m *machine.Machine, cfg HybridConfig) *Hybrid {
-	if cfg.NMPLevels <= 0 || cfg.NMPLevels >= cfg.TotalLevels {
-		panic("skiplist: NMPLevels must split the structure")
+	if cfg.Split.Total <= 0 || cfg.Split.Validate() != nil {
+		panic("skiplist: split must partition the structure")
 	}
-	parts := m.Cfg.Mem.NMPVaults
 	s := &Hybrid{
-		m:           m,
-		host:        newLFCore(m.Mem.RAM, m.Mem.HostAlloc, cfg.TotalLevels-cfg.NMPLevels),
-		part:        kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: parts},
-		rt:          offload.New(m, offload.Config{Window: cfg.Window}),
-		totalLevels: cfg.TotalLevels,
-		hostLevels:  cfg.TotalLevels - cfg.NMPLevels,
-		nmpLevels:   cfg.NMPLevels,
+		m:    m,
+		part: kv.RangePartitioner{KeyMax: cfg.KeyMax, Parts: m.Cfg.Mem.NMPVaults},
+		rt:   offload.New(m, offload.Config{Window: cfg.Window}),
+		seed: cfg.Seed,
 	}
-	for p := 0; p < parts; p++ {
-		s.lists = append(s.lists, newSeqList(m.Mem.RAM, m.Mem.NMPAlloc[p], cfg.NMPLevels))
-	}
+	s.layout(cfg.Split)
 	for i := 0; i < m.Cfg.Mem.HostCores; i++ {
 		s.rngs = append(s.rngs, prng.New(cfg.Seed^prng.Mix64(uint64(i)+211)))
 	}
 	return s
+}
+
+// layout (re)creates the empty host portion and per-partition NMP
+// portions at split, from fresh allocations.
+func (s *Hybrid) layout(split boundary.Split) {
+	s.host = newLFCore(s.m.Mem.RAM, s.m.Mem.HostAlloc, split.Host())
+	s.lists = s.lists[:0]
+	for p := 0; p < s.m.Cfg.Mem.NMPVaults; p++ {
+		s.lists = append(s.lists, newSeqList(s.m.Mem.RAM, s.m.Mem.NMPAlloc[p], split.NMP))
+	}
+	s.split = split
+}
+
+// Split returns the current host/NMP boundary.
+func (s *Hybrid) Split() boundary.Split { return s.split }
+
+// Rebalance moves the host/NMP boundary to next: a drained-epoch
+// transition executed at quiescence (no requests posted or in flight).
+// The live pairs are dumped from the authoritative NMP bottom level, the
+// host portion and per-partition NMP portions are rebuilt at the new
+// split from fresh allocations (the old portions' bump-allocated memory
+// is abandoned), and the running combiner daemons are retargeted through
+// the offload runtime's handler indirection. Total levels cannot change,
+// so the per-core height RNGs draw from the same distribution across the
+// transition.
+func (s *Hybrid) Rebalance(next boundary.Split) error {
+	if next.Total != s.split.Total {
+		return fmt.Errorf("skiplist: rebalance cannot change total levels (%d -> %d)", s.split.Total, next.Total)
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	if next == s.split {
+		return nil
+	}
+	pairs := s.Dump()
+	s.epoch++
+	s.layout(next)
+	s.Build(pairs, s.seed^prng.Mix64(s.epoch+0x517c))
+	for p := range s.lists {
+		s.rt.Republish(p, s.lists[p].handler())
+	}
+	return nil
 }
 
 // Start spawns the NMP combiner daemons. Call once before Machine.Run.
@@ -105,19 +143,19 @@ func (s *Hybrid) Build(pairs []KV, seed uint64) {
 		nmpNode uint32
 	}
 	var talls []tall
-	buildPartitioned(s.m, s.part, s.lists, s.totalLevels, pairs, seed,
+	buildPartitioned(s.m, s.part, s.lists, s.split.Total, pairs, seed,
 		func(p int, pair KV, height int, nmpNode uint32) {
-			if height <= s.nmpLevels {
+			if height <= s.split.NMP {
 				return
 			}
-			talls = append(talls, tall{pair: pair, hh: height - s.nmpLevels, nmpNode: nmpNode})
+			talls = append(talls, tall{pair: pair, hh: height - s.split.NMP, nmpNode: nmpNode})
 		})
 	heights := make([]int, len(talls))
 	for i, t := range talls {
 		heights[i] = t.hh
 	}
 	addrs := shuffledNodeAlloc(s.m.Mem.HostAlloc, heights, seed^0x405)
-	tails := make([]uint32, s.hostLevels)
+	tails := make([]uint32, s.split.Host())
 	for l := range tails {
 		tails[l] = s.host.head
 	}
@@ -214,9 +252,9 @@ func (s *Hybrid) cleanupStaleShortcut(c *machine.Ctx, pred uint32) {
 // prepareInsert draws the height and pre-allocates the host-side node when
 // the height crosses the split (Listing 1 lines 10-13).
 func (s *Hybrid) prepareInsert(c *machine.Ctx, op kv.Op) (hostNode uint32, height int) {
-	height = s.rngs[c.Core()].GeometricHeight(s.totalLevels)
-	if height > s.nmpLevels {
-		hostNode = newNode(c, s.m.Mem.HostAlloc, op.Key, op.Value, height-s.nmpLevels, 0)
+	height = s.rngs[c.Core()].GeometricHeight(s.split.Total)
+	if height > s.split.NMP {
+		hostNode = newNode(c, s.m.Mem.HostAlloc, op.Key, op.Value, height-s.split.NMP, 0)
 	}
 	return hostNode, height
 }

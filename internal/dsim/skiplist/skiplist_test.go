@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/prng"
 	"hybrids/internal/sim/machine"
@@ -156,7 +157,7 @@ func buildStore(t *testing.T, name string, m *machine.Machine, pairs []KV) testS
 		s.Start()
 		return s
 	case "hybrid":
-		s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 1, Seed: 7})
+		s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 1, Seed: 7})
 		s.Build(pairs, 99)
 		s.Start()
 		return s
@@ -389,7 +390,7 @@ func TestHybridAsyncBatchMatchesOracleOnDistinctKeys(t *testing.T) {
 		}
 	}
 	m := testMachine()
-	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 4, Seed: 7})
+	s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 4, Seed: 7})
 	s.Build(pairs, 99)
 	s.Start()
 	got := 0
@@ -411,7 +412,7 @@ func TestHybridAsyncBatchMatchesOracleOnDistinctKeys(t *testing.T) {
 func TestHybridAsyncConcurrentThreads(t *testing.T) {
 	pairs := initialPairs(testN)
 	m := testMachine()
-	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 4, Seed: 7})
+	s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 4, Seed: 7})
 	s.Build(pairs, 99)
 	s.Start()
 	const threads = 8
@@ -462,7 +463,7 @@ func TestCrossVariantSingleThreadAgreement(t *testing.T) {
 func TestHybridSplitPlacesTallNodesHostSide(t *testing.T) {
 	pairs := initialPairs(testN)
 	m := testMachine()
-	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 1, Seed: 7})
+	s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 1, Seed: 7})
 	s.Build(pairs, 99)
 	ram := m.Mem.RAM
 	// Count host nodes; expect roughly N / 2^NMPLevels.
@@ -486,7 +487,7 @@ func TestHybridSplitPlacesTallNodesHostSide(t *testing.T) {
 func TestHybridDelaysPopulated(t *testing.T) {
 	pairs := initialPairs(256)
 	m := testMachine()
-	s := NewHybrid(m, HybridConfig{TotalLevels: testLevels, NMPLevels: testNMPLevels, KeyMax: testKeyMax, Window: 1, Seed: 7})
+	s := NewHybrid(m, HybridConfig{Split: boundary.Split{Total: testLevels, NMP: testNMPLevels}, KeyMax: testKeyMax, Window: 1, Seed: 7})
 	s.Build(pairs, 99)
 	s.Start()
 	m.SpawnHost(0, "driver", func(c *machine.Ctx) {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"hybrids/internal/boundary"
 	"hybrids/internal/cds"
 	"hybrids/internal/core"
 	"hybrids/internal/dsim/bskiplist"
@@ -72,11 +73,13 @@ func btreeEngine() Engine {
 		SimTuning: func(SimParams) Tuning { return Tuning{} },
 		NewSimHybrid: func(m *machine.Machine, p SimParams) SimHybrid {
 			h := btree.NewHybrid(m, btree.HybridBTreeConfig{
-				NMPLevels: p.BTreeNMPLevels, Window: p.Window,
+				Split: btreeEngine().SimSplit(p), Window: p.Window,
 			})
 			return simBTree{Hybrid: h, fill: p.BTreeFill}
 		},
 		SimRecords: func(p SimParams) int { return p.BTreeRecords },
+		SimSplit:   func(p SimParams) boundary.Split { return boundary.Split{NMP: p.BTreeNMPLevels} },
+		NMPFloor:   1,
 	}
 }
 
@@ -122,12 +125,18 @@ func skiplistEngine() Engine {
 		SimTuning: func(p SimParams) Tuning { return Tuning{Levels: p.SkiplistLevels} },
 		NewSimHybrid: func(m *machine.Machine, p SimParams) SimHybrid {
 			h := skiplist.NewHybrid(m, skiplist.HybridConfig{
-				TotalLevels: p.SkiplistLevels, NMPLevels: p.SkiplistNMPLevels,
+				Split:  skiplistEngine().SimSplit(p),
 				KeyMax: p.KeyMax, Window: p.Window, Seed: p.Seed,
 			})
 			return simSkiplist{Hybrid: h, seed: p.Seed}
 		},
 		SimRecords: func(p SimParams) int { return p.SkiplistRecords },
+		SimSplit: func(p SimParams) boundary.Split {
+			return boundary.Split{Total: p.SkiplistLevels, NMP: p.SkiplistNMPLevels}
+		},
+		MinLevels:     5,
+		DefaultLevels: defaultSkipLevels,
+		NMPFloor:      4,
 	}
 }
 
@@ -167,11 +176,17 @@ func bskiplistEngine() Engine {
 		SimTuning: func(p SimParams) Tuning { return Tuning{Levels: p.BSkiplistLevels} },
 		NewSimHybrid: func(m *machine.Machine, p SimParams) SimHybrid {
 			h := bskiplist.NewHybrid(m, bskiplist.Config{
-				Levels: p.BSkiplistLevels, NMPLevels: p.BSkiplistNMPLevels,
-				Fill: p.BSkiplistFill, KeyMax: p.KeyMax, Window: p.Window,
+				Split: bskiplistEngine().SimSplit(p),
+				Fill:  p.BSkiplistFill, KeyMax: p.KeyMax, Window: p.Window,
 			})
 			return simBSkiplist{Hybrid: h}
 		},
 		SimRecords: func(p SimParams) int { return p.BSkiplistRecords },
+		SimSplit: func(p SimParams) boundary.Split {
+			return boundary.Split{Total: p.BSkiplistLevels, NMP: p.BSkiplistNMPLevels}
+		},
+		MinLevels:     3,
+		DefaultLevels: 16,
+		NMPFloor:      2,
 	}
 }

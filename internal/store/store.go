@@ -14,6 +14,7 @@ package store
 import (
 	"sort"
 
+	"hybrids/internal/boundary"
 	"hybrids/internal/core"
 	"hybrids/internal/dsim/kv"
 	"hybrids/internal/metrics"
@@ -87,6 +88,13 @@ type SimHybrid interface {
 	CheckInvariants() error
 	// Metrics returns the owning machine's metrics registry.
 	Metrics() *metrics.Registry
+	// Split returns the hybrid's current host/NMP boundary.
+	Split() boundary.Split
+	// Rebalance moves the host/NMP boundary to next at quiescence: a
+	// drained-epoch rebuild that relinks the structure at the new split
+	// and retargets the running combiner daemons. Callers must guarantee
+	// no requests are posted or in flight.
+	Rebalance(next boundary.Split) error
 }
 
 // Engine is one registered structure: everything a consumer needs to
@@ -108,6 +116,31 @@ type Engine struct {
 	NewSimHybrid func(m *machine.Machine, p SimParams) SimHybrid
 	// SimRecords returns the engine's simulated load-set size under p.
 	SimRecords func(p SimParams) int
+	// SimSplit returns the engine's host/NMP boundary under p — the same
+	// split NewSimHybrid starts from, for consumers that plan boundary
+	// moves.
+	SimSplit func(p SimParams) boundary.Split
+	// MinLevels is the smallest -levels value the engine accepts (0 = the
+	// engine derives its height from fan-out and ignores -levels). It is
+	// NMPFloor plus at least one host level.
+	MinLevels int
+	// DefaultLevels is the level cap used when Tuning.Levels is unset
+	// (0 = height derived from fan-out).
+	DefaultLevels int
+	// NMPFloor is the number of bottom levels that must stay NMP-side,
+	// the floor a daemon boundary plan's NMP component is pinned to.
+	NMPFloor int
+}
+
+// NativeSplit maps a native Tuning onto the engine's boundary split:
+// Total from the level cap (engine default when unset), NMP pinned at the
+// engine's floor.
+func (e Engine) NativeSplit(t Tuning) boundary.Split {
+	levels := t.Levels
+	if levels <= 0 {
+		levels = e.DefaultLevels
+	}
+	return boundary.Split{Total: levels, NMP: e.NMPFloor}
 }
 
 // Engines returns every registered engine in registration order (the
