@@ -3,6 +3,7 @@
 // workloads, for debugging or for feeding external tools.
 //
 //	go run ./cmd/ycsbgen -workload ycsbc -records 1000 -ops 20 -threads 2
+//	go run ./cmd/ycsbgen -workload e -records 1000 -ops 20    # YCSB core letter
 //	go run ./cmd/ycsbgen -workload 50-25-25 -tail -partitions 8
 package main
 
@@ -18,7 +19,7 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "ycsbc", "ycsbc or R-I-D mix like 50-25-25")
+		workload   = flag.String("workload", "ycsbc", "ycsbc, a YCSB core letter (a-f), or R-I-D mix like 50-25-25")
 		records    = flag.Int("records", 1000, "load-phase record count")
 		keyMax     = flag.Uint64("keymax", 1<<24, "key space bound (power of two)")
 		threads    = flag.Int("threads", 2, "operation streams")
@@ -34,6 +35,12 @@ func main() {
 	switch {
 	case *workload == "ycsbc":
 		cfg = ycsb.YCSBC(*records, uint32(*keyMax), *seed)
+	case len(*workload) == 1:
+		var err error
+		if cfg, err = ycsb.Workload(*workload, *records, uint32(*keyMax), *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
 	case strings.Count(*workload, "-") == 2:
 		parts := strings.SplitN(*workload, "-", 3)
 		r, err1 := strconv.Atoi(parts[0])

@@ -16,12 +16,15 @@ type Kind = hds.Kind
 // Operation kinds, re-exported from internal/hds. They match the paper's
 // workload mixes: YCSB-C is all Read; the sensitivity workloads mix Read,
 // Insert and Remove; Update exercises the hybrid structures'
-// value-propagation path.
+// value-propagation path. Scan (YCSB-E's range read; Op.Value carries the
+// pair limit) is served by the native runtime only — the simulated
+// structures do not implement it, so simulator workloads must not mix it.
 const (
 	Read   = hds.Read
 	Update = hds.Update
 	Insert = hds.Insert
 	Remove = hds.Remove
+	Scan   = hds.Scan
 )
 
 // Op is one key-value operation.

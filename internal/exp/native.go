@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,8 +40,24 @@ func NativeRegistry() []Experiment {
 			},
 		})
 	}
+	for _, e := range store.Engines() {
+		e := e
+		out = append(out, Experiment{
+			ID:    "native-suite-" + e.Name,
+			Title: fmt.Sprintf("Native %s, YCSB core suite A-F (wall clock)", e.Desc),
+			Run: func(sc Scale, progress io.Writer) Result {
+				return runNativeSuite(sc, e, progress)
+			},
+		})
+	}
 	return out
 }
+
+// suiteWorkloads are the YCSB core workloads the native suite drives, in
+// presentation order. The same letters select cmd/hybridsload -workload
+// mixes, so the simulated-engine suite and the served suite measure
+// identical op streams.
+var suiteWorkloads = []string{"a", "b", "c", "d", "e", "f"}
 
 // FindNative returns the native experiment with the given ID.
 func FindNative(id string) (Experiment, bool) {
@@ -234,6 +251,45 @@ func nativeGrid(sc Scale, e store.Engine, progress io.Writer) map[string]map[int
 		}
 	}
 	return out
+}
+
+// runNativeSuite measures one engine across the full YCSB core suite at
+// this scale's top thread count, one cell per workload. All cells use the
+// blocking discipline so every row carries per-op latency percentiles —
+// the suite's point is mix sensitivity (SCAN cost, insert churn,
+// read-latest skew), not call-discipline scaling, which the per-engine
+// grid experiment already covers.
+func runNativeSuite(sc Scale, e store.Engine, progress io.Writer) Result {
+	threads := sc.ThreadCounts[len(sc.ThreadCounts)-1]
+	v := nativeVariant{name: "blocking", window: 1}
+	res := Result{
+		ID:     "native-suite-" + e.Name,
+		Title:  fmt.Sprintf("Native %s YCSB suite (wall clock, %d threads, %d partitions, scale %s)", e.Name, threads, sc.Machine.Mem.NMPVaults, sc.Name),
+		Header: []string{"workload", "mix", "threads", "Mops/s", "p50/p95/p99 us"},
+	}
+	for _, w := range suiteWorkloads {
+		cfg, err := ycsb.Workload(w, sc.SkiplistRecords, sc.KeyMax, sc.Seed)
+		if err != nil {
+			panic(err) // unreachable: suiteWorkloads holds only known letters
+		}
+		gen := ycsb.New(cfg)
+		load := gen.Load()
+		raw := gen.Streams(threads, sc.WarmupPerThread+sc.OpsPerThread)
+		streams := make([][]hds.Request, threads)
+		for t := range raw {
+			streams[t] = nativeRequests(raw[t])
+		}
+		progressf(progress, "  %s suite workload=%s threads=%d\n", e.Name, w, threads)
+		c := runNativeCell(sc, e, v, load, streams)
+		c.Label = "ycsb-" + w
+		res.Rows = append(res.Rows, []string{strings.ToUpper(w), ycsb.WorkloadDesc(w),
+			fmt.Sprint(threads), f2(c.MOpsPerSec), fmtLatency(c, false)})
+		res.Cells = append(res.Cells, c)
+	}
+	res.Notes = append(res.Notes,
+		"one blocking-discipline cell per YCSB core workload at the top thread count; E's SCAN lengths are zipfian up to 100 pairs",
+		"wall-clock on the host CPU (goroutine combiners), not simulated cycles; absolute numbers are machine-dependent")
+	return res
 }
 
 // fmtLatency renders a blocking cell's percentile triple in microseconds,

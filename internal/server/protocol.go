@@ -205,49 +205,69 @@ func ReadResponse(r io.Reader, op uint8) (Response, error) {
 // of the scratch: SCAN pairs into a pooled slice the caller owns (see
 // PutPairs) and STATS text into a fresh slice.
 func ReadResponseBuf(r io.Reader, op uint8, scratch []byte) (Response, []byte, error) {
+	resp, scratch, _, err := ReadResponseReuse(r, op, scratch, nil)
+	return resp, scratch, err
+}
+
+// ReadResponseReuse is ReadResponseBuf with caller-owned SCAN pair reuse:
+// when pairs is non-nil it backs the decoded Response.Pairs (grown as
+// needed and returned for the next call), bypassing the decode pool — a
+// load generator replaying a scan-heavy stream through one buffer decodes
+// every response with zero steady-state allocations. With pairs nil, SCAN
+// results come from the pool exactly as in ReadResponseBuf.
+func ReadResponseReuse(r io.Reader, op uint8, scratch []byte, pairs []Pair) (Response, []byte, []Pair, error) {
 	if cap(scratch) < lenBytes {
 		scratch = make([]byte, 0, 512)
 	}
 	hdr := scratch[:lenBytes]
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return Response{}, scratch, err
+		return Response{}, scratch, pairs, err
 	}
 	n := binary.BigEndian.Uint32(hdr)
 	if n < 1 || n > maxRespFrame {
-		return Response{}, scratch, fmt.Errorf("server: response frame length %d out of range", n)
+		return Response{}, scratch, pairs, fmt.Errorf("server: response frame length %d out of range", n)
 	}
 	if uint32(cap(scratch)) < n {
 		scratch = make([]byte, 0, n)
 	}
 	body := scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Response{}, scratch, err
+		return Response{}, scratch, pairs, err
 	}
 	resp := Response{Status: body[0]}
 	body = body[1:]
 	switch op {
 	case OpScan:
 		if len(body) < 4 {
-			return Response{}, scratch, fmt.Errorf("server: scan response truncated (%d bytes)", len(body))
+			return Response{}, scratch, pairs, fmt.Errorf("server: scan response truncated (%d bytes)", len(body))
 		}
 		count := binary.BigEndian.Uint32(body)
 		body = body[4:]
 		if uint64(len(body)) != uint64(count)*16 {
-			return Response{}, scratch, fmt.Errorf("server: scan response %d pairs but %d payload bytes", count, len(body))
+			return Response{}, scratch, pairs, fmt.Errorf("server: scan response %d pairs but %d payload bytes", count, len(body))
 		}
-		pairs := pairPool.get(int(count))[:count]
-		for i := range pairs {
-			pairs[i].Key = binary.BigEndian.Uint64(body[16*i:])
-			pairs[i].Value = binary.BigEndian.Uint64(body[16*i+8:])
+		var out []Pair
+		switch {
+		case pairs != nil && cap(pairs) >= int(count):
+			out = pairs[:count]
+		case pairs != nil:
+			pairs = make([]Pair, count)
+			out = pairs
+		default:
+			out = pairPool.get(int(count))[:count]
 		}
-		resp.Pairs = pairs
+		for i := range out {
+			out[i].Key = binary.BigEndian.Uint64(body[16*i:])
+			out[i].Value = binary.BigEndian.Uint64(body[16*i+8:])
+		}
+		resp.Pairs = out
 	case OpStats:
 		resp.Stats = append([]byte(nil), body...)
 	default:
 		if len(body) != 8 {
-			return Response{}, scratch, fmt.Errorf("server: scalar response body %d bytes, want 8", len(body))
+			return Response{}, scratch, pairs, fmt.Errorf("server: scalar response body %d bytes, want 8", len(body))
 		}
 		resp.Value = binary.BigEndian.Uint64(body)
 	}
-	return resp, scratch, nil
+	return resp, scratch, pairs, nil
 }

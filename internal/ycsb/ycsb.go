@@ -32,11 +32,19 @@ type Dist int
 const (
 	Uniform Dist = iota
 	Zipfian
+	// Latest draws keys zipfian-skewed toward the most recently inserted
+	// record (YCSB-D's read-latest popularity): rank 0 is the newest key,
+	// so as the workload's inserts mint fresh records the hot set follows
+	// them instead of staying pinned to the initial load.
+	Latest
 )
 
 func (d Dist) String() string {
-	if d == Zipfian {
+	switch d {
+	case Zipfian:
 		return "zipfian"
+	case Latest:
+		return "latest"
 	}
 	return "uniform"
 }
@@ -68,13 +76,29 @@ type Config struct {
 	// KeyMax is the exclusive key-space bound (a power of two); load and
 	// fresh-insert keys fall in [1, KeyMax/2].
 	KeyMax uint32
-	// ReadPct/UpdatePct/InsertPct/RemovePct must sum to 100 (the paper's
-	// X-Y-Z mixes are read-insert-remove).
+	// ReadPct/UpdatePct/InsertPct/RemovePct/ScanPct/RMWPct must sum to
+	// 100 (the paper's X-Y-Z mixes are read-insert-remove).
 	ReadPct, UpdatePct, InsertPct, RemovePct int
+	// ScanPct is the SCAN percentage (YCSB-E): each scan op carries a
+	// start key from the popularity distribution and a zipfian-skewed
+	// length in Op.Value, at most MaxScanLen pairs.
+	ScanPct int
+	// RMWPct is the read-modify-write percentage (YCSB-F): each draw
+	// emits a Read followed by an Update of the same key, so the stream
+	// carries both halves of the RMW as adjacent operations.
+	RMWPct int
+	// MaxScanLen bounds scan lengths (0 = the YCSB default of 100).
+	MaxScanLen int
 	// Dist is the popularity distribution for read/update/remove keys.
 	Dist Dist
 	// ZipfTheta is the zipfian skew (YCSB default 0.99).
 	ZipfTheta float64
+	// ChurnEvery, when positive, rotates the zipfian hot set every
+	// ChurnEvery generated operations: the drawn rank is shifted by a
+	// stride that advances per interval, modeling time-varying skew
+	// (hot-key churn) instead of a popularity ranking frozen at load
+	// time. Ignored for Uniform and Latest.
+	ChurnEvery int
 	// Inserts selects the insert key pattern.
 	Inserts InsertPattern
 	// Partitions is required by PartitionTail: the NMP partition count
@@ -100,6 +124,54 @@ func Mix(records int, keyMax uint32, read, insert, remove int, seed uint64) Conf
 		ReadPct: read, InsertPct: insert, RemovePct: remove,
 		Dist: Uniform, Seed: seed,
 	}
+}
+
+// Workload returns the named YCSB core workload over records preloaded
+// keys: "a" (50/50 read/update, zipfian), "b" (95/5 read/update,
+// zipfian), "c" (100% reads, zipfian), "d" (95/5 read/insert with the
+// read-latest popularity that follows the freshly inserted keys), "e"
+// (95/5 scan/insert, zipfian start keys and scan lengths) or "f" (50/50
+// read/read-modify-write, zipfian).
+func Workload(name string, records int, keyMax uint32, seed uint64) (Config, error) {
+	base := Config{Records: records, KeyMax: keyMax, Dist: Zipfian, Seed: seed}
+	switch name {
+	case "a":
+		base.ReadPct, base.UpdatePct = 50, 50
+	case "b":
+		base.ReadPct, base.UpdatePct = 95, 5
+	case "c":
+		base.ReadPct = 100
+	case "d":
+		base.ReadPct, base.InsertPct = 95, 5
+		base.Dist = Latest
+	case "e":
+		base.ScanPct, base.InsertPct = 95, 5
+	case "f":
+		base.ReadPct, base.RMWPct = 50, 50
+	default:
+		return Config{}, fmt.Errorf("ycsb: unknown workload %q (want a-f)", name)
+	}
+	return base, nil
+}
+
+// WorkloadDesc returns the one-line description of a core workload for
+// report titles; unknown names return the name itself.
+func WorkloadDesc(name string) string {
+	switch name {
+	case "a":
+		return "YCSB-A (50/50 read/update, zipfian)"
+	case "b":
+		return "YCSB-B (95/5 read/update, zipfian)"
+	case "c":
+		return "YCSB-C (100% zipfian reads)"
+	case "d":
+		return "YCSB-D (95/5 read/insert, read-latest)"
+	case "e":
+		return "YCSB-E (95/5 scan/insert, zipfian scan lengths)"
+	case "f":
+		return "YCSB-F (50/50 read/read-modify-write, zipfian)"
+	}
+	return name
 }
 
 // keyPerm is a 4-round Feistel permutation over [0, 2^bits): a keyed
@@ -130,13 +202,18 @@ type Generator struct {
 	permBits uint   // Feistel domain width (even)
 	keyBits  uint   // log2(KeyMax)
 	fresh    uint64 // next fresh record index for FreshUniform inserts
+	ops      uint64 // generated logical operations (drives ChurnEvery)
 }
 
 // New builds a generator.
 func New(cfg Config) *Generator {
-	if cfg.ReadPct+cfg.UpdatePct+cfg.InsertPct+cfg.RemovePct != 100 {
-		panic(fmt.Sprintf("ycsb: op mix sums to %d, want 100",
-			cfg.ReadPct+cfg.UpdatePct+cfg.InsertPct+cfg.RemovePct))
+	sum := cfg.ReadPct + cfg.UpdatePct + cfg.InsertPct + cfg.RemovePct +
+		cfg.ScanPct + cfg.RMWPct
+	if sum != 100 {
+		panic(fmt.Sprintf("ycsb: op mix sums to %d, want 100", sum))
+	}
+	if cfg.MaxScanLen <= 0 {
+		cfg.MaxScanLen = 100
 	}
 	if cfg.KeyMax&(cfg.KeyMax-1) != 0 {
 		panic("ycsb: KeyMax must be a power of two")
@@ -205,33 +282,56 @@ func (g *Generator) Streams(threads, opsPerThread int) [][]kv.Op {
 	}
 	tail := g.newTailCursors()
 	// Interleave generation round-robin so PartitionTail key assignment
-	// is balanced across threads regardless of thread count.
-	for i := 0; i < opsPerThread; i++ {
+	// is balanced across threads regardless of thread count. A logical
+	// draw may emit two physical operations (RMW's read + update), so
+	// streams fill at slightly different paces; the loop keeps topping
+	// up every short stream in thread order until all reach length.
+	for short := true; short; {
+		short = false
 		for t := 0; t < threads; t++ {
-			streams[t] = append(streams[t], g.genOp(pickers[t], tail))
+			if len(streams[t]) < opsPerThread {
+				streams[t] = g.appendOp(streams[t], pickers[t], tail, opsPerThread)
+			}
+			if len(streams[t]) < opsPerThread {
+				short = true
+			}
 		}
 	}
 	return streams
 }
 
-func (g *Generator) genOp(p *picker, tail *tailCursors) kv.Op {
+// appendOp draws one logical operation and appends its physical ops to
+// dst, never growing it past limit (an RMW clipped at the stream end
+// keeps only its read half).
+func (g *Generator) appendOp(dst []kv.Op, p *picker, tail *tailCursors, limit int) []kv.Op {
+	g.ops++
+	c := &g.cfg
 	r := p.rng.Intn(100)
 	switch {
-	case r < g.cfg.ReadPct:
-		return kv.Op{Kind: kv.Read, Key: p.existing()}
-	case r < g.cfg.ReadPct+g.cfg.UpdatePct:
-		return kv.Op{Kind: kv.Update, Key: p.existing(), Value: p.rng.Uint32()}
-	case r < g.cfg.ReadPct+g.cfg.UpdatePct+g.cfg.InsertPct:
+	case r < c.ReadPct:
+		return append(dst, kv.Op{Kind: kv.Read, Key: p.existing()})
+	case r < c.ReadPct+c.UpdatePct:
+		return append(dst, kv.Op{Kind: kv.Update, Key: p.existing(), Value: p.rng.Uint32()})
+	case r < c.ReadPct+c.UpdatePct+c.InsertPct:
 		var key uint32
-		if g.cfg.Inserts == PartitionTail {
+		if c.Inserts == PartitionTail {
 			key = tail.next()
 		} else {
 			key = g.key(g.fresh)
 			g.fresh++
 		}
-		return kv.Op{Kind: kv.Insert, Key: key, Value: p.rng.Uint32()}
-	default:
-		return kv.Op{Kind: kv.Remove, Key: p.existing()}
+		return append(dst, kv.Op{Kind: kv.Insert, Key: key, Value: p.rng.Uint32()})
+	case r < c.ReadPct+c.UpdatePct+c.InsertPct+c.RemovePct:
+		return append(dst, kv.Op{Kind: kv.Remove, Key: p.existing()})
+	case r < c.ReadPct+c.UpdatePct+c.InsertPct+c.RemovePct+c.ScanPct:
+		return append(dst, kv.Op{Kind: kv.Scan, Key: p.existing(), Value: p.scanLen()})
+	default: // read-modify-write: read the key, then write it back
+		key := p.existing()
+		dst = append(dst, kv.Op{Kind: kv.Read, Key: key})
+		if len(dst) < limit {
+			dst = append(dst, kv.Op{Kind: kv.Update, Key: key, Value: p.rng.Uint32()})
+		}
+		return dst
 	}
 }
 
@@ -241,31 +341,58 @@ type picker struct {
 	g    *Generator
 	rng  *prng.Source
 	zipf *zipfian
+	// scan draws zipfian-skewed scan lengths (rank 0 -> length 1).
+	scan *zipfian
 }
 
 func (g *Generator) newPicker(salt uint64) *picker {
 	p := &picker{g: g, rng: prng.New(g.cfg.Seed ^ prng.Mix64(salt+0x9c))}
-	if g.cfg.Dist == Zipfian {
+	if g.cfg.Dist == Zipfian || g.cfg.Dist == Latest {
 		p.zipf = newZipfian(uint64(g.cfg.Records), g.cfg.ZipfTheta, prng.New(g.cfg.Seed^prng.Mix64(salt+0x2f)))
+	}
+	if g.cfg.ScanPct > 0 {
+		p.scan = newZipfian(uint64(g.cfg.MaxScanLen), g.cfg.ZipfTheta, prng.New(g.cfg.Seed^prng.Mix64(salt+0x51)))
 	}
 	return p
 }
 
 func (p *picker) existing() uint32 {
 	var idx uint64
-	if p.zipf != nil {
+	switch {
+	case p.g.cfg.Dist == Latest:
+		// Read-latest (YCSB-D): the zipfian rank counts back from the
+		// most recently minted record, so the hot set tracks the
+		// workload's own inserts. fresh >= Records always, and ranks
+		// are bounded by the initial Records, so idx never underflows.
+		idx = p.g.fresh - 1 - p.zipf.next()
+	case p.zipf != nil:
 		// The Feistel index->key permutation already scatters hot
 		// items over the key space (YCSB's ScrambledZipfian), keeping
 		// partitions balanced.
 		idx = p.zipf.next()
-	} else {
+		if ce := p.g.cfg.ChurnEvery; ce > 0 {
+			// Time-varying skew: rotate the popularity ranking by a
+			// stride per churn interval, so which records are hot
+			// drifts over the run while the skew shape stays zipfian.
+			records := uint64(p.g.cfg.Records)
+			shift := (p.g.ops / uint64(ce)) * (records/7 + 1)
+			idx = (idx + shift) % records
+		}
+	default:
 		idx = uint64(p.rng.Intn(p.g.cfg.Records))
 	}
 	return p.g.key(idx)
 }
 
+// scanLen draws one zipfian scan length in [1, MaxScanLen].
+func (p *picker) scanLen() uint32 {
+	return uint32(p.scan.next()) + 1
+}
+
 // tailCursors implements PartitionTail: per-partition incrementing keys
-// starting just above the partition's largest load key.
+// starting just above the partition's largest load key. cursors[p] is the
+// last key handed out (or the floor below the first valid mint for a
+// partition with no load keys), so the next mint is always cursors[p]+1.
 type tailCursors struct {
 	cursors []uint32
 	his     []uint32
@@ -293,7 +420,16 @@ func (g *Generator) newTailCursors() *tailCursors {
 		lo, hi := part.Range(p)
 		cursor := maxInPart[p]
 		if cursor == 0 {
-			cursor = lo
+			// No load key landed in this partition: start one below the
+			// partition's first valid key so lo itself is minted (key 0
+			// is the reserved -inf sentinel, so partition 0 starts at 1).
+			// The old cursor = lo start silently skipped lo, losing one
+			// key of headroom per empty partition.
+			if lo == 0 {
+				cursor = 0
+			} else {
+				cursor = lo - 1
+			}
 		}
 		t.cursors = append(t.cursors, cursor)
 		t.his = append(t.his, hi)
@@ -305,7 +441,9 @@ func (t *tailCursors) next() uint32 {
 	for tries := 0; tries < len(t.cursors); tries++ {
 		p := t.next_
 		t.next_ = (t.next_ + 1) % len(t.cursors)
-		if t.cursors[p]+1 < t.his[p] {
+		// The candidate key is cursors[p]+1; every key up to and
+		// including the partition's top key his[p]-1 is mintable.
+		if t.cursors[p] < t.his[p]-1 {
 			t.cursors[p]++
 			return t.cursors[p]
 		}
@@ -348,7 +486,14 @@ func zetaStatic(n uint64, theta float64) float64 {
 }
 
 func (z *zipfian) next() uint64 {
-	u := z.rng.Float64()
+	return z.fromU(z.rng.Float64())
+}
+
+// fromU maps one uniform draw u in [0, 1) to a zipfian rank. Split out of
+// next so boundary values of u are directly testable: with u close enough
+// to 1, float64(items)*pow(...) rounds up to items — one past the valid
+// rank range — so the result is clamped to items-1.
+func (z *zipfian) fromU(u float64) uint64 {
 	uz := u * z.zetan
 	if uz < 1 {
 		return 0
@@ -356,5 +501,9 @@ func (z *zipfian) next() uint64 {
 	if uz < 1+math.Pow(0.5, z.theta) {
 		return 1
 	}
-	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	v := uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.items {
+		v = z.items - 1
+	}
+	return v
 }

@@ -236,6 +236,277 @@ func TestKeyPermSeedChangesMapping(t *testing.T) {
 	}
 }
 
+// TestZipfianBoundaryDrawStaysInRange is the regression test for the
+// rank-overflow bug: with u close enough to 1 the inversion
+// float64(items)*pow(eta*u-eta+1, alpha) rounds up to items — an
+// out-of-range record index that maps to a key that was never loaded,
+// silently inflating miss counts. fromU must clamp to items-1.
+func TestZipfianBoundaryDrawStaysInRange(t *testing.T) {
+	for _, items := range []uint64{10, 1000, 1 << 20} {
+		z := newZipfian(items, 0.99, prng.New(1))
+		for _, u := range []float64{1.0, math.Nextafter(1, 0), 0.9999999999999} {
+			if v := z.fromU(u); v >= items {
+				t.Fatalf("items=%d fromU(%v) = %d, out of range", items, u, v)
+			}
+		}
+		// The clamp must not disturb interior draws.
+		if v := z.fromU(0.5); v >= items {
+			t.Fatalf("items=%d fromU(0.5) = %d, out of range", items, v)
+		}
+	}
+}
+
+// TestTailCursorsExhaustPartitions is the regression test for the
+// tail-cursor start bug: a partition with no load keys used to start its
+// cursor at lo and mint lo+1 first, silently skipping the valid key lo.
+// Exhausting a tiny key space must mint every in-range key above the
+// partition's load maximum exactly once — including lo for empty
+// partitions — before panicking.
+func TestTailCursorsExhaustPartitions(t *testing.T) {
+	cfg := Mix(4, 256, 0, 100, 0, 3)
+	cfg.Inserts = PartitionTail
+	cfg.Partitions = 8
+	g := New(cfg)
+	part := kv.RangePartitioner{KeyMax: 256, Parts: 8}
+
+	// Expected mintable set: for each partition, every key strictly above
+	// max(load max, partition floor) up to hi-1, where the floor is lo-1
+	// (or 0 for partition 0, whose key 0 is the reserved sentinel).
+	maxInPart := make([]uint32, 8)
+	for _, p := range g.Load() {
+		pp := part.Part(p.Key)
+		if p.Key > maxInPart[pp] {
+			maxInPart[pp] = p.Key
+		}
+	}
+	expect := map[uint32]bool{}
+	sawEmpty := false
+	for p := 0; p < 8; p++ {
+		lo, hi := part.Range(p)
+		start := maxInPart[p]
+		if start == 0 {
+			sawEmpty = true
+			if lo > 0 {
+				start = lo - 1
+			}
+		}
+		for k := start + 1; k < hi; k++ {
+			expect[k] = true
+		}
+	}
+	if !sawEmpty {
+		t.Fatal("test needs at least one empty partition to exercise the lo start")
+	}
+
+	tail := g.newTailCursors()
+	minted := map[uint32]bool{}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("exhausted tails did not panic")
+			}
+		}()
+		for {
+			k := tail.next()
+			if minted[k] {
+				t.Fatalf("key %d minted twice", k)
+			}
+			if !expect[k] {
+				t.Fatalf("minted key %d outside the valid headroom", k)
+			}
+			minted[k] = true
+		}
+	}()
+	if len(minted) != len(expect) {
+		t.Fatalf("minted %d keys before exhaustion, want %d (empty partitions must mint their lo key)",
+			len(minted), len(expect))
+	}
+}
+
+func TestWorkloadSuiteMixes(t *testing.T) {
+	for _, w := range []string{"a", "b", "c", "d", "e", "f"} {
+		cfg, err := Workload(w, 2000, 1<<20, 5)
+		if err != nil {
+			t.Fatalf("workload %s: %v", w, err)
+		}
+		g := New(cfg)
+		counts := map[kv.Kind]int{}
+		total := 0
+		for _, stream := range g.Streams(4, 2000) {
+			if len(stream) != 2000 {
+				t.Fatalf("workload %s stream length %d", w, len(stream))
+			}
+			for _, op := range stream {
+				counts[op.Kind]++
+				total++
+			}
+		}
+		frac := func(k kv.Kind) float64 { return float64(counts[k]) / float64(total) }
+		switch w {
+		case "a":
+			if f := frac(kv.Update); f < 0.45 || f > 0.55 {
+				t.Fatalf("A updates = %.2f", f)
+			}
+		case "b":
+			if f := frac(kv.Update); f < 0.02 || f > 0.08 {
+				t.Fatalf("B updates = %.2f", f)
+			}
+		case "c":
+			if counts[kv.Read] != total {
+				t.Fatalf("C not read-only: %v", counts)
+			}
+		case "d":
+			if f := frac(kv.Insert); f < 0.02 || f > 0.08 {
+				t.Fatalf("D inserts = %.2f", f)
+			}
+		case "e":
+			if f := frac(kv.Scan); f < 0.90 || f > 0.99 {
+				t.Fatalf("E scans = %.2f", f)
+			}
+		case "f":
+			// Every RMW read is followed by an update of the same key, so
+			// updates make up ~1/3 of physical ops (50 read + 25 rmw-pairs).
+			if f := frac(kv.Update); f < 0.28 || f > 0.38 {
+				t.Fatalf("F updates = %.2f", f)
+			}
+		}
+	}
+	if _, err := Workload("z", 1000, 1<<20, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadEScanLengthsBoundedAndSkewed(t *testing.T) {
+	cfg, _ := Workload("e", 2000, 1<<20, 9)
+	g := New(cfg)
+	short, scans := 0, 0
+	for _, stream := range g.Streams(2, 4000) {
+		for _, op := range stream {
+			if op.Kind != kv.Scan {
+				continue
+			}
+			scans++
+			if op.Value < 1 || op.Value > 100 {
+				t.Fatalf("scan length %d outside [1, 100]", op.Value)
+			}
+			if op.Value <= 10 {
+				short++
+			}
+		}
+	}
+	if scans == 0 {
+		t.Fatal("no scans generated")
+	}
+	// Zipfian lengths skew short: the shortest tenth of the range should
+	// dominate draws.
+	if float64(short)/float64(scans) < 0.5 {
+		t.Fatalf("short scans only %d/%d; lengths not zipfian-skewed", short, scans)
+	}
+}
+
+func TestWorkloadFEmitsReadThenUpdatePairs(t *testing.T) {
+	cfg, _ := Workload("f", 1000, 1<<20, 21)
+	g := New(cfg)
+	for _, stream := range g.Streams(3, 1000) {
+		for i, op := range stream {
+			if op.Kind != kv.Update {
+				continue
+			}
+			if i == 0 || stream[i-1].Kind != kv.Read || stream[i-1].Key != op.Key {
+				t.Fatalf("update of %d at %d not preceded by its read half", op.Key, i)
+			}
+		}
+	}
+}
+
+func TestWorkloadDReadsFollowInserts(t *testing.T) {
+	cfg, _ := Workload("d", 1000, 1<<22, 31)
+	g := New(cfg)
+	inserted := map[uint32]bool{}
+	for _, p := range g.Load() {
+		inserted[p.Key] = true
+	}
+	freshReads := 0
+	for _, stream := range g.Streams(1, 20000) {
+		for _, op := range stream {
+			switch op.Kind {
+			case kv.Insert:
+				inserted[op.Key] = true
+			case kv.Read:
+				if !inserted[op.Key] {
+					// A read may race ahead of the insert that mints the
+					// key only under multi-thread interleaving; single
+					// threaded, latest reads must target minted keys.
+					t.Fatalf("read of never-inserted key %d", op.Key)
+				}
+			}
+		}
+	}
+	// The latest distribution must actually reach beyond the initial
+	// records: some reads hit keys minted during the run.
+	gen2 := New(cfg)
+	initial := map[uint32]bool{}
+	for _, p := range gen2.Load() {
+		initial[p.Key] = true
+	}
+	for _, stream := range New(cfg).Streams(1, 20000) {
+		for _, op := range stream {
+			if op.Kind == kv.Read && !initial[op.Key] {
+				freshReads++
+			}
+		}
+	}
+	if freshReads == 0 {
+		t.Fatal("read-latest never read a freshly inserted key")
+	}
+}
+
+func TestChurnRotatesHotSet(t *testing.T) {
+	base, _ := Workload("c", 50000, 1<<24, 7)
+	hot := func(cfg Config, lo, hi int) map[uint32]int {
+		g := New(cfg)
+		counts := map[uint32]int{}
+		stream := g.Streams(1, hi)[0]
+		for _, op := range stream[lo:] {
+			counts[op.Key]++
+		}
+		return counts
+	}
+	// Static zipfian: the early hot set stays hot late.
+	static := base
+	early := hot(static, 0, 5000)
+	late := hot(static, 15000, 20000)
+	topOverlap := func(a, b map[uint32]int) int {
+		top := func(m map[uint32]int) map[uint32]bool {
+			out := map[uint32]bool{}
+			for k, c := range m {
+				if c >= 20 {
+					out[k] = true
+				}
+			}
+			return out
+		}
+		ta, tb := top(a), top(b)
+		n := 0
+		for k := range ta {
+			if tb[k] {
+				n++
+			}
+		}
+		return n
+	}
+	if topOverlap(early, late) == 0 {
+		t.Fatal("static zipfian hot set unexpectedly rotated")
+	}
+	churned := base
+	churned.ChurnEvery = 5000
+	cEarly := hot(churned, 0, 5000)
+	cLate := hot(churned, 15000, 20000)
+	if n := topOverlap(cEarly, cLate); n != 0 {
+		t.Fatalf("churned hot sets still share %d hot keys", n)
+	}
+}
+
 func TestKeysStayInStripeLowerPortion(t *testing.T) {
 	g := New(YCSBC(50000, 1<<24, 9))
 	stripe := uint32(1 << 21) // KeyMax/8
